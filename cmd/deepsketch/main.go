@@ -1,0 +1,421 @@
+// Command deepsketch is the CLI for building, inspecting, and querying Deep
+// Sketches on the synthetic IMDb and TPC-H datasets.
+//
+//	deepsketch build    -db imdb -out imdb.dsk -queries 10000 -epochs 25
+//	deepsketch info     -sketch imdb.dsk
+//	deepsketch query    -sketch imdb.dsk -sql "SELECT COUNT(*) FROM title t WHERE t.production_year>2010" -truth
+//	deepsketch template -sketch imdb.dsk -sql "... AND t.production_year=?" -group distinct
+//	deepsketch eval     -sketch imdb.dsk -workload joblight
+//
+// Datasets are generated deterministically from -seed, so "the database"
+// referenced by -truth/-eval is reproducible without storing it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"deepsketch"
+	"deepsketch/internal/trainmon"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "build":
+		err = cmdBuild(os.Args[2:])
+	case "info":
+		err = cmdInfo(os.Args[2:])
+	case "query":
+		err = cmdQuery(os.Args[2:])
+	case "template":
+		err = cmdTemplate(os.Args[2:])
+	case "eval":
+		err = cmdEval(os.Args[2:])
+	case "workload":
+		err = cmdWorkload(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "deepsketch: unknown command %q\n\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "deepsketch:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: deepsketch <command> [flags]
+
+commands:
+  build     create a Deep Sketch over a generated dataset
+  info      show a sketch's metadata, footprint and training record
+  query     estimate a SQL query with a sketch (optionally vs. baselines)
+  template  estimate a template query (SQL with one ? placeholder)
+  eval      evaluate a sketch against baselines on a workload
+  workload  generate + execute a labeled workload file (artifact CSV format)
+
+run "deepsketch <command> -h" for command flags`)
+}
+
+// dbFlags declares the shared dataset flags on a FlagSet.
+type dbFlags struct {
+	kind   *string
+	seed   *int64
+	titles *int
+	orders *int
+}
+
+func addDBFlags(fs *flag.FlagSet) dbFlags {
+	return dbFlags{
+		kind:   fs.String("db", "imdb", "dataset: imdb or tpch"),
+		seed:   fs.Int64("dbseed", 1, "dataset generation seed"),
+		titles: fs.Int("titles", 20000, "imdb: number of titles"),
+		orders: fs.Int("orders", 15000, "tpch: number of orders"),
+	}
+}
+
+func (f dbFlags) make() (*deepsketch.DB, error) {
+	switch *f.kind {
+	case "imdb":
+		return deepsketch.NewIMDb(deepsketch.IMDbConfig{Seed: *f.seed, Titles: *f.titles}), nil
+	case "tpch":
+		return deepsketch.NewTPCH(deepsketch.TPCHConfig{Seed: *f.seed, Orders: *f.orders}), nil
+	default:
+		return nil, fmt.Errorf("unknown dataset %q (want imdb or tpch)", *f.kind)
+	}
+}
+
+func cmdBuild(args []string) error {
+	fs := flag.NewFlagSet("build", flag.ExitOnError)
+	dbf := addDBFlags(fs)
+	out := fs.String("out", "sketch.dsk", "output sketch file")
+	name := fs.String("name", "", "sketch name (default: dataset name)")
+	tables := fs.String("tables", "", "comma-separated table subset (default: all)")
+	samples := fs.Int("samples", 1000, "materialized sample tuples per table")
+	queries := fs.Int("queries", 10000, "number of training queries")
+	maxJoins := fs.Int("maxjoins", 0, "max joins per training query (0 = auto)")
+	epochs := fs.Int("epochs", 25, "training epochs")
+	hidden := fs.Int("hidden", 64, "MSCN hidden units")
+	batch := fs.Int("batch", 64, "mini-batch size")
+	lr := fs.Float64("lr", 1e-3, "learning rate")
+	loss := fs.String("loss", "qerror", "training loss: qerror or l1log")
+	workers := fs.Int("workers", 0, "parallel query execution workers (0 = GOMAXPROCS)")
+	seed := fs.Int64("seed", 1, "sketch seed (query gen, sampling, training)")
+	fromWorkload := fs.String("fromworkload", "", "train from a labeled workload file instead of generating queries")
+	quiet := fs.Bool("q", false, "suppress progress output")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	d, err := dbf.make()
+	if err != nil {
+		return err
+	}
+	mcfg := deepsketch.DefaultModelConfig()
+	mcfg.HiddenUnits = *hidden
+	mcfg.Epochs = *epochs
+	mcfg.BatchSize = *batch
+	mcfg.LearningRate = *lr
+	mcfg.Seed = *seed
+	switch *loss {
+	case "qerror":
+		mcfg.Loss = deepsketch.LossQError
+	case "l1log":
+		mcfg.Loss = deepsketch.LossL1Log
+	default:
+		return fmt.Errorf("unknown loss %q", *loss)
+	}
+	cfg := deepsketch.Config{
+		Name: *name, SampleSize: *samples, TrainQueries: *queries,
+		MaxJoins: *maxJoins, Workers: *workers, Seed: *seed, Model: mcfg,
+	}
+	if *tables != "" {
+		cfg.Tables = strings.Split(*tables, ",")
+	}
+	mon := deepsketch.NewMonitor()
+	if !*quiet {
+		mon.AddSink(func(e trainmon.Event) {
+			switch e.Kind {
+			case trainmon.KindStageStart:
+				fmt.Printf("stage %-10s %s\n", e.Stage, e.Msg)
+			case trainmon.KindStageEnd:
+				fmt.Printf("stage %-10s done in %v\n", e.Stage, e.Elapsed)
+			case trainmon.KindEpoch:
+				fmt.Printf("  epoch %3d  train-loss %10.3f  val mean-q %8.2f  median-q %6.2f\n",
+					e.Epoch, e.TrainLoss, e.ValMeanQ, e.ValMedQ)
+			}
+		})
+	}
+	var s *deepsketch.Sketch
+	if *fromWorkload != "" {
+		labeled, err := deepsketch.ReadWorkloadFile(d, *fromWorkload)
+		if err != nil {
+			return err
+		}
+		s, err = deepsketch.BuildWithWorkload(d, cfg, labeled, mon)
+		if err != nil {
+			return err
+		}
+	} else {
+		s, err = deepsketch.Build(d, cfg, mon)
+		if err != nil {
+			return err
+		}
+	}
+	if err := deepsketch.SaveFile(s, *out); err != nil {
+		return err
+	}
+	fb, err := s.Footprint()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("sketch %q written to %s (%.2f MiB: weights %.2f, samples %.2f)\n",
+		s.Name, *out, mib(fb.Total), mib(fb.Weights), mib(fb.Samples))
+	return nil
+}
+
+func mib(b int64) float64 { return float64(b) / (1 << 20) }
+
+func cmdInfo(args []string) error {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	path := fs.String("sketch", "sketch.dsk", "sketch file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	s, err := deepsketch.LoadFile(*path)
+	if err != nil {
+		return err
+	}
+	fb, err := s.Footprint()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("name:          %s\n", s.Name)
+	fmt.Printf("database:      %s\n", s.DBName)
+	fmt.Printf("tables:        %s\n", strings.Join(s.Cfg.Tables, ", "))
+	fmt.Printf("samples/table: %d\n", s.Cfg.SampleSize)
+	fmt.Printf("train queries: %d\n", s.Cfg.TrainQueries)
+	fmt.Printf("model:         %d hidden units, %d params, loss=%s\n",
+		s.Model.Cfg.HiddenUnits, s.Model.NumParams(), s.Model.Cfg.Loss)
+	fmt.Printf("footprint:     %.2f MiB (header %.2f, weights %.2f, samples %.2f)\n",
+		mib(fb.Total), mib(fb.Header), mib(fb.Weights), mib(fb.Samples))
+	if len(s.StageMillis) > 0 {
+		fmt.Printf("creation:      %s\n", trainmon.FormatStageTimes(s.StageMillis))
+	}
+	if len(s.Epochs) > 0 {
+		vals := make([]float64, len(s.Epochs))
+		for i, e := range s.Epochs {
+			vals[i] = e.ValMeanQ
+		}
+		last := s.Epochs[len(s.Epochs)-1]
+		fmt.Printf("training:      %d epochs, final val mean-q %.2f median-q %.2f\n",
+			len(s.Epochs), last.ValMeanQ, last.ValMedQ)
+		fmt.Printf("val mean-q:    %s\n", trainmon.Sparkline(vals))
+	}
+	return nil
+}
+
+func cmdQuery(args []string) error {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	dbf := addDBFlags(fs)
+	path := fs.String("sketch", "sketch.dsk", "sketch file")
+	sql := fs.String("sql", "", "SQL query (COUNT(*), joins + predicates)")
+	truth := fs.Bool("truth", false, "also compute true cardinality and baselines (regenerates the dataset)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *sql == "" {
+		return fmt.Errorf("-sql is required")
+	}
+	s, err := deepsketch.LoadFile(*path)
+	if err != nil {
+		return err
+	}
+	est, err := s.EstimateSQL(*sql)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-16s %14.1f\n", "Deep Sketch", est)
+	if !*truth {
+		return nil
+	}
+	d, err := dbf.make()
+	if err != nil {
+		return err
+	}
+	q, err := deepsketch.ParseSQL(d, *sql)
+	if err != nil {
+		return err
+	}
+	tc, err := deepsketch.TrueCardinality(d, q)
+	if err != nil {
+		return err
+	}
+	hyper, err := deepsketch.HyperSystem(d, s.Cfg.SampleSize, s.Cfg.Seed)
+	if err != nil {
+		return err
+	}
+	pg := deepsketch.PostgresSystem(d)
+	he, err := hyper.Estimate(q)
+	if err != nil {
+		return err
+	}
+	pe, err := pg.Estimate(q)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-16s %14.1f   (q-error %.2f)\n", "HyPer", he, deepsketch.QError(he, float64(tc)))
+	fmt.Printf("%-16s %14.1f   (q-error %.2f)\n", "PostgreSQL", pe, deepsketch.QError(pe, float64(tc)))
+	fmt.Printf("%-16s %14d\n", "True", tc)
+	fmt.Printf("%-16s %14s   (q-error %.2f)\n", "", "", deepsketch.QError(est, float64(tc)))
+	return nil
+}
+
+func cmdTemplate(args []string) error {
+	fs := flag.NewFlagSet("template", flag.ExitOnError)
+	dbf := addDBFlags(fs)
+	path := fs.String("sketch", "sketch.dsk", "sketch file")
+	sql := fs.String("sql", "", "SQL with one ? placeholder")
+	group := fs.String("group", "distinct", "grouping: distinct or buckets")
+	buckets := fs.Int("buckets", 20, "bucket count for -group buckets")
+	truth := fs.Bool("truth", false, "overlay true cardinalities (regenerates the dataset)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *sql == "" {
+		return fmt.Errorf("-sql is required")
+	}
+	s, err := deepsketch.LoadFile(*path)
+	if err != nil {
+		return err
+	}
+	var g deepsketch.Grouping
+	switch *group {
+	case "distinct":
+		g = deepsketch.GroupDistinct
+	case "buckets":
+		g = deepsketch.GroupBuckets
+	default:
+		return fmt.Errorf("unknown grouping %q", *group)
+	}
+	res, err := s.EstimateTemplateSQL(*sql, g, *buckets)
+	if err != nil {
+		return err
+	}
+	var truths map[string]int64
+	if *truth {
+		d, err := dbf.make()
+		if err != nil {
+			return err
+		}
+		truths = make(map[string]int64, len(res))
+		for _, r := range res {
+			tc, err := deepsketch.TrueCardinality(d, r.Query)
+			if err != nil {
+				return err
+			}
+			truths[r.Label] = tc
+		}
+	}
+	maxEst := 1.0
+	for _, r := range res {
+		if r.Estimate > maxEst {
+			maxEst = r.Estimate
+		}
+	}
+	fmt.Printf("%-12s %12s", "value", "estimate")
+	if truths != nil {
+		fmt.Printf(" %12s %8s", "true", "q-err")
+	}
+	fmt.Println("  chart (estimate)")
+	for _, r := range res {
+		bar := strings.Repeat("█", int(r.Estimate/maxEst*40))
+		fmt.Printf("%-12s %12.1f", r.Label, r.Estimate)
+		if truths != nil {
+			tc := truths[r.Label]
+			fmt.Printf(" %12d %8.2f", tc, deepsketch.QError(r.Estimate, float64(tc)))
+		}
+		fmt.Printf("  %s\n", bar)
+	}
+	return nil
+}
+
+func cmdEval(args []string) error {
+	fs := flag.NewFlagSet("eval", flag.ExitOnError)
+	dbf := addDBFlags(fs)
+	path := fs.String("sketch", "sketch.dsk", "sketch file")
+	wl := fs.String("workload", "joblight", "workload: joblight or uniform")
+	count := fs.Int("count", 200, "uniform workload size")
+	seed := fs.Int64("seed", 42, "workload seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	s, err := deepsketch.LoadFile(*path)
+	if err != nil {
+		return err
+	}
+	d, err := dbf.make()
+	if err != nil {
+		return err
+	}
+	var qs []deepsketch.Query
+	switch *wl {
+	case "joblight":
+		qs, err = deepsketch.JOBLight(d, *seed)
+	case "uniform":
+		qs, err = deepsketch.GenerateWorkload(d, deepsketch.GenConfig{
+			Seed: *seed, Count: *count, Tables: s.Cfg.Tables,
+			MaxJoins: s.Cfg.MaxJoins, MaxPreds: s.Cfg.MaxPreds, Dedup: true,
+		})
+	default:
+		err = fmt.Errorf("unknown workload %q", *wl)
+	}
+	if err != nil {
+		return err
+	}
+	labeled, err := deepsketch.LabelWorkload(d, qs, 0)
+	if err != nil {
+		return err
+	}
+	hyper, err := deepsketch.HyperSystem(d, s.Cfg.SampleSize, s.Cfg.Seed)
+	if err != nil {
+		return err
+	}
+	rows, err := deepsketch.Compare(labeled, []deepsketch.System{
+		deepsketch.SketchSystem(s), hyper, deepsketch.PostgresSystem(d),
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Estimation errors (q-errors) on %s (%d queries):\n\n", *wl, len(labeled))
+	fmt.Print(deepsketch.FormatReport(rows))
+	// Also list the worst sketch queries to aid debugging.
+	type bad struct {
+		q  deepsketch.Query
+		qe float64
+	}
+	var worst []bad
+	for _, lq := range labeled {
+		est, err := s.Estimate(lq.Query)
+		if err != nil {
+			return err
+		}
+		worst = append(worst, bad{lq.Query, deepsketch.QError(est, float64(lq.Card))})
+	}
+	sort.Slice(worst, func(i, j int) bool { return worst[i].qe > worst[j].qe })
+	fmt.Println("\nworst Deep Sketch queries:")
+	for i := 0; i < 3 && i < len(worst); i++ {
+		fmt.Printf("  q-err %8.1f  %s\n", worst[i].qe, worst[i].q.SQL(d))
+	}
+	return nil
+}

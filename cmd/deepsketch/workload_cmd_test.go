@@ -1,0 +1,62 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestWorkloadFileRoundTripThroughCLI: generate a workload file, then build
+// a sketch from it — the decoupled pipeline the original artifact uses.
+func TestWorkloadFileRoundTripThroughCLI(t *testing.T) {
+	dir := t.TempDir()
+	wl := filepath.Join(dir, "train.csv")
+	dbArgs := []string{"-db", "imdb", "-dbseed", "2", "-titles", "800"}
+
+	gen := append([]string{
+		"-out", wl, "-count", "120", "-maxjoins", "2", "-maxpreds", "2", "-seed", "4",
+	}, dbArgs...)
+	if err := cmdWorkload(gen); err != nil {
+		t.Fatalf("workload: %v", err)
+	}
+	blob, err := os.ReadFile(wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(string(blob), "\n")
+	if lines < 100 {
+		t.Fatalf("workload file has %d lines", lines)
+	}
+
+	sketchPath := filepath.Join(dir, "s.dsk")
+	build := append([]string{
+		"-out", sketchPath, "-fromworkload", wl, "-samples", "32",
+		"-epochs", "2", "-hidden", "8", "-batch", "32", "-seed", "4", "-q",
+	}, dbArgs...)
+	if err := cmdBuild(build); err != nil {
+		t.Fatalf("build from workload: %v", err)
+	}
+	if fi, err := os.Stat(sketchPath); err != nil || fi.Size() == 0 {
+		t.Fatalf("sketch missing: %v", err)
+	}
+}
+
+func TestWorkloadJOBLightKind(t *testing.T) {
+	dir := t.TempDir()
+	wl := filepath.Join(dir, "joblight.csv")
+	args := []string{"-db", "imdb", "-dbseed", "2", "-titles", "800", "-kind", "joblight", "-out", wl}
+	if err := cmdWorkload(args); err != nil {
+		t.Fatal(err)
+	}
+	blob, _ := os.ReadFile(wl)
+	if n := strings.Count(string(blob), "\n"); n != 70 {
+		t.Errorf("JOB-light file has %d lines, want 70", n)
+	}
+}
+
+func TestWorkloadUnknownKind(t *testing.T) {
+	if err := cmdWorkload([]string{"-kind", "nope"}); err == nil {
+		t.Error("unknown kind should error")
+	}
+}

@@ -1,0 +1,524 @@
+// Command deepsketchd is the demonstration server: the reproduction of the
+// paper's web demo (Figure 2). It serves the synthetic IMDb and TPC-H
+// datasets and lets clients define Deep Sketches, monitor their training,
+// and run ad-hoc and template queries against trained sketches — with
+// overlays from the HyPer-style and PostgreSQL-style estimators and the
+// true cardinality, like the demo UI's chart. New sketches train in the
+// background while existing ones keep serving queries ("we allow users to
+// train new models while querying existing ones").
+//
+//	deepsketchd -addr :8080 -titles 20000 -orders 15000 -prebuilt
+//
+// JSON API:
+//
+//	GET  /api/datasets                 schemas of the available datasets
+//	GET  /api/sketches                 sketch list with build status
+//	POST /api/sketches                 define a sketch (async build)
+//	GET  /api/sketches/{id}            status, progress snapshot, epochs
+//	GET  /api/sketches/{id}/download   serialized sketch file
+//	POST /api/estimate                 {sketch_id, sql} -> all overlays
+//	POST /api/template                 {sketch_id, sql, group, buckets}
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"deepsketch"
+	"deepsketch/internal/trainmon"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	titles := flag.Int("titles", 20000, "imdb scale (titles)")
+	orders := flag.Int("orders", 15000, "tpch scale (orders)")
+	seed := flag.Int64("seed", 1, "dataset seed")
+	prebuilt := flag.Bool("prebuilt", false, "build a small ready-to-query sketch per dataset at startup")
+	store := flag.String("store", "", "directory to persist sketches across restarts (empty = in-memory only)")
+	flag.Parse()
+
+	srv := newServer(*titles, *orders, *seed)
+	srv.store = *store
+	if srv.store != "" {
+		if n, err := srv.loadStore(); err != nil {
+			log.Printf("deepsketchd: loading store: %v", err)
+		} else if n > 0 {
+			log.Printf("deepsketchd: restored %d sketches from %s", n, srv.store)
+		}
+	}
+	if *prebuilt {
+		srv.startPrebuilt()
+	}
+	log.Printf("deepsketchd listening on %s (imdb: %d total rows, tpch: %d total rows)",
+		*addr, srv.datasets["imdb"].TotalRows(), srv.datasets["tpch"].TotalRows())
+	log.Fatal(http.ListenAndServe(*addr, srv.routes()))
+}
+
+// sketchEntry tracks one sketch through its lifecycle.
+type sketchEntry struct {
+	ID      int       `json:"id"`
+	Name    string    `json:"name"`
+	Dataset string    `json:"dataset"`
+	Status  string    `json:"status"` // building | ready | failed
+	Error   string    `json:"error,omitempty"`
+	Created time.Time `json:"created"`
+	sketch  *deepsketch.Sketch
+	mon     *deepsketch.Monitor
+}
+
+type server struct {
+	datasets map[string]*deepsketch.DB
+	baseline map[string]struct {
+		hyper deepsketch.System
+		pg    deepsketch.System
+	}
+
+	// store, when non-empty, is a directory where ready sketches are
+	// persisted and from which they are restored at startup.
+	store string
+
+	mu       sync.RWMutex
+	sketches map[int]*sketchEntry
+	nextID   int
+}
+
+func newServer(titles, orders int, seed int64) *server {
+	s := &server{
+		datasets: map[string]*deepsketch.DB{
+			"imdb": deepsketch.NewIMDb(deepsketch.IMDbConfig{Seed: seed, Titles: titles}),
+			"tpch": deepsketch.NewTPCH(deepsketch.TPCHConfig{Seed: seed, Orders: orders}),
+		},
+		sketches: map[int]*sketchEntry{},
+		nextID:   1,
+	}
+	s.baseline = map[string]struct {
+		hyper deepsketch.System
+		pg    deepsketch.System
+	}{}
+	for name, d := range s.datasets {
+		hyper, err := deepsketch.HyperSystem(d, 1000, seed)
+		if err != nil {
+			log.Fatalf("baseline for %s: %v", name, err)
+		}
+		s.baseline[name] = struct {
+			hyper deepsketch.System
+			pg    deepsketch.System
+		}{hyper: hyper, pg: deepsketch.PostgresSystem(d)}
+	}
+	return s
+}
+
+func (s *server) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /", s.handleIndex)
+	mux.HandleFunc("GET /api/datasets", s.handleDatasets)
+	mux.HandleFunc("GET /api/sketches", s.handleSketchList)
+	mux.HandleFunc("POST /api/sketches", s.handleSketchCreate)
+	mux.HandleFunc("GET /api/sketches/{id}", s.handleSketchGet)
+	mux.HandleFunc("GET /api/sketches/{id}/download", s.handleSketchDownload)
+	mux.HandleFunc("POST /api/estimate", s.handleEstimate)
+	mux.HandleFunc("POST /api/template", s.handleTemplate)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("deepsketchd: encode response: %v", err)
+	}
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (s *server) handleDatasets(w http.ResponseWriter, _ *http.Request) {
+	type colInfo struct {
+		Name string `json:"name"`
+		Type string `json:"type"`
+	}
+	type tblInfo struct {
+		Name string    `json:"name"`
+		Rows int       `json:"rows"`
+		Cols []colInfo `json:"columns"`
+	}
+	out := map[string][]tblInfo{}
+	for name, d := range s.datasets {
+		var tbls []tblInfo
+		for _, tn := range d.TableNames() {
+			t := d.Table(tn)
+			ti := tblInfo{Name: tn, Rows: t.NumRows()}
+			for _, c := range t.Cols {
+				ti.Cols = append(ti.Cols, colInfo{Name: c.Name, Type: c.Type.String()})
+			}
+			tbls = append(tbls, ti)
+		}
+		out[name] = tbls
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+type createReq struct {
+	Name         string   `json:"name"`
+	Dataset      string   `json:"dataset"`
+	Tables       []string `json:"tables"`
+	SampleSize   int      `json:"sample_size"`
+	TrainQueries int      `json:"train_queries"`
+	Epochs       int      `json:"epochs"`
+	HiddenUnits  int      `json:"hidden_units"`
+	Seed         int64    `json:"seed"`
+}
+
+func (s *server) handleSketchCreate(w http.ResponseWriter, r *http.Request) {
+	var req createReq
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Dataset == "" {
+		req.Dataset = "imdb"
+	}
+	d, ok := s.datasets[req.Dataset]
+	if !ok {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown dataset %q", req.Dataset))
+		return
+	}
+	entry := s.register(req.Name, req.Dataset)
+	go s.build(entry, d, req)
+	writeJSON(w, http.StatusAccepted, entry)
+}
+
+func (s *server) register(name, dataset string) *sketchEntry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id := s.nextID
+	s.nextID++
+	if name == "" {
+		name = fmt.Sprintf("%s-sketch-%d", dataset, id)
+	}
+	e := &sketchEntry{
+		ID: id, Name: name, Dataset: dataset, Status: "building",
+		Created: time.Now(), mon: deepsketch.NewMonitor(),
+	}
+	s.sketches[id] = e
+	return e
+}
+
+// build runs the creation pipeline in the background.
+func (s *server) build(e *sketchEntry, d *deepsketch.DB, req createReq) {
+	mcfg := deepsketch.DefaultModelConfig()
+	if req.Epochs > 0 {
+		mcfg.Epochs = req.Epochs
+	}
+	if req.HiddenUnits > 0 {
+		mcfg.HiddenUnits = req.HiddenUnits
+	}
+	mcfg.Seed = req.Seed
+	cfg := deepsketch.Config{
+		Name: e.Name, Tables: req.Tables, SampleSize: req.SampleSize,
+		TrainQueries: req.TrainQueries, Seed: req.Seed, Model: mcfg,
+	}
+	sk, err := deepsketch.Build(d, cfg, e.mon)
+	s.mu.Lock()
+	if err != nil {
+		e.Status = "failed"
+		e.Error = err.Error()
+		s.mu.Unlock()
+		return
+	}
+	e.sketch = sk
+	e.Status = "ready"
+	s.mu.Unlock()
+	s.persist(e, sk)
+}
+
+// startPrebuilt creates one small high-quality sketch per dataset so users
+// can query immediately ("we offer pre-built (high quality) models that can
+// be queried right away").
+func (s *server) startPrebuilt() {
+	for name, d := range s.datasets {
+		e := s.register("prebuilt-"+name, name)
+		go s.build(e, d, createReq{
+			Dataset: name, SampleSize: 500, TrainQueries: 3000, Epochs: 20, HiddenUnits: 32, Seed: 7,
+		})
+	}
+}
+
+func (s *server) handleSketchList(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]*sketchEntry, 0, len(s.sketches))
+	for id := 1; id < s.nextID; id++ {
+		if e, ok := s.sketches[id]; ok {
+			out = append(out, e)
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *server) entryByID(r *http.Request) (*sketchEntry, error) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		return nil, fmt.Errorf("bad sketch id")
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.sketches[id]
+	if !ok {
+		return nil, fmt.Errorf("no sketch %d", id)
+	}
+	return e, nil
+}
+
+func (s *server) handleSketchGet(w http.ResponseWriter, r *http.Request) {
+	e, err := s.entryByID(r)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	type resp struct {
+		*sketchEntry
+		Progress trainmon.Snapshot `json:"progress"`
+		Epochs   []trainmon.Event  `json:"epoch_events"`
+	}
+	var epochs []trainmon.Event
+	for _, ev := range e.mon.Events() {
+		if ev.Kind == trainmon.KindEpoch {
+			epochs = append(epochs, ev)
+		}
+	}
+	writeJSON(w, http.StatusOK, resp{sketchEntry: e, Progress: e.mon.Snapshot(), Epochs: epochs})
+}
+
+func (s *server) handleSketchDownload(w http.ResponseWriter, r *http.Request) {
+	e, err := s.entryByID(r)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	s.mu.RLock()
+	sk := e.sketch
+	s.mu.RUnlock()
+	if sk == nil {
+		writeErr(w, http.StatusConflict, fmt.Errorf("sketch %d not ready", e.ID))
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%q", e.Name+".dsk"))
+	if err := sk.Save(w); err != nil {
+		log.Printf("deepsketchd: download: %v", err)
+	}
+}
+
+func (s *server) readySketch(id int) (*sketchEntry, *deepsketch.Sketch, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.sketches[id]
+	if !ok {
+		return nil, nil, fmt.Errorf("no sketch %d", id)
+	}
+	if e.sketch == nil {
+		return nil, nil, fmt.Errorf("sketch %d is %s", id, e.Status)
+	}
+	return e, e.sketch, nil
+}
+
+// routeSketch picks the most specific ready sketch of the dataset that
+// covers the query's tables (smallest table set; ties by id). The SQL is
+// parsed against the dataset schema just to learn the referenced tables.
+func (s *server) routeSketch(dataset, sql string) (*sketchEntry, *deepsketch.Sketch, error) {
+	if dataset == "" {
+		dataset = "imdb"
+	}
+	d, ok := s.datasets[dataset]
+	if !ok {
+		return nil, nil, fmt.Errorf("unknown dataset %q", dataset)
+	}
+	q, err := deepsketch.ParseSQL(d, sql)
+	if err != nil {
+		return nil, nil, err
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var best *sketchEntry
+	for id := 1; id < s.nextID; id++ {
+		e, ok := s.sketches[id]
+		if !ok || e.sketch == nil || e.Dataset != dataset {
+			continue
+		}
+		if !coversTables(e.sketch, q) {
+			continue
+		}
+		if best == nil || len(e.sketch.Cfg.Tables) < len(best.sketch.Cfg.Tables) {
+			best = e
+		}
+	}
+	if best == nil {
+		return nil, nil, fmt.Errorf("no ready sketch covers the query's tables")
+	}
+	return best, best.sketch, nil
+}
+
+func coversTables(sk *deepsketch.Sketch, q deepsketch.Query) bool {
+	set := make(map[string]bool, len(sk.Cfg.Tables))
+	for _, t := range sk.Cfg.Tables {
+		set[t] = true
+	}
+	for _, tr := range q.Tables {
+		if !set[tr.Table] {
+			return false
+		}
+	}
+	return true
+}
+
+type estimateReq struct {
+	// SketchID selects a sketch explicitly; 0 routes automatically to the
+	// most specific ready sketch of Dataset that covers the query's tables.
+	SketchID int    `json:"sketch_id"`
+	Dataset  string `json:"dataset,omitempty"`
+	SQL      string `json:"sql"`
+}
+
+// handleEstimate computes all the demo's overlays for one ad-hoc query:
+// Deep Sketch, HyPer, PostgreSQL, and the true cardinality.
+func (s *server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	var req estimateReq
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	var e *sketchEntry
+	var sk *deepsketch.Sketch
+	var err error
+	if req.SketchID == 0 {
+		e, sk, err = s.routeSketch(req.Dataset, req.SQL)
+	} else {
+		e, sk, err = s.readySketch(req.SketchID)
+	}
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	d := s.datasets[e.Dataset]
+	q, err := deepsketch.ParseSQL(d, req.SQL)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	est, err := sk.Estimate(q)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	truth, err := deepsketch.TrueCardinality(d, q)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	bl := s.baseline[e.Dataset]
+	hyperEst, err := bl.hyper.Estimate(q)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	pgEst, err := bl.pg.Estimate(q)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"sql":         q.SQL(d),
+		"deep_sketch": est,
+		"hyper":       hyperEst,
+		"postgresql":  pgEst,
+		"true":        truth,
+		"q_errors": map[string]float64{
+			"deep_sketch": deepsketch.QError(est, float64(truth)),
+			"hyper":       deepsketch.QError(hyperEst, float64(truth)),
+			"postgresql":  deepsketch.QError(pgEst, float64(truth)),
+		},
+	})
+}
+
+type templateReq struct {
+	SketchID int    `json:"sketch_id"`
+	SQL      string `json:"sql"`
+	Group    string `json:"group"`   // distinct | buckets
+	Buckets  int    `json:"buckets"` // for group=buckets
+	Truth    bool   `json:"truth"`   // include true cardinalities
+}
+
+// handleTemplate serves the demo's placeholder queries: one series point per
+// template instance, with optional overlays.
+func (s *server) handleTemplate(w http.ResponseWriter, r *http.Request) {
+	var req templateReq
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	e, sk, err := s.readySketch(req.SketchID)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	g := deepsketch.GroupDistinct
+	if req.Group == "buckets" {
+		g = deepsketch.GroupBuckets
+		if req.Buckets <= 0 {
+			req.Buckets = 20
+		}
+	}
+	res, err := sk.EstimateTemplateSQL(req.SQL, g, req.Buckets)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	d := s.datasets[e.Dataset]
+	bl := s.baseline[e.Dataset]
+	type point struct {
+		Label      string  `json:"label"`
+		Estimate   float64 `json:"deep_sketch"`
+		Hyper      float64 `json:"hyper,omitempty"`
+		PostgreSQL float64 `json:"postgresql,omitempty"`
+		True       *int64  `json:"true,omitempty"`
+	}
+	points := make([]point, 0, len(res))
+	for _, inst := range res {
+		p := point{Label: inst.Label, Estimate: inst.Estimate}
+		if req.Truth {
+			tc, err := deepsketch.TrueCardinality(d, inst.Query)
+			if err != nil {
+				writeErr(w, http.StatusBadRequest, err)
+				return
+			}
+			p.True = &tc
+			if p.Hyper, err = bl.hyper.Estimate(inst.Query); err != nil {
+				writeErr(w, http.StatusBadRequest, err)
+				return
+			}
+			if p.PostgreSQL, err = bl.pg.Estimate(inst.Query); err != nil {
+				writeErr(w, http.StatusBadRequest, err)
+				return
+			}
+		}
+		points = append(points, p)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"points": points})
+}
+
+func (s *server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(w, indexHTML)
+}

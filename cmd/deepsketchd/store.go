@@ -1,0 +1,88 @@
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"deepsketch"
+)
+
+// persist writes a ready sketch to the store directory (best effort; the
+// in-memory entry stays authoritative).
+func (s *server) persist(e *sketchEntry, sk *deepsketch.Sketch) {
+	if s.store == "" {
+		return
+	}
+	if err := os.MkdirAll(s.store, 0o755); err != nil {
+		log.Printf("deepsketchd: store: %v", err)
+		return
+	}
+	path := filepath.Join(s.store, fmt.Sprintf("%s.dsk", sanitizeName(e.Name)))
+	if err := deepsketch.SaveFile(sk, path); err != nil {
+		log.Printf("deepsketchd: persist %s: %v", e.Name, err)
+		return
+	}
+	log.Printf("deepsketchd: persisted sketch %q to %s", e.Name, path)
+}
+
+// loadStore restores every *.dsk file in the store directory as a ready
+// sketch, provided its dataset is one the server hosts.
+func (s *server) loadStore() (int, error) {
+	entries, err := os.ReadDir(s.store)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	names := make([]string, 0, len(entries))
+	for _, ent := range entries {
+		if !ent.IsDir() && strings.HasSuffix(ent.Name(), ".dsk") {
+			names = append(names, ent.Name())
+		}
+	}
+	sort.Strings(names)
+	loaded := 0
+	for _, name := range names {
+		path := filepath.Join(s.store, name)
+		sk, err := deepsketch.LoadFile(path)
+		if err != nil {
+			log.Printf("deepsketchd: skipping %s: %v", path, err)
+			continue
+		}
+		if _, ok := s.datasets[sk.DBName]; !ok {
+			log.Printf("deepsketchd: skipping %s: unknown dataset %q", path, sk.DBName)
+			continue
+		}
+		e := s.register(sk.Name, sk.DBName)
+		s.mu.Lock()
+		e.sketch = sk
+		e.Status = "ready"
+		e.Created = time.Now()
+		s.mu.Unlock()
+		loaded++
+	}
+	return loaded, nil
+}
+
+// sanitizeName makes a sketch name safe as a file name.
+func sanitizeName(name string) string {
+	var b strings.Builder
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "sketch"
+	}
+	return b.String()
+}

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+	"time"
+)
+
+func TestStorePersistAndRestore(t *testing.T) {
+	dir := t.TempDir()
+
+	// First server: build a sketch; it should land in the store.
+	srv1 := newServer(600, 300, 2)
+	srv1.store = dir
+	h1 := srv1.routes()
+	rec := post(t, h1, "/api/sketches", createReq{
+		Name: "persisted one", Dataset: "imdb",
+		SampleSize: 24, TrainQueries: 80, Epochs: 1, HiddenUnits: 8, Seed: 2,
+	})
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("create status %d", rec.Code)
+	}
+	var entry sketchEntry
+	if err := json.Unmarshal(rec.Body.Bytes(), &entry); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		rec := get(t, h1, fmt.Sprintf("/api/sketches/%d", entry.ID))
+		var status struct {
+			Status string `json:"status"`
+			Error  string `json:"error"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &status); err != nil {
+			t.Fatal(err)
+		}
+		if status.Status == "failed" {
+			t.Fatalf("build failed: %s", status.Error)
+		}
+		if status.Status == "ready" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("timeout waiting for build")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// Second server: must restore the sketch from disk and serve estimates.
+	srv2 := newServer(600, 300, 2)
+	srv2.store = dir
+	n, err := srv2.loadStore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("restored %d sketches, want 1", n)
+	}
+	h2 := srv2.routes()
+	rec = post(t, h2, "/api/estimate", estimateReq{
+		SketchID: 1, SQL: "SELECT COUNT(*) FROM title t WHERE t.production_year>2000",
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("estimate from restored sketch: %d %s", rec.Code, rec.Body)
+	}
+}
+
+func TestLoadStoreMissingDir(t *testing.T) {
+	srv := newServer(400, 200, 1)
+	srv.store = t.TempDir() + "/does-not-exist"
+	n, err := srv.loadStore()
+	if err != nil || n != 0 {
+		t.Errorf("missing dir should be a clean no-op, got n=%d err=%v", n, err)
+	}
+}
+
+func TestSanitizeName(t *testing.T) {
+	cases := map[string]string{
+		"hello-world_1": "hello-world_1",
+		"a b/c":         "a_b_c",
+		"":              "sketch",
+		"ü":             "_",
+	}
+	for in, want := range cases {
+		if got := sanitizeName(in); got != want {
+			t.Errorf("sanitizeName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

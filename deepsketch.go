@@ -1,0 +1,334 @@
+// Package deepsketch is the public API of the Deep Sketches reproduction
+// (Kipf et al., "Estimating Cardinalities with Deep Sketches", SIGMOD 2019).
+//
+// A Deep Sketch is a compact model of a database — a trained multi-set
+// convolutional network (MSCN) plus materialized base-table samples — that
+// estimates COUNT(*) result sizes of select-project-join SQL queries in
+// milliseconds, without touching the database.
+//
+// Typical usage:
+//
+//	d := deepsketch.NewIMDb(deepsketch.IMDbConfig{Seed: 1})
+//	sketch, err := deepsketch.Build(d, deepsketch.Config{
+//	    TrainQueries: 10000,
+//	    SampleSize:   1000,
+//	}, nil)
+//	est, err := sketch.EstimateSQL(
+//	    "SELECT COUNT(*) FROM title t, movie_keyword mk " +
+//	    "WHERE mk.movie_id=t.id AND t.production_year>2010")
+//
+// Sketches serialize to a few MiB (Save/Load) and can be queried standalone.
+// The package also exposes the traditional estimators the paper compares
+// against (PostgreSQL-style statistics and HyPer-style sampling), the
+// JOB-light evaluation workload, and q-error reporting utilities.
+package deepsketch
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"deepsketch/internal/core"
+	"deepsketch/internal/datagen"
+	"deepsketch/internal/db"
+	"deepsketch/internal/estimator"
+	"deepsketch/internal/metrics"
+	"deepsketch/internal/mscn"
+	"deepsketch/internal/nn"
+	"deepsketch/internal/router"
+	"deepsketch/internal/sqlparse"
+	"deepsketch/internal/trainmon"
+	"deepsketch/internal/workload"
+)
+
+// Core re-exports: the database substrate and query model.
+type (
+	// DB is an in-memory column-store database.
+	DB = db.DB
+	// Query is a parsed COUNT(*) select-project-join query.
+	Query = db.Query
+	// TableRef, JoinPred and Predicate are Query components.
+	TableRef = db.TableRef
+	JoinPred = db.JoinPred
+	// Predicate is a base-table selection alias.col <op> literal.
+	Predicate = db.Predicate
+	// Op is a predicate operator (OpEq, OpLt, OpGt).
+	Op = db.Op
+)
+
+// Operator constants.
+const (
+	OpEq = db.OpEq
+	OpLt = db.OpLt
+	OpGt = db.OpGt
+)
+
+// Sketch construction and use.
+type (
+	// Config configures sketch creation (step 1 of the paper's Figure 1a).
+	Config = core.Config
+	// ModelConfig holds the MSCN hyperparameters.
+	ModelConfig = mscn.Config
+	// Sketch is a trained Deep Sketch.
+	Sketch = core.Sketch
+	// TemplateResult is one instantiated template estimate.
+	TemplateResult = core.TemplateResult
+	// Monitor records creation progress (stages, epochs).
+	Monitor = trainmon.Monitor
+	// TrainEvent is one monitoring record (stage start/end, progress,
+	// epoch metrics) delivered to Monitor sinks.
+	TrainEvent = trainmon.Event
+	// TrainSnapshot summarizes creation progress for polling clients.
+	TrainSnapshot = trainmon.Snapshot
+	// FootprintBreakdown reports serialized sketch size per component.
+	FootprintBreakdown = core.FootprintBreakdown
+)
+
+// Monitoring event kinds and pipeline stages (see TrainEvent).
+const (
+	EventStageStart = trainmon.KindStageStart
+	EventStageEnd   = trainmon.KindStageEnd
+	EventProgress   = trainmon.KindProgress
+	EventEpoch      = trainmon.KindEpoch
+
+	StageDefine    = trainmon.StageDefine
+	StageGenerate  = trainmon.StageGenerate
+	StageExecute   = trainmon.StageExecute
+	StageFeaturize = trainmon.StageFeaturize
+	StageTrain     = trainmon.StageTrain
+)
+
+// Workload types.
+type (
+	// LabeledQuery pairs a query with its true cardinality.
+	LabeledQuery = workload.LabeledQuery
+	// Template is a query template with a placeholder column.
+	Template = workload.Template
+	// Grouping selects template instantiation (GroupDistinct/GroupBuckets).
+	Grouping = workload.Grouping
+	// GenConfig configures the uniform training-query generator.
+	GenConfig = workload.GenConfig
+)
+
+// Template grouping modes.
+const (
+	GroupDistinct = workload.GroupDistinct
+	GroupBuckets  = workload.GroupBuckets
+)
+
+// LossKind selects the MSCN training objective.
+type LossKind = nn.LossKind
+
+// Training objectives: the paper's mean q-error, and L1 in log space.
+const (
+	LossQError = nn.LossQError
+	LossL1Log  = nn.LossL1Log
+)
+
+// Dataset generator configs.
+type (
+	// IMDbConfig sizes the synthetic IMDb-like dataset.
+	IMDbConfig = datagen.IMDbConfig
+	// TPCHConfig sizes the synthetic TPC-H-like dataset.
+	TPCHConfig = datagen.TPCHConfig
+)
+
+// Metrics.
+type (
+	// QErrorSummary holds Table-1-style statistics.
+	QErrorSummary = metrics.Summary
+	// ReportRow is one system's summary line.
+	ReportRow = metrics.Row
+)
+
+// Router dispatches estimates across multiple registered sketches,
+// preferring the most specific covering sketch (the system answer to the
+// paper's open question of which schema parts to sketch).
+type Router = router.Router
+
+// NewRouter returns an empty sketch router.
+func NewRouter() *Router { return router.New() }
+
+// NewIMDb generates the synthetic IMDb-like database the demo's IMDb mode
+// runs on ("a real-world dataset that contains many correlations"): skewed,
+// correlated, deterministic in the seed.
+func NewIMDb(cfg IMDbConfig) *DB { return datagen.IMDb(cfg) }
+
+// NewTPCH generates the synthetic TPC-H-like database of the demo's TPC-H
+// mode.
+func NewTPCH(cfg TPCHConfig) *DB { return datagen.TPCH(cfg) }
+
+// NewMonitor returns a fresh creation-progress monitor.
+func NewMonitor() *Monitor { return trainmon.New() }
+
+// DefaultModelConfig returns the default MSCN hyperparameters.
+func DefaultModelConfig() ModelConfig { return mscn.DefaultConfig() }
+
+// Build creates a Deep Sketch over the database: generates uniform training
+// queries, executes them (in parallel) for true cardinalities and sample
+// bitmaps, featurizes, and trains the MSCN. mon may be nil.
+func Build(d *DB, cfg Config, mon *Monitor) (*Sketch, error) {
+	return core.Build(d, cfg, mon)
+}
+
+// BuildWithWorkload creates a sketch from a pre-labeled workload (e.g. one
+// written by WriteWorkloadFile), skipping query generation and execution.
+func BuildWithWorkload(d *DB, cfg Config, labeled []LabeledQuery, mon *Monitor) (*Sketch, error) {
+	return core.BuildWithWorkload(d, cfg, labeled, mon)
+}
+
+// WriteWorkloadFile writes a labeled workload in the original artifact's
+// CSV format (tables#joins#predicates#cardinality).
+func WriteWorkloadFile(path string, labeled []LabeledQuery) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := workload.WriteCSV(f, labeled); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadWorkloadFile reads a labeled workload in the artifact CSV format,
+// validating it against the schema.
+func ReadWorkloadFile(d *DB, path string) ([]LabeledQuery, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return workload.ReadCSV(d, f)
+}
+
+// Load reads a serialized sketch.
+func Load(r io.Reader) (*Sketch, error) { return core.Load(r) }
+
+// LoadFile reads a serialized sketch from a file.
+func LoadFile(path string) (*Sketch, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return core.Load(f)
+}
+
+// SaveFile writes a sketch to a file.
+func SaveFile(s *Sketch, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := s.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ParseSQL parses a SQL string of the supported dialect against a database
+// (or a sketch's SchemaDB) and returns the query. Placeholder statements
+// return an error here; use ParseTemplateSQL.
+func ParseSQL(d *DB, sql string) (Query, error) {
+	res, err := sqlparse.Parse(d, sql)
+	if err != nil {
+		return Query{}, err
+	}
+	if res.Placeholder != nil {
+		return Query{}, fmt.Errorf("deepsketch: statement has a placeholder; use ParseTemplateSQL")
+	}
+	return res.Query, nil
+}
+
+// ParseTemplateSQL parses a SQL string containing a `?` placeholder into a
+// Template.
+func ParseTemplateSQL(d *DB, sql string) (Template, error) {
+	res, err := sqlparse.Parse(d, sql)
+	if err != nil {
+		return Template{}, err
+	}
+	return res.Template()
+}
+
+// TrueCardinality executes the query exactly (the ground truth the demo
+// obtains from HyPer).
+func TrueCardinality(d *DB, q Query) (int64, error) { return d.Count(q) }
+
+// JOBLight builds the 70-query JOB-light-style evaluation workload on an
+// IMDb-schema database (Table 1's workload).
+func JOBLight(d *DB, seed int64) ([]Query, error) { return workload.JOBLight(d, seed) }
+
+// GenerateWorkload produces uniformly distributed queries (the training
+// query distribution of the paper's step 2).
+func GenerateWorkload(d *DB, cfg GenConfig) ([]Query, error) {
+	g, err := workload.NewGenerator(d, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return g.Generate(), nil
+}
+
+// LabelWorkload executes queries in parallel to obtain true cardinalities.
+func LabelWorkload(d *DB, qs []Query, workers int) ([]LabeledQuery, error) {
+	return workload.Label(d, qs, workers, nil)
+}
+
+// YearTemplate builds the paper's flagship template: a keyword's popularity
+// over production years.
+func YearTemplate(d *DB, keyword string) (Template, error) {
+	return workload.YearTemplate(d, keyword)
+}
+
+// System is a named cardinality estimator for comparison harnesses.
+type System struct {
+	Name     string
+	Estimate func(Query) (float64, error)
+}
+
+// SketchSystem wraps a sketch for comparisons.
+func SketchSystem(s *Sketch) System {
+	return System{Name: "Deep Sketch", Estimate: s.Estimate}
+}
+
+// PostgresSystem builds the PostgreSQL-style estimator (per-column MCVs,
+// histograms, independence assumption).
+func PostgresSystem(d *DB) System {
+	p := estimator.NewPostgres(d, estimator.PostgresOptions{})
+	return System{Name: "PostgreSQL", Estimate: p.Estimate}
+}
+
+// HyperSystem builds the HyPer-style sampling estimator with the given
+// sample size (educated-guess fallback in 0-tuple situations).
+func HyperSystem(d *DB, sampleSize int, seed int64) (System, error) {
+	h, err := estimator.NewHyper(d, sampleSize, seed)
+	if err != nil {
+		return System{}, err
+	}
+	return System{Name: "HyPer", Estimate: h.Estimate}, nil
+}
+
+// QError returns the q-error between an estimate and a true cardinality.
+func QError(estimate, truth float64) float64 { return metrics.QError(estimate, truth) }
+
+// Compare evaluates systems on a labeled workload and returns Table-1-style
+// summary rows (median/90th/95th/99th/max/mean q-error), in input order.
+func Compare(labeled []LabeledQuery, systems []System) ([]ReportRow, error) {
+	rows := make([]ReportRow, 0, len(systems))
+	for _, sys := range systems {
+		qerrs := make([]float64, 0, len(labeled))
+		for _, lq := range labeled {
+			est, err := sys.Estimate(lq.Query)
+			if err != nil {
+				return nil, fmt.Errorf("deepsketch: %s failed on %s: %w", sys.Name, lq.Query.SQL(nil), err)
+			}
+			qerrs = append(qerrs, metrics.QError(est, float64(lq.Card)))
+		}
+		rows = append(rows, ReportRow{Name: sys.Name, Summary: metrics.Summarize(qerrs)})
+	}
+	return rows, nil
+}
+
+// FormatReport renders comparison rows in the layout of the paper's Table 1.
+func FormatReport(rows []ReportRow) string { return metrics.FormatTable(rows) }

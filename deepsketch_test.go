@@ -1,0 +1,174 @@
+package deepsketch_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"deepsketch"
+)
+
+// Shared tiny fixture: building a sketch is the expensive part, do it once.
+var (
+	fixtureOnce   sync.Once
+	fixtureDB     *deepsketch.DB
+	fixtureSketch *deepsketch.Sketch
+	fixtureErr    error
+)
+
+func fixture(t *testing.T) (*deepsketch.DB, *deepsketch.Sketch) {
+	t.Helper()
+	fixtureOnce.Do(func() {
+		fixtureDB = deepsketch.NewIMDb(deepsketch.IMDbConfig{
+			Seed: 11, Titles: 1200, Keywords: 60, Companies: 30, Persons: 200,
+		})
+		fixtureSketch, fixtureErr = deepsketch.Build(fixtureDB, deepsketch.Config{
+			Name: "api-test", SampleSize: 64, TrainQueries: 500, MaxJoins: 2, MaxPreds: 2, Seed: 4,
+			Model: deepsketch.ModelConfig{HiddenUnits: 24, Epochs: 8, BatchSize: 32, Seed: 4},
+		}, nil)
+	})
+	if fixtureErr != nil {
+		t.Fatal(fixtureErr)
+	}
+	return fixtureDB, fixtureSketch
+}
+
+func TestPublicAPIQuickstartFlow(t *testing.T) {
+	d, s := fixture(t)
+
+	est, err := s.EstimateSQL("SELECT COUNT(*) FROM title t, movie_keyword mk WHERE mk.movie_id=t.id AND t.production_year>2000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := deepsketch.ParseSQL(d, "SELECT COUNT(*) FROM title t, movie_keyword mk WHERE mk.movie_id=t.id AND t.production_year>2000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, err := deepsketch.TrueCardinality(d, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if truth <= 0 {
+		t.Fatal("expected non-empty result")
+	}
+	if qe := deepsketch.QError(est, float64(truth)); qe > 50 {
+		t.Errorf("quickstart estimate off by %v (est %v, truth %d)", qe, est, truth)
+	}
+}
+
+func TestPublicAPISaveLoadFile(t *testing.T) {
+	_, s := fixture(t)
+	path := filepath.Join(t.TempDir(), "sketch.dsk")
+	if err := deepsketch.SaveFile(s, path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := deepsketch.LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := s.EstimateSQL("SELECT COUNT(*) FROM title t WHERE t.kind_id=1")
+	b, _ := loaded.EstimateSQL("SELECT COUNT(*) FROM title t WHERE t.kind_id=1")
+	if a != b {
+		t.Errorf("estimates differ after file round trip: %v vs %v", a, b)
+	}
+	fi, _ := os.Stat(path)
+	fb, err := s.Footprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fb.Total != fi.Size() {
+		t.Errorf("footprint %d != file size %d", fb.Total, fi.Size())
+	}
+}
+
+func TestPublicAPICompare(t *testing.T) {
+	d, s := fixture(t)
+	qs, err := deepsketch.GenerateWorkload(d, deepsketch.GenConfig{Seed: 101, Count: 40, MaxJoins: 2, MaxPreds: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	labeled, err := deepsketch.LabelWorkload(d, qs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hyper, err := deepsketch.HyperSystem(d, 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := deepsketch.Compare(labeled, []deepsketch.System{
+		deepsketch.SketchSystem(s),
+		hyper,
+		deepsketch.PostgresSystem(d),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	report := deepsketch.FormatReport(rows)
+	for _, name := range []string{"Deep Sketch", "HyPer", "PostgreSQL", "median"} {
+		if !strings.Contains(report, name) {
+			t.Errorf("report missing %q:\n%s", name, report)
+		}
+	}
+}
+
+func TestPublicAPIJOBLight(t *testing.T) {
+	d, _ := fixture(t)
+	qs, err := deepsketch.JOBLight(d, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 70 {
+		t.Errorf("JOB-light = %d queries", len(qs))
+	}
+}
+
+func TestPublicAPITemplate(t *testing.T) {
+	d, s := fixture(t)
+	tpl, err := deepsketch.YearTemplate(d, "love")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.EstimateTemplate(tpl, deepsketch.GroupDistinct, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) < 5 {
+		t.Errorf("instances = %d", len(res))
+	}
+	// Template SQL round trip through ParseTemplateSQL.
+	tpl2, err := deepsketch.ParseTemplateSQL(d,
+		"SELECT COUNT(*) FROM title t WHERE t.production_year=?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tpl2.Col != "production_year" {
+		t.Errorf("template col = %s", tpl2.Col)
+	}
+}
+
+func TestPublicAPISketchRoundTripBuffer(t *testing.T) {
+	_, s := fixture(t)
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := deepsketch.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicAPIParseErrors(t *testing.T) {
+	d, _ := fixture(t)
+	if _, err := deepsketch.ParseSQL(d, "SELECT COUNT(*) FROM title t WHERE t.production_year=?"); err == nil {
+		t.Error("ParseSQL should reject placeholders")
+	}
+	if _, err := deepsketch.ParseTemplateSQL(d, "SELECT COUNT(*) FROM title t"); err == nil {
+		t.Error("ParseTemplateSQL should require a placeholder")
+	}
+}

@@ -1,0 +1,91 @@
+// Quickstart: build a Deep Sketch over the synthetic IMDb dataset, estimate
+// a few SQL queries against it, compare with the true cardinalities, and
+// round-trip the sketch through its serialized form.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"deepsketch"
+)
+
+func main() {
+	// 1. Generate the dataset (deterministic in the seed). Real deployments
+	// would point the builder at their own tables instead.
+	fmt.Println("generating synthetic IMDb...")
+	d := deepsketch.NewIMDb(deepsketch.IMDbConfig{Seed: 1, Titles: 5000})
+	fmt.Printf("  %d tables, %d total rows\n\n", len(d.TableNames()), d.TotalRows())
+
+	// 2. Build the sketch: generate + execute training queries, train MSCN.
+	// Small settings so the example runs in seconds; see cmd/experiments for
+	// paper-scale runs.
+	fmt.Println("building sketch (2000 training queries, 15 epochs)...")
+	cfg := deepsketch.Config{
+		Name:         "quickstart",
+		SampleSize:   256,
+		TrainQueries: 2000,
+		Seed:         42,
+		Model: deepsketch.ModelConfig{
+			HiddenUnits: 32,
+			Epochs:      15,
+			Seed:        42,
+		},
+	}
+	sketch, err := deepsketch.Build(d, cfg, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	last := sketch.Epochs[len(sketch.Epochs)-1]
+	fmt.Printf("  trained: validation mean q-error %.2f, median %.2f\n\n", last.ValMeanQ, last.ValMedQ)
+
+	// 3. Ask the sketch for estimates. The sketch needs no database access:
+	// it evaluates predicates on its embedded samples and runs one MSCN
+	// forward pass.
+	queries := []string{
+		"SELECT COUNT(*) FROM title t WHERE t.production_year>2010",
+		"SELECT COUNT(*) FROM title t, movie_keyword mk WHERE mk.movie_id=t.id AND t.production_year>2000",
+		"SELECT COUNT(*) FROM title t, cast_info ci WHERE ci.movie_id=t.id AND ci.role_id=1 AND t.kind_id=1",
+		"SELECT COUNT(*) FROM title t, movie_keyword mk, keyword k WHERE mk.movie_id=t.id AND mk.keyword_id=k.id AND k.keyword='love'",
+	}
+	fmt.Printf("%-11s %12s %8s  query\n", "estimate", "true", "q-error")
+	for _, sql := range queries {
+		est, err := sketch.EstimateSQL(sql)
+		if err != nil {
+			log.Fatal(err)
+		}
+		q, err := deepsketch.ParseSQL(d, sql)
+		if err != nil {
+			log.Fatal(err)
+		}
+		truth, err := deepsketch.TrueCardinality(d, q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-11.1f %12d %8.2f  %s\n", est, truth, deepsketch.QError(est, float64(truth)), sql)
+	}
+
+	// 4. Serialize: a sketch is a self-contained few-hundred-KiB artifact.
+	var buf bytes.Buffer
+	if err := sketch.Save(&buf); err != nil {
+		log.Fatal(err)
+	}
+	loaded, err := deepsketch.Load(&buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	est, err := loaded.EstimateSQL(queries[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	fb, err := sketch.Footprint()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nserialized sketch: %.2f MiB (weights %.2f MiB, samples %.2f MiB)\n",
+		float64(fb.Total)/(1<<20), float64(fb.Weights)/(1<<20), float64(fb.Samples)/(1<<20))
+	fmt.Printf("loaded sketch reproduces estimate: %.1f\n", est)
+}

@@ -1,0 +1,145 @@
+package deepsketch_test
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"deepsketch"
+)
+
+// TestIntegrationTPCHPipeline runs the complete pipeline on the second
+// (TPC-H) schema: generate data, build a sketch, evaluate against both
+// baselines and the truth, exercise SQL and template paths, and round-trip
+// serialization. This is the cross-module integration test; the IMDb
+// equivalent lives in deepsketch_test.go.
+func TestIntegrationTPCHPipeline(t *testing.T) {
+	d := deepsketch.NewTPCH(deepsketch.TPCHConfig{Seed: 2, Orders: 1200})
+	if got := len(d.TableNames()); got != 6 {
+		t.Fatalf("tpch tables = %d", got)
+	}
+
+	sketch, err := deepsketch.Build(d, deepsketch.Config{
+		Name: "tpch-int", SampleSize: 64, TrainQueries: 400, MaxJoins: 3, MaxPreds: 2, Seed: 6,
+		Model: deepsketch.ModelConfig{HiddenUnits: 16, Epochs: 6, BatchSize: 64, Seed: 6},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// SQL estimation with a dictionary literal.
+	est, err := sketch.EstimateSQL("SELECT COUNT(*) FROM customer c, orders o WHERE o.cust_id=c.id AND c.mktsegment='BUILDING'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est < 1 || math.IsNaN(est) {
+		t.Fatalf("estimate = %v", est)
+	}
+
+	// Template over a numeric column with buckets.
+	res, err := sketch.EstimateTemplateSQL(
+		"SELECT COUNT(*) FROM orders o, lineitem l WHERE l.order_id=o.id AND l.shipdate=?",
+		deepsketch.GroupBuckets, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 6 {
+		t.Fatalf("template instances = %d", len(res))
+	}
+
+	// Comparison harness over a held-out workload.
+	qs, err := deepsketch.GenerateWorkload(d, deepsketch.GenConfig{Seed: 31, Count: 30, MaxJoins: 2, MaxPreds: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	labeled, err := deepsketch.LabelWorkload(d, qs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hyper, err := deepsketch.HyperSystem(d, 64, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := deepsketch.Compare(labeled, []deepsketch.System{
+		deepsketch.SketchSystem(sketch), hyper, deepsketch.PostgresSystem(d),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Summary.Count != len(labeled) || r.Summary.Median < 1 {
+			t.Errorf("row %s malformed: %+v", r.Name, r.Summary)
+		}
+	}
+
+	// Serialization round trip on the TPC-H schema.
+	var buf bytes.Buffer
+	if err := sketch.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := deepsketch.Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := sketch.Estimate(labeled[0].Query)
+	b, _ := loaded.Estimate(labeled[0].Query)
+	if a != b {
+		t.Errorf("estimates differ after round trip: %v vs %v", a, b)
+	}
+}
+
+// TestIntegrationSketchBytesDeterministic: two identically-configured
+// builds on identical data serialize to identical bytes — the whole
+// pipeline is deterministic end to end.
+func TestIntegrationSketchBytesDeterministic(t *testing.T) {
+	build := func() []byte {
+		d := deepsketch.NewIMDb(deepsketch.IMDbConfig{Seed: 4, Titles: 500, Keywords: 40, Companies: 20, Persons: 80})
+		s, err := deepsketch.Build(d, deepsketch.Config{
+			Name: "det", SampleSize: 32, TrainQueries: 100, MaxJoins: 2, MaxPreds: 2, Seed: 8,
+			Model: deepsketch.ModelConfig{HiddenUnits: 8, Epochs: 2, BatchSize: 32, Seed: 8},
+		}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Zero the timing-dependent fields: stage durations and epoch wall
+		// times legitimately differ between runs.
+		s.StageMillis = nil
+		for i := range s.Epochs {
+			s.Epochs[i].Duration = 0
+		}
+		var buf bytes.Buffer
+		if err := s.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a := build()
+	b := build()
+	if !bytes.Equal(a, b) {
+		t.Error("identical builds produced different sketch bytes")
+	}
+}
+
+// TestIntegrationCrossSchemaSketchRejectsForeignQueries: a sketch built on
+// one schema must cleanly reject queries from another.
+func TestIntegrationCrossSchemaSketchRejectsForeignQueries(t *testing.T) {
+	imdb := deepsketch.NewIMDb(deepsketch.IMDbConfig{Seed: 4, Titles: 400, Keywords: 30, Companies: 15, Persons: 60})
+	tpch := deepsketch.NewTPCH(deepsketch.TPCHConfig{Seed: 4, Orders: 300})
+	s, err := deepsketch.Build(imdb, deepsketch.Config{
+		SampleSize: 16, TrainQueries: 60, MaxJoins: 1, MaxPreds: 1, Seed: 1,
+		Model: deepsketch.ModelConfig{HiddenUnits: 8, Epochs: 1, BatchSize: 16, Seed: 1},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := deepsketch.ParseSQL(tpch, "SELECT COUNT(*) FROM lineitem l WHERE l.quantity>10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Estimate(q); err == nil {
+		t.Error("imdb sketch should reject tpch query")
+	}
+	if _, err := s.EstimateSQL("SELECT COUNT(*) FROM lineitem l WHERE l.quantity>10"); err == nil {
+		t.Error("imdb sketch should fail to parse tpch SQL")
+	}
+}

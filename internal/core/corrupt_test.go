@@ -1,0 +1,77 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"deepsketch/internal/datagen"
+)
+
+// TestLoadCorruptedSketchNeverPanics: flip/truncate bytes all over a valid
+// sketch file and require Load to fail cleanly (or, rarely, succeed when
+// the mutation hits don't-care bytes) — never panic, never hang.
+func TestLoadCorruptedSketchNeverPanics(t *testing.T) {
+	_, s := getSketch(t)
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	blob := buf.Bytes()
+
+	load := func(data []byte) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("Load panicked: %v", r)
+			}
+		}()
+		sk, err := Load(bytes.NewReader(data))
+		if err != nil || sk == nil {
+			return
+		}
+		// If it loaded, it must still answer estimates without panicking.
+		_, _ = sk.EstimateSQL("SELECT COUNT(*) FROM title t WHERE t.kind_id=1")
+	}
+
+	// Truncations at assorted boundaries.
+	cuts := []int{0, 1, 3, 4, 7, 8, 11, 12, 100, len(blob) / 2, len(blob) - 1}
+	for _, cut := range cuts {
+		if cut > len(blob) {
+			continue
+		}
+		load(blob[:cut])
+	}
+
+	// Byte flips spread across the file (header, weights, samples).
+	rng := datagen.NewRand(1234)
+	for trial := 0; trial < 60; trial++ {
+		pos := int(rng.Int63n(int64(len(blob))))
+		mut := make([]byte, len(blob))
+		copy(mut, blob)
+		mut[pos] ^= 0xff
+		load(mut)
+	}
+
+	// Length-field attacks: huge declared header length.
+	mut := make([]byte, len(blob))
+	copy(mut, blob)
+	mut[8], mut[9], mut[10], mut[11] = 0xff, 0xff, 0xff, 0x7f
+	load(mut)
+}
+
+// TestLoadWrongMagicVariants: close-but-wrong magics are rejected.
+func TestLoadWrongMagicVariants(t *testing.T) {
+	_, s := getSketch(t)
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	blob := buf.Bytes()
+	for _, magic := range []string{"DSKA", "dskb", "BKSD", "\x00\x00\x00\x00"} {
+		mut := make([]byte, len(blob))
+		copy(mut, blob)
+		copy(mut, magic[:4])
+		if _, err := Load(bytes.NewReader(mut)); err == nil {
+			t.Errorf("magic %q accepted", magic)
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+
+	"deepsketch/internal/datagen"
+	"deepsketch/internal/db"
+	"deepsketch/internal/mscn"
+	"deepsketch/internal/trainmon"
+	"deepsketch/internal/workload"
+)
+
+func TestPrepareTrainingDataShapes(t *testing.T) {
+	d := datagen.IMDb(datagen.IMDbConfig{Seed: 85, Titles: 400, Keywords: 30, Companies: 15, Persons: 80})
+	mon := trainmon.New()
+	td, err := PrepareTrainingData(d, Config{
+		SampleSize: 32, TrainQueries: 120, MaxJoins: 2, MaxPreds: 2, Seed: 3,
+		Model: mscn.Config{HiddenUnits: 8, Epochs: 1, Seed: 3},
+	}, mon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(td.Examples) != len(td.Labeled) {
+		t.Errorf("examples %d != labeled %d", len(td.Examples), len(td.Labeled))
+	}
+	if td.Encoder == nil || td.Samples == nil {
+		t.Fatal("missing encoder or samples")
+	}
+	// Labels in examples match the labeled queries.
+	for i := range td.Examples {
+		if td.Examples[i].Card != td.Labeled[i].Card {
+			t.Fatalf("example %d card mismatch", i)
+		}
+	}
+	// The encoder's label norm must cover the observed cards.
+	for _, lq := range td.Labeled {
+		y := td.Encoder.Norm.Normalize(lq.Card)
+		if y < 0 || y > 1 {
+			t.Fatalf("card %d normalizes to %v outside [0,1]", lq.Card, y)
+		}
+	}
+	// BuildFromData twice on the same data: deterministic.
+	s1, err := BuildFromData(td, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := BuildFromData(td, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := td.Labeled[0].Query
+	a, _ := s1.Estimate(q)
+	b, _ := s2.Estimate(q)
+	if a != b {
+		t.Errorf("BuildFromData not deterministic: %v vs %v", a, b)
+	}
+}
+
+func TestSketchTableSubsetRejectsOutOfScope(t *testing.T) {
+	d := datagen.IMDb(datagen.IMDbConfig{Seed: 86, Titles: 400, Keywords: 30, Companies: 15, Persons: 80})
+	s, err := Build(d, Config{
+		Tables: []string{"title", "movie_keyword", "keyword"}, SampleSize: 24,
+		TrainQueries: 80, MaxJoins: 2, MaxPreds: 2, Seed: 2,
+		Model: mscn.Config{HiddenUnits: 8, Epochs: 1, Seed: 2},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// cast_info is not part of the sketch.
+	q := db.Query{Tables: []db.TableRef{{Table: "cast_info", Alias: "ci"}}}
+	if _, err := s.Estimate(q); err == nil {
+		t.Error("out-of-scope table should error")
+	}
+	if _, err := s.EstimateSQL("SELECT COUNT(*) FROM cast_info ci"); err == nil {
+		t.Error("out-of-scope SQL should error (table absent from embedded schema)")
+	}
+	// In-scope queries still work.
+	if _, err := s.EstimateSQL("SELECT COUNT(*) FROM title t WHERE t.kind_id=1"); err != nil {
+		t.Errorf("in-scope SQL failed: %v", err)
+	}
+}
+
+func TestSketchEstimateAllPropagatesErrors(t *testing.T) {
+	_, s := getSketch(t)
+	good := db.Query{Tables: []db.TableRef{{Table: "title", Alias: "t"}}}
+	bad := db.Query{Tables: []db.TableRef{{Table: "nope", Alias: "n"}}}
+	if _, err := s.EstimateAll([]db.Query{good, bad}); err == nil {
+		t.Error("EstimateAll should propagate errors")
+	}
+}
+
+func TestSketchSQLRendersInHeader(t *testing.T) {
+	// The serialized header is JSON; spot-check it contains the config and
+	// encoder vocabulary so external tools can introspect sketches.
+	_, s := getSketch(t)
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	blob := buf.String()
+	for _, want := range []string{`"tables"`, `"label_norm"`, `"train_queries"`, `"hidden_units"`} {
+		if !strings.Contains(blob, want) {
+			t.Errorf("serialized header missing %s", want)
+		}
+	}
+}
+
+// TestSketchConcurrentEstimates: a trained sketch is read-only at
+// estimation time and must be safe for concurrent use (the demo server
+// serves queries while other sketches train). Run with -race.
+func TestSketchConcurrentEstimates(t *testing.T) {
+	d, s := getSketch(t)
+	g, err := workload.NewGenerator(d, workload.GenConfig{Seed: 202, Count: 16, MaxJoins: 2, MaxPreds: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := g.Generate()
+	want := make([]float64, len(qs))
+	for i, q := range qs {
+		want[i], err = s.Estimate(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i, q := range qs {
+				got, err := s.Estimate(q)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if got != want[i] {
+					t.Errorf("concurrent estimate %d: %v != %v", i, got, want[i])
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestTemplateResultsConsistentWithDirectEstimates(t *testing.T) {
+	d, s := getSketch(t)
+	tpl, err := workload.YearTemplate(d, "love")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.EstimateTemplate(tpl, workload.GroupDistinct, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res[:3] {
+		direct, err := s.Estimate(r.Query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if direct != r.Estimate {
+			t.Fatalf("template estimate %v != direct %v", r.Estimate, direct)
+		}
+	}
+}

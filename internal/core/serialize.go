@@ -1,0 +1,299 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"deepsketch/internal/db"
+	"deepsketch/internal/featurize"
+	"deepsketch/internal/mscn"
+	"deepsketch/internal/sample"
+	"deepsketch/internal/trainmon"
+)
+
+// Serialized sketch format (all integers little-endian):
+//
+//	magic   "DSKB"
+//	version uint32 (currently 1)
+//	header  uint32 length + JSON (name, config, encoder, training record)
+//	weights nn parameter blocks (see nn.WriteParams)
+//	samples per-table columnar dumps, dictionaries included
+//
+// The footprint of the whole file is the paper's "small footprint size (a
+// few MiBs)" figure, dominated by the model weights and the samples.
+const (
+	sketchMagic   = "DSKB"
+	sketchVersion = 1
+)
+
+type header struct {
+	Name        string                 `json:"name"`
+	DBName      string                 `json:"db_name"`
+	Cfg         Config                 `json:"config"`
+	Encoder     *featurize.Encoder     `json:"encoder"`
+	Epochs      []mscn.EpochStats      `json:"epochs"`
+	StageMillis map[trainmon.Stage]int `json:"stage_ms"`
+	SampleSize  int                    `json:"sample_set_size"`
+}
+
+// Save writes the sketch in the serialized format.
+func (s *Sketch) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(sketchMagic); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(sketchVersion)); err != nil {
+		return err
+	}
+	hdr := header{
+		Name: s.Name, DBName: s.DBName, Cfg: s.Cfg, Encoder: s.Encoder,
+		Epochs: s.Epochs, StageMillis: s.StageMillis, SampleSize: s.Samples.Size,
+	}
+	blob, err := json.Marshal(hdr)
+	if err != nil {
+		return fmt.Errorf("core: marshal header: %w", err)
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(blob))); err != nil {
+		return err
+	}
+	if _, err := bw.Write(blob); err != nil {
+		return err
+	}
+	if err := s.Model.WriteWeights(bw); err != nil {
+		return err
+	}
+	if err := writeSamples(bw, s.Samples, s.Cfg.Tables); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// Load reads a sketch written by Save and reconstructs the model.
+func Load(r io.Reader) (*Sketch, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("core: read magic: %w", err)
+	}
+	if string(magic) != sketchMagic {
+		return nil, fmt.Errorf("core: not a sketch file (magic %q)", magic)
+	}
+	var version uint32
+	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
+		return nil, err
+	}
+	if version != sketchVersion {
+		return nil, fmt.Errorf("core: unsupported sketch version %d", version)
+	}
+	var hdrLen uint32
+	if err := binary.Read(br, binary.LittleEndian, &hdrLen); err != nil {
+		return nil, err
+	}
+	blob := make([]byte, hdrLen)
+	if _, err := io.ReadFull(br, blob); err != nil {
+		return nil, err
+	}
+	var hdr header
+	if err := json.Unmarshal(blob, &hdr); err != nil {
+		return nil, fmt.Errorf("core: unmarshal header: %w", err)
+	}
+	if hdr.Encoder == nil {
+		return nil, fmt.Errorf("core: header missing encoder")
+	}
+	modelCfg := hdr.Cfg.Model
+	if modelCfg.Seed == 0 {
+		modelCfg.Seed = hdr.Cfg.Seed
+	}
+	model := mscn.New(modelCfg, hdr.Encoder.TableDim(), hdr.Encoder.JoinDim(), hdr.Encoder.PredDim())
+	if err := model.ReadWeights(br); err != nil {
+		return nil, err
+	}
+	samples, err := readSamples(br, hdr.SampleSize)
+	if err != nil {
+		return nil, err
+	}
+	return &Sketch{
+		Name: hdr.Name, Cfg: hdr.Cfg, Encoder: hdr.Encoder, Model: model,
+		Samples: samples, Epochs: hdr.Epochs, StageMillis: hdr.StageMillis,
+		DBName: hdr.DBName,
+	}, nil
+}
+
+func writeString(w io.Writer, s string) error {
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(s))); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, s)
+	return err
+}
+
+func readString(r io.Reader) (string, error) {
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return "", err
+	}
+	if n > 1<<24 {
+		return "", fmt.Errorf("core: string length %d too large", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+func writeSamples(w io.Writer, set *sample.Set, order []string) error {
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(order))); err != nil {
+		return err
+	}
+	for _, name := range order {
+		ts := set.For(name)
+		if ts == nil {
+			return fmt.Errorf("core: missing sample for %s", name)
+		}
+		if err := writeString(w, ts.Table); err != nil {
+			return err
+		}
+		if err := binary.Write(w, binary.LittleEndian, uint64(ts.SourceRows)); err != nil {
+			return err
+		}
+		if err := binary.Write(w, binary.LittleEndian, uint32(ts.Rows)); err != nil {
+			return err
+		}
+		if err := binary.Write(w, binary.LittleEndian, uint32(len(ts.Data.Cols))); err != nil {
+			return err
+		}
+		for _, c := range ts.Data.Cols {
+			if err := writeString(w, c.Name); err != nil {
+				return err
+			}
+			if err := binary.Write(w, binary.LittleEndian, uint8(c.Type)); err != nil {
+				return err
+			}
+			if err := binary.Write(w, binary.LittleEndian, uint32(len(c.Dict))); err != nil {
+				return err
+			}
+			for _, s := range c.Dict {
+				if err := writeString(w, s); err != nil {
+					return err
+				}
+			}
+			if err := binary.Write(w, binary.LittleEndian, c.Vals); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func readSamples(r io.Reader, size int) (*sample.Set, error) {
+	var nTables uint32
+	if err := binary.Read(r, binary.LittleEndian, &nTables); err != nil {
+		return nil, err
+	}
+	set := &sample.Set{Size: size, Samples: make(map[string]*sample.TableSample, nTables)}
+	for ti := uint32(0); ti < nTables; ti++ {
+		name, err := readString(r)
+		if err != nil {
+			return nil, err
+		}
+		var sourceRows uint64
+		if err := binary.Read(r, binary.LittleEndian, &sourceRows); err != nil {
+			return nil, err
+		}
+		var rows, nCols uint32
+		if err := binary.Read(r, binary.LittleEndian, &rows); err != nil {
+			return nil, err
+		}
+		if err := binary.Read(r, binary.LittleEndian, &nCols); err != nil {
+			return nil, err
+		}
+		cols := make([]*db.Column, nCols)
+		for ci := uint32(0); ci < nCols; ci++ {
+			colName, err := readString(r)
+			if err != nil {
+				return nil, err
+			}
+			var typ uint8
+			if err := binary.Read(r, binary.LittleEndian, &typ); err != nil {
+				return nil, err
+			}
+			var dictLen uint32
+			if err := binary.Read(r, binary.LittleEndian, &dictLen); err != nil {
+				return nil, err
+			}
+			dict := make([]string, dictLen)
+			for di := range dict {
+				if dict[di], err = readString(r); err != nil {
+					return nil, err
+				}
+			}
+			vals := make([]int64, rows)
+			if err := binary.Read(r, binary.LittleEndian, vals); err != nil {
+				return nil, err
+			}
+			if db.ColType(typ) == db.ColString {
+				cols[ci] = db.NewStringColumn(colName, vals, dict)
+			} else {
+				cols[ci] = db.NewIntColumn(colName, vals)
+			}
+		}
+		data, err := db.NewTable(name, cols...)
+		if err != nil {
+			return nil, err
+		}
+		set.Samples[name] = &sample.TableSample{
+			Table: name, Rows: int(rows), Data: data, SourceRows: int(sourceRows),
+		}
+	}
+	return set, nil
+}
+
+// FootprintBreakdown reports the serialized size of each sketch component.
+type FootprintBreakdown struct {
+	Total   int64
+	Header  int64
+	Weights int64
+	Samples int64
+}
+
+type countWriter struct{ n int64 }
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	c.n += int64(len(p))
+	return len(p), nil
+}
+
+// Footprint measures the serialized sketch size without materializing it —
+// the "few MiBs" figure from the paper's introduction.
+func (s *Sketch) Footprint() (FootprintBreakdown, error) {
+	var fb FootprintBreakdown
+
+	var hdrC countWriter
+	hdr := header{
+		Name: s.Name, DBName: s.DBName, Cfg: s.Cfg, Encoder: s.Encoder,
+		Epochs: s.Epochs, StageMillis: s.StageMillis, SampleSize: s.Samples.Size,
+	}
+	blob, err := json.Marshal(hdr)
+	if err != nil {
+		return fb, err
+	}
+	hdrC.n = int64(len(blob)) + 12 // magic + version + length prefix
+
+	var wC countWriter
+	if err := s.Model.WriteWeights(&wC); err != nil {
+		return fb, err
+	}
+	var sC countWriter
+	if err := writeSamples(&sC, s.Samples, s.Cfg.Tables); err != nil {
+		return fb, err
+	}
+	fb.Header = hdrC.n
+	fb.Weights = wC.n
+	fb.Samples = sC.n
+	fb.Total = fb.Header + fb.Weights + fb.Samples
+	return fb, nil
+}

@@ -1,0 +1,250 @@
+// Package core implements Deep Sketches, the paper's contribution: "compact
+// model-based representations of databases that allow us to estimate the
+// result sizes of SQL queries. A Deep Sketch is essentially a wrapper for a
+// (serialized) neural network and a set of materialized samples."
+//
+// A sketch is created from a database in the four steps of Figure 1a
+// (define, generate training queries, execute them, featurize + train) and
+// afterwards answers cardinality estimates for ad-hoc queries without
+// touching the database again (Figure 1b): base-table selections run
+// against the embedded samples to produce bitmaps, the query is featurized,
+// and one MSCN forward pass yields the estimate.
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"deepsketch/internal/db"
+	"deepsketch/internal/featurize"
+	"deepsketch/internal/mscn"
+	"deepsketch/internal/sample"
+	"deepsketch/internal/sqlparse"
+	"deepsketch/internal/trainmon"
+	"deepsketch/internal/workload"
+)
+
+// Config is what a user chooses in step 1 of sketch creation: "select a
+// subset of tables and define a few parameters such as the number of
+// training queries".
+type Config struct {
+	// Name labels the sketch (shown by the demo UI / CLI).
+	Name string `json:"name"`
+	// Tables is the table subset the sketch covers; nil means every table.
+	Tables []string `json:"tables"`
+	// SampleSize is the number of materialized sample tuples per base table
+	// (the paper's example: 1000).
+	SampleSize int `json:"sample_size"`
+	// TrainQueries is the number of generated training queries; "for a
+	// small number of tables, 10,000 queries will already be sufficient".
+	TrainQueries int `json:"train_queries"`
+	// MaxJoins caps join depth of generated training queries. 0 defaults to
+	// min(4, #tables−1), covering the JOB-light query class.
+	MaxJoins int `json:"max_joins"`
+	// MaxPreds caps selections per training query (default 3).
+	MaxPreds int `json:"max_preds"`
+	// Workers bounds the parallel training-query execution (the paper's
+	// "multiple HyPer instances"); 0 uses GOMAXPROCS.
+	Workers int `json:"workers"`
+	// Seed drives query generation, sampling and training determinism.
+	Seed int64 `json:"seed"`
+	// Model holds the MSCN hyperparameters (epochs are step 1's "number of
+	// training epochs").
+	Model mscn.Config `json:"model"`
+}
+
+func (c Config) withDefaults(d *db.DB) Config {
+	if c.Name == "" {
+		c.Name = d.Name
+	}
+	if c.Tables == nil {
+		c.Tables = d.TableNames()
+	}
+	if c.SampleSize == 0 {
+		c.SampleSize = 1000
+	}
+	if c.TrainQueries == 0 {
+		c.TrainQueries = 10000
+	}
+	if c.MaxJoins == 0 {
+		c.MaxJoins = len(c.Tables) - 1
+		if c.MaxJoins > 4 {
+			c.MaxJoins = 4
+		}
+		if c.MaxJoins < 1 {
+			c.MaxJoins = 1
+		}
+	}
+	if c.MaxPreds == 0 {
+		c.MaxPreds = 3
+	}
+	return c
+}
+
+// Sketch is a trained Deep Sketch. It is self-contained: estimation needs no
+// access to the original database. "The interface of a sketch is very
+// simple, it consumes a SQL query and returns a cardinality estimate."
+type Sketch struct {
+	Name string
+	// Cfg records the creation parameters.
+	Cfg Config
+	// Encoder holds the featurization vocabulary and normalizers.
+	Encoder *featurize.Encoder
+	// Model is the trained MSCN.
+	Model *mscn.Model
+	// Samples are the embedded materialized samples.
+	Samples *sample.Set
+	// Epochs records per-epoch training metrics.
+	Epochs []mscn.EpochStats
+	// StageMillis records the Figure 1a stage durations.
+	StageMillis map[trainmon.Stage]int
+	// DBName is the source database name (imdb, tpch, ...).
+	DBName string
+
+	schemaOnce sync.Once
+	schema     *db.DB // lazily built from samples, for SQL parsing
+}
+
+// Estimate implements the sketch interface of Figure 1b for an already-
+// parsed query: evaluate base-table selections on the embedded samples,
+// featurize, one MSCN forward pass, denormalize. It satisfies
+// estimator.Estimator so sketches drop into evaluation harnesses next to
+// the traditional estimators.
+func (s *Sketch) Estimate(q db.Query) (float64, error) {
+	bms, err := s.Samples.Bitmaps(q)
+	if err != nil {
+		return 0, err
+	}
+	enc, err := s.Encoder.EncodeQuery(q, bms)
+	if err != nil {
+		return 0, err
+	}
+	y, err := s.Model.Predict(enc)
+	if err != nil {
+		return 0, err
+	}
+	return s.Encoder.Norm.Denormalize(y), nil
+}
+
+// EstimateAll estimates many queries in inference batches (used by the
+// evaluation harness; same results as Estimate query-by-query).
+func (s *Sketch) EstimateAll(qs []db.Query) ([]float64, error) {
+	encs := make([]featurize.Encoded, len(qs))
+	for i, q := range qs {
+		bms, err := s.Samples.Bitmaps(q)
+		if err != nil {
+			return nil, err
+		}
+		enc, err := s.Encoder.EncodeQuery(q, bms)
+		if err != nil {
+			return nil, err
+		}
+		encs[i] = enc
+	}
+	ys, err := s.Model.PredictAll(encs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(ys))
+	for i, y := range ys {
+		out[i] = s.Encoder.Norm.Denormalize(y)
+	}
+	return out, nil
+}
+
+// Name implements estimator.Estimator.
+func (s *Sketch) EstimatorName() string { return "Deep Sketch" }
+
+// EstimateSQL parses a SQL string against the sketch's embedded schema (the
+// sample tables carry column types and dictionaries) and estimates it. SQL
+// strings with a placeholder are rejected here; use Template instead.
+func (s *Sketch) EstimateSQL(sql string) (float64, error) {
+	res, err := sqlparse.Parse(s.SchemaDB(), sql)
+	if err != nil {
+		return 0, err
+	}
+	if res.Placeholder != nil {
+		return 0, fmt.Errorf("core: query has a placeholder; use Template estimation")
+	}
+	return s.Estimate(res.Query)
+}
+
+// TemplateResult is one instantiated template estimate (a point of the
+// demo's chart: X = placeholder value, Y = estimated cardinality).
+type TemplateResult struct {
+	Label    string
+	Lo, Hi   int64
+	Estimate float64
+	Query    db.Query
+}
+
+// EstimateTemplate expands a template using the sketch's samples ("to create
+// such an instance, we draw a value from the column sample that is part of
+// the sketch") and estimates every instance.
+func (s *Sketch) EstimateTemplate(tpl workload.Template, g workload.Grouping, buckets int) ([]TemplateResult, error) {
+	insts, err := tpl.Instantiate(s.Samples, g, buckets)
+	if err != nil {
+		return nil, err
+	}
+	qs := make([]db.Query, len(insts))
+	for i, inst := range insts {
+		qs[i] = inst.Query
+	}
+	ests, err := s.EstimateAll(qs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]TemplateResult, len(insts))
+	for i, inst := range insts {
+		out[i] = TemplateResult{Label: inst.Label, Lo: inst.Lo, Hi: inst.Hi, Estimate: ests[i], Query: inst.Query}
+	}
+	return out, nil
+}
+
+// EstimateTemplateSQL parses a placeholder SQL statement and estimates its
+// instantiations.
+func (s *Sketch) EstimateTemplateSQL(sql string, g workload.Grouping, buckets int) ([]TemplateResult, error) {
+	res, err := sqlparse.Parse(s.SchemaDB(), sql)
+	if err != nil {
+		return nil, err
+	}
+	tpl, err := res.Template()
+	if err != nil {
+		return nil, err
+	}
+	return s.EstimateTemplate(tpl, g, buckets)
+}
+
+// SchemaDB returns a schema shim built from the embedded samples: same
+// tables, columns, types and dictionaries as the source database but with
+// only the sampled rows. It powers SQL parsing and validation after the
+// sketch has been detached from the database (e.g. deployed "in a web
+// browser or within a cell phone").
+func (s *Sketch) SchemaDB() *db.DB {
+	s.schemaOnce.Do(func() {
+		d := db.NewDB(s.DBName)
+		for _, name := range s.Cfg.Tables {
+			if ts := s.Samples.For(name); ts != nil {
+				d.MustAddTable(ts.Data)
+			}
+		}
+		s.schema = d
+	})
+	return s.schema
+}
+
+// Latency measures the average single-query estimation latency over the
+// given queries (Figure 1b's "fast to query (within milliseconds)" claim).
+func (s *Sketch) Latency(qs []db.Query) (time.Duration, error) {
+	if len(qs) == 0 {
+		return 0, fmt.Errorf("core: no queries")
+	}
+	start := time.Now()
+	for _, q := range qs {
+		if _, err := s.Estimate(q); err != nil {
+			return 0, err
+		}
+	}
+	return time.Since(start) / time.Duration(len(qs)), nil
+}

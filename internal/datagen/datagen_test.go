@@ -1,0 +1,303 @@
+package datagen
+
+import (
+	"math"
+	"testing"
+
+	"deepsketch/internal/db"
+)
+
+func TestSplitmixDeterminism(t *testing.T) {
+	a, b := NewRand(7), NewRand(7)
+	for i := 0; i < 100; i++ {
+		if a.Int63() != b.Int63() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRand(8)
+	same := true
+	a2 := NewRand(7)
+	for i := 0; i < 10; i++ {
+		if a2.Int63() != c.Int63() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	rng := NewRand(3)
+	const n = 20000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += float64(Poisson(rng, 2.5))
+	}
+	mean := sum / n
+	if math.Abs(mean-2.5) > 0.1 {
+		t.Errorf("poisson mean = %v, want ~2.5", mean)
+	}
+	if Poisson(rng, 0) != 0 {
+		t.Error("Poisson(0) should be 0")
+	}
+	if Poisson(rng, -1) != 0 {
+		t.Error("Poisson(negative) should be 0")
+	}
+}
+
+func TestZipfIntsRangeAndSkew(t *testing.T) {
+	rng := NewRand(5)
+	z := ZipfInts(rng, 1.3, 100)
+	counts := map[int64]int{}
+	for i := 0; i < 20000; i++ {
+		v := z()
+		if v < 1 || v > 100 {
+			t.Fatalf("zipf out of range: %d", v)
+		}
+		counts[v]++
+	}
+	if counts[1] <= counts[50] {
+		t.Errorf("zipf not skewed: count[1]=%d count[50]=%d", counts[1], counts[50])
+	}
+}
+
+func TestTriangularRecentBoundsAndSkew(t *testing.T) {
+	rng := NewRand(11)
+	var older, newer int
+	for i := 0; i < 10000; i++ {
+		v := TriangularRecent(rng, 1880, 2019)
+		if v < 1880 || v > 2019 {
+			t.Fatalf("out of range: %d", v)
+		}
+		if v < 1950 {
+			older++
+		} else if v > 1990 {
+			newer++
+		}
+	}
+	if newer <= older {
+		t.Errorf("expected recency skew, older=%d newer=%d", older, newer)
+	}
+}
+
+func TestCategorical(t *testing.T) {
+	rng := NewRand(17)
+	counts := make([]int, 3)
+	for i := 0; i < 30000; i++ {
+		counts[Categorical(rng, []float64{1, 2, 7})]++
+	}
+	if !(counts[2] > counts[1] && counts[1] > counts[0]) {
+		t.Errorf("categorical weights not respected: %v", counts)
+	}
+}
+
+func tinyIMDb(t *testing.T) *db.DB {
+	t.Helper()
+	return IMDb(IMDbConfig{Seed: 1, Titles: 800, Keywords: 60, Companies: 40, Persons: 200})
+}
+
+func TestIMDbSchemaShape(t *testing.T) {
+	d := tinyIMDb(t)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, tbl := range []string{"title", "movie_companies", "cast_info", "movie_info",
+		"movie_info_idx", "movie_keyword", "keyword", "company_name"} {
+		if d.Table(tbl) == nil {
+			t.Errorf("missing table %s", tbl)
+		}
+	}
+	title := d.Table("title")
+	if title.NumRows() != 800 {
+		t.Errorf("title rows = %d, want 800", title.NumRows())
+	}
+	// Fact tables must be non-trivially populated.
+	for _, tbl := range []string{"movie_companies", "cast_info", "movie_info", "movie_keyword"} {
+		if d.Table(tbl).NumRows() < 400 {
+			t.Errorf("table %s suspiciously small: %d rows", tbl, d.Table(tbl).NumRows())
+		}
+	}
+}
+
+func TestIMDbDeterminism(t *testing.T) {
+	a := IMDb(IMDbConfig{Seed: 9, Titles: 300})
+	b := IMDb(IMDbConfig{Seed: 9, Titles: 300})
+	for _, tbl := range a.TableNames() {
+		ta, tb := a.Table(tbl), b.Table(tbl)
+		if ta.NumRows() != tb.NumRows() {
+			t.Fatalf("table %s row counts differ: %d vs %d", tbl, ta.NumRows(), tb.NumRows())
+		}
+		for _, col := range ta.ColumnNames() {
+			ca, cb := ta.Column(col), tb.Column(col)
+			for i := range ca.Vals {
+				if ca.Vals[i] != cb.Vals[i] {
+					t.Fatalf("table %s col %s row %d differs", tbl, col, i)
+				}
+			}
+		}
+	}
+	c := IMDb(IMDbConfig{Seed: 10, Titles: 300})
+	diff := false
+	ca, cc := a.Table("title").Column("production_year"), c.Table("title").Column("production_year")
+	for i := range ca.Vals {
+		if ca.Vals[i] != cc.Vals[i] {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Error("different seeds produced identical title years")
+	}
+}
+
+func TestIMDbReferentialIntegrity(t *testing.T) {
+	d := tinyIMDb(t)
+	for _, fk := range d.FKs {
+		src := d.Table(fk.Table).Column(fk.Column)
+		ref := d.Table(fk.RefTable).Column(fk.RefColumn)
+		refSet := make(map[int64]bool, len(ref.Vals))
+		for _, v := range ref.Vals {
+			refSet[v] = true
+		}
+		for i, v := range src.Vals {
+			if !refSet[v] {
+				t.Fatalf("dangling FK %s.%s row %d -> %d", fk.Table, fk.Column, i, v)
+			}
+		}
+	}
+}
+
+func TestIMDbYearFanoutCorrelation(t *testing.T) {
+	d := tinyIMDb(t)
+	years := d.Table("title").Column("production_year").Vals
+	mkPerTitle := make(map[int64]int)
+	for _, m := range d.Table("movie_keyword").Column("movie_id").Vals {
+		mkPerTitle[m]++
+	}
+	var oldSum, oldN, newSum, newN float64
+	for i, y := range years {
+		id := int64(i + 1)
+		if y < 1950 {
+			oldSum += float64(mkPerTitle[id])
+			oldN++
+		} else if y > 1995 {
+			newSum += float64(mkPerTitle[id])
+			newN++
+		}
+	}
+	if oldN == 0 || newN == 0 {
+		t.Skip("tiny dataset missing an era")
+	}
+	if newSum/newN <= oldSum/oldN {
+		t.Errorf("keyword fanout should grow with year: old=%.2f new=%.2f", oldSum/oldN, newSum/newN)
+	}
+}
+
+func TestIMDbKeywordEraCorrelation(t *testing.T) {
+	// The named keyword "artificial-intelligence" (era center 2004) should
+	// mostly appear on modern titles.
+	d := IMDb(IMDbConfig{Seed: 2, Titles: 4000})
+	kw := d.Table("keyword").Column("keyword")
+	code, ok := kw.Lookup("artificial-intelligence")
+	if !ok {
+		t.Fatal("named keyword missing from dictionary")
+	}
+	kwID := code + 1 // ids are code+1 by construction
+	years := d.Table("title").Column("production_year").Vals
+	mk := d.Table("movie_keyword")
+	movieIDs := mk.Column("movie_id").Vals
+	kwIDs := mk.Column("keyword_id").Vals
+	var modern, ancient int
+	for i := range kwIDs {
+		if kwIDs[i] != kwID {
+			continue
+		}
+		y := years[movieIDs[i]-1]
+		if y >= 1990 {
+			modern++
+		} else if y < 1970 {
+			ancient++
+		}
+	}
+	if modern+ancient == 0 {
+		t.Skip("keyword unused at this scale")
+	}
+	if modern <= ancient*2 {
+		t.Errorf("artificial-intelligence should skew modern: modern=%d ancient=%d", modern, ancient)
+	}
+}
+
+func TestIMDbPredColumns(t *testing.T) {
+	d := tinyIMDb(t)
+	pcs := d.PredColumnsFor("title")
+	if len(pcs) != 4 {
+		t.Errorf("title pred columns = %d, want 4", len(pcs))
+	}
+	kw := d.PredColumnsFor("keyword")
+	if len(kw) != 1 || len(kw[0].Ops) != 1 || kw[0].Ops[0] != db.OpEq {
+		t.Errorf("keyword pred column should be eq-only, got %+v", kw)
+	}
+}
+
+func TestTPCHSchemaShape(t *testing.T) {
+	d := TPCH(TPCHConfig{Seed: 1, Orders: 1000})
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, tbl := range []string{"nation", "customer", "supplier", "part", "orders", "lineitem"} {
+		if d.Table(tbl) == nil {
+			t.Errorf("missing table %s", tbl)
+		}
+	}
+	li := d.Table("lineitem").NumRows()
+	if li < 1000 || li > 7000 {
+		t.Errorf("lineitem rows = %d, want in [orders, 7*orders]", li)
+	}
+}
+
+func TestTPCHShipdateAfterOrderdate(t *testing.T) {
+	d := TPCH(TPCHConfig{Seed: 4, Orders: 800})
+	ordDate := d.Table("orders").Column("orderdate").Vals
+	li := d.Table("lineitem")
+	orderIDs := li.Column("order_id").Vals
+	shipDates := li.Column("shipdate").Vals
+	for i := range orderIDs {
+		od := ordDate[orderIDs[i]-1]
+		if shipDates[i] <= od {
+			t.Fatalf("lineitem %d ships (%d) before its order (%d)", i, shipDates[i], od)
+		}
+	}
+}
+
+func TestTPCHReferentialIntegrity(t *testing.T) {
+	d := TPCH(TPCHConfig{Seed: 5, Orders: 500})
+	for _, fk := range d.FKs {
+		src := d.Table(fk.Table).Column(fk.Column)
+		ref := d.Table(fk.RefTable).Column(fk.RefColumn)
+		refSet := make(map[int64]bool, len(ref.Vals))
+		for _, v := range ref.Vals {
+			refSet[v] = true
+		}
+		for i, v := range src.Vals {
+			if !refSet[v] {
+				t.Fatalf("dangling FK %s.%s row %d -> %d", fk.Table, fk.Column, i, v)
+			}
+		}
+	}
+}
+
+func TestTPCHDeterminism(t *testing.T) {
+	a := TPCH(TPCHConfig{Seed: 42, Orders: 300})
+	b := TPCH(TPCHConfig{Seed: 42, Orders: 300})
+	ta, tb := a.Table("lineitem"), b.Table("lineitem")
+	if ta.NumRows() != tb.NumRows() {
+		t.Fatalf("row counts differ")
+	}
+	ca, cb := ta.Column("shipdate"), tb.Column("shipdate")
+	for i := range ca.Vals {
+		if ca.Vals[i] != cb.Vals[i] {
+			t.Fatalf("row %d differs", i)
+		}
+	}
+}

@@ -1,0 +1,418 @@
+package datagen
+
+import (
+	"fmt"
+
+	"deepsketch/internal/db"
+)
+
+// IMDbConfig controls the synthetic IMDb-like dataset. Zero values are
+// replaced by defaults sized for a 2-core evaluation run (~300k total rows).
+type IMDbConfig struct {
+	Seed int64
+	// Titles is the number of rows in the central title table; fact table
+	// sizes scale with it via per-title fanouts.
+	Titles int
+	// Keywords and Companies size the joinable dimension tables.
+	Keywords  int
+	Companies int
+	// Persons is the domain size of cast_info.person_id.
+	Persons int
+}
+
+func (c IMDbConfig) withDefaults() IMDbConfig {
+	if c.Titles == 0 {
+		c.Titles = 20000
+	}
+	if c.Keywords == 0 {
+		c.Keywords = max(120, c.Titles/25)
+	}
+	if c.Companies == 0 {
+		c.Companies = max(80, c.Titles/40)
+	}
+	if c.Persons == 0 {
+		c.Persons = max(500, c.Titles/2)
+	}
+	return c
+}
+
+// Named keywords seeded into the dictionary so the demo's template query
+// ("k.keyword='artificial-intelligence' AND t.production_year=?") works
+// verbatim. Each has an era center: the year around which titles carry it.
+var namedKeywords = []struct {
+	name   string
+	center int64
+	width  float64
+	boost  float64
+}{
+	{"artificial-intelligence", 2004, 12, 3.0},
+	{"superhero", 2010, 8, 2.5},
+	{"world-war-ii", 1950, 15, 2.0},
+	{"film-noir", 1948, 10, 1.5},
+	{"space-opera", 1995, 20, 1.2},
+	{"love", 1960, 80, 3.5}, // effectively era-free
+}
+
+const (
+	imdbMinYear = 1880
+	imdbMaxYear = 2019
+)
+
+// IMDb generates the synthetic IMDb-like database. Schema (PK/FK edges form
+// a tree, as the demo's auto-join feature requires):
+//
+//	title(id, kind_id, production_year, season_nr, episode_nr)
+//	movie_companies(id, movie_id->title, company_id->company_name, company_type_id)
+//	cast_info(id, movie_id->title, person_id, role_id)
+//	movie_info(id, movie_id->title, info_type_id)
+//	movie_info_idx(id, movie_id->title, info_type_id)
+//	movie_keyword(id, movie_id->title, keyword_id->keyword)
+//	keyword(id, keyword)
+//	company_name(id, country_code)
+//
+// Injected correlations (what makes real IMDb hard):
+//   - production_year is skewed toward the present; kind_id depends on the
+//     era (tv kinds are modern).
+//   - every per-title fanout (companies, info, keywords, cast) grows with
+//     production_year, so joins correlate with year predicates;
+//   - keywords and companies have zipfian popularity and era affinity: a
+//     keyword appears mostly on titles near its era center.
+func IMDb(cfg IMDbConfig) *db.DB {
+	cfg = cfg.withDefaults()
+	rng := NewRand(cfg.Seed ^ 0x1adb)
+
+	d := db.NewDB("imdb")
+
+	// --- keyword dimension ---
+	kwDict := make([]string, cfg.Keywords)
+	kwCenter := make([]int64, cfg.Keywords)
+	kwWidth := make([]float64, cfg.Keywords)
+	kwBoost := make([]float64, cfg.Keywords)
+	for i := 0; i < cfg.Keywords; i++ {
+		if i < len(namedKeywords) {
+			nk := namedKeywords[i]
+			kwDict[i] = nk.name
+			kwCenter[i] = nk.center
+			kwWidth[i] = nk.width
+			kwBoost[i] = nk.boost
+		} else {
+			kwDict[i] = fmt.Sprintf("keyword-%04d", i)
+			kwCenter[i] = imdbMinYear + 20 + rng.Int63n(imdbMaxYear-imdbMinYear-20)
+			kwWidth[i] = 6 + rng.Float64()*30
+			kwBoost[i] = 1
+		}
+	}
+	kwIDs := make([]int64, cfg.Keywords)
+	kwCodes := make([]int64, cfg.Keywords)
+	for i := range kwIDs {
+		kwIDs[i] = int64(i + 1)
+		kwCodes[i] = int64(i)
+	}
+	d.MustAddTable(db.MustNewTable("keyword",
+		db.NewIntColumn("id", kwIDs),
+		db.NewStringColumn("keyword", kwCodes, kwDict),
+	))
+
+	// --- company dimension ---
+	countries := []string{"[us]", "[gb]", "[de]", "[fr]", "[jp]", "[it]", "[in]", "[ca]", "[es]", "[se]",
+		"[nl]", "[dk]", "[au]", "[br]", "[mx]", "[ru]", "[cn]", "[kr]", "[pl]", "[ar]"}
+	compIDs := make([]int64, cfg.Companies)
+	compCountry := make([]int64, cfg.Companies)
+	compCenter := make([]int64, cfg.Companies)
+	countryZipf := ZipfInts(rng, 1.4, int64(len(countries)))
+	for i := 0; i < cfg.Companies; i++ {
+		compIDs[i] = int64(i + 1)
+		compCountry[i] = countryZipf() - 1
+		compCenter[i] = imdbMinYear + 30 + rng.Int63n(imdbMaxYear-imdbMinYear-30)
+	}
+	d.MustAddTable(db.MustNewTable("company_name",
+		db.NewIntColumn("id", compIDs),
+		db.NewStringColumn("country_code", compCountry, countries),
+	))
+
+	// --- title ---
+	n := cfg.Titles
+	tIDs := make([]int64, n)
+	tKind := make([]int64, n)
+	tYear := make([]int64, n)
+	tSeason := make([]int64, n)
+	tEpisode := make([]int64, n)
+	seasonZipf := ZipfInts(rng, 1.6, 15)
+	for i := 0; i < n; i++ {
+		tIDs[i] = int64(i + 1)
+		var year int64
+		if rng.Float64() < 0.25 {
+			year = imdbMinYear + rng.Int63n(imdbMaxYear-imdbMinYear+1)
+		} else {
+			year = TriangularRecent(rng, imdbMinYear, imdbMaxYear)
+		}
+		tYear[i] = year
+		recency := float64(year-imdbMinYear) / float64(imdbMaxYear-imdbMinYear)
+		// kinds: 1 movie, 2 short, 3 tv movie, 4 tv series, 5 video, 6 video game, 7 episode.
+		weights := []float64{
+			5.0,                        // movie: always common
+			1.0 + recency*0.5,          // short
+			0.2 + recency*1.0,          // tv movie (modern)
+			0.2 + recency*1.5,          // tv series (modern)
+			0.1 + recency*1.2,          // video (modern)
+			0.02 + recency*recency*0.9, // video game (very modern)
+			0.3 + recency*recency*4.0,  // episode (dominates recently)
+		}
+		kind := int64(Categorical(rng, weights) + 1)
+		tKind[i] = kind
+		if kind == 4 || kind == 7 {
+			tSeason[i] = seasonZipf()
+			tEpisode[i] = 1 + rng.Int63n(24)
+		}
+	}
+	d.MustAddTable(db.MustNewTable("title",
+		db.NewIntColumn("id", tIDs),
+		db.NewIntColumn("kind_id", tKind),
+		db.NewIntColumn("production_year", tYear),
+		db.NewIntColumn("season_nr", tSeason),
+		db.NewIntColumn("episode_nr", tEpisode),
+	))
+
+	// --- fact tables hanging off title ---
+	recencyOf := func(i int) float64 {
+		return float64(tYear[i]-imdbMinYear) / float64(imdbMaxYear-imdbMinYear)
+	}
+	// Fanouts grow superlinearly with recency (real IMDb metadata coverage
+	// explodes for modern titles: a 2015 release has an order of magnitude
+	// more cast/keyword/info rows than a 1920s one). This is the
+	// cross-table correlation that makes joined year predicates hard for
+	// independence-based estimators.
+	fanout := func(i int, base, amp float64) float64 {
+		r := recencyOf(i)
+		return base + amp*r*r
+	}
+	// eraShifted draws a categorical id in [1, n] whose typical value
+	// drifts with the title's era: old titles use low ids, modern titles
+	// high ids, with zipfian popularity inside the era window. It models
+	// attributes like info_type ("color" vs "votes"/"rating") whose usage
+	// changed over IMDb's history, creating predicate↔join correlations.
+	eraShifted := func(zipfDraw func() int64, n int64, recency float64) int64 {
+		if rng.Float64() < 0.7 {
+			// Window center moves with recency; width n/3.
+			center := 1 + int64(recency*float64(n-1))
+			for tries := 0; tries < 12; tries++ {
+				// Draw an offset from the zipf (popular = close to center).
+				off := zipfDraw() - 1
+				var v int64
+				if rng.Intn(2) == 0 {
+					v = center + off
+				} else {
+					v = center - off
+				}
+				if v >= 1 && v <= n {
+					return v
+				}
+			}
+		}
+		return 1 + rng.Int63n(n)
+	}
+
+	// movie_companies
+	var mcMovie, mcCompany, mcType []int64
+	compZipf := ZipfInts(rng, 1.15, int64(cfg.Companies))
+	pickCompany := func(year int64) int64 {
+		// Era affinity: prefer companies whose center is near the title year.
+		if rng.Float64() < 0.55 {
+			for tries := 0; tries < 16; tries++ {
+				c := compZipf()
+				if abs64(compCenter[c-1]-year) <= 25 {
+					return c
+				}
+			}
+		}
+		return compZipf()
+	}
+	for i := 0; i < n; i++ {
+		k := Poisson(rng, fanout(i, 0.35, 3.2))
+		rec := recencyOf(i)
+		for j := 0; j < k; j++ {
+			comp := pickCompany(tYear[i])
+			mcMovie = append(mcMovie, tIDs[i])
+			mcCompany = append(mcCompany, comp)
+			// company_type correlates with the era (older titles carry
+			// production credits only; modern ones add distributors, VFX,
+			// and misc companies) and with company popularity.
+			var typ int64
+			if comp <= int64(cfg.Companies/10+1) {
+				typ = int64(Categorical(rng, []float64{6, 3, 0.5, 0.5}) + 1)
+			} else {
+				typ = int64(Categorical(rng, []float64{
+					4 - 2*rec, 1 + rec, 0.3 + 1.7*rec, 0.2 + 1.8*rec}) + 1)
+			}
+			mcType = append(mcType, typ)
+		}
+	}
+	d.MustAddTable(db.MustNewTable("movie_companies",
+		db.NewIntColumn("id", seq(len(mcMovie))),
+		db.NewIntColumn("movie_id", mcMovie),
+		db.NewIntColumn("company_id", mcCompany),
+		db.NewIntColumn("company_type_id", mcType),
+	))
+
+	// cast_info
+	var ciMovie, ciPerson, ciRole []int64
+	personZipf := ZipfInts(rng, 1.1, int64(cfg.Persons))
+	for i := 0; i < n; i++ {
+		k := Poisson(rng, fanout(i, 0.7, 4.6))
+		rec := recencyOf(i)
+		for j := 0; j < k; j++ {
+			ciMovie = append(ciMovie, tIDs[i])
+			ciPerson = append(ciPerson, personZipf())
+			// roles: actor(1)/actress(2) dominate everywhere; crew roles
+			// (editor, production designer, ...) are a modern-era
+			// phenomenon in the credits data.
+			var role int64
+			if j < 2 {
+				role = int64(Categorical(rng, []float64{5, 4, 0.5, 0.5, 0.3, 0.2}) + 1)
+			} else {
+				role = int64(Categorical(rng, []float64{
+					3, 2.5,
+					0.2 + 1.8*rec, 0.2 + 1.8*rec, 0.1 + 1.4*rec, 0.1 + 1.4*rec,
+					0.05 + rec, 0.05 + rec, 0.02 + 0.6*rec, 0.02 + 0.6*rec,
+					0.01 + 0.4*rec, 0.01 + 0.4*rec}) + 1)
+			}
+			ciRole = append(ciRole, role)
+		}
+	}
+	d.MustAddTable(db.MustNewTable("cast_info",
+		db.NewIntColumn("id", seq(len(ciMovie))),
+		db.NewIntColumn("movie_id", ciMovie),
+		db.NewIntColumn("person_id", ciPerson),
+		db.NewIntColumn("role_id", ciRole),
+	))
+
+	// movie_info: info types are strongly era-shifted (black-and-white era
+	// types vs modern "votes"/"rating"/"taglines" types).
+	var miMovie, miType []int64
+	infoZipf := ZipfInts(rng, 1.4, 40)
+	for i := 0; i < n; i++ {
+		k := Poisson(rng, fanout(i, 0.6, 4.0))
+		rec := recencyOf(i)
+		for j := 0; j < k; j++ {
+			miMovie = append(miMovie, tIDs[i])
+			miType = append(miType, eraShifted(infoZipf, 40, rec))
+		}
+	}
+	d.MustAddTable(db.MustNewTable("movie_info",
+		db.NewIntColumn("id", seq(len(miMovie))),
+		db.NewIntColumn("movie_id", miMovie),
+		db.NewIntColumn("info_type_id", miType),
+	))
+
+	// movie_info_idx (ratings-style: modern titles have far more, and the
+	// type mix is era-shifted too)
+	var mixMovie, mixType []int64
+	idxZipf := ZipfInts(rng, 1.5, 10)
+	for i := 0; i < n; i++ {
+		k := Poisson(rng, fanout(i, 0.15, 2.4))
+		rec := recencyOf(i)
+		for j := 0; j < k; j++ {
+			mixMovie = append(mixMovie, tIDs[i])
+			mixType = append(mixType, eraShifted(idxZipf, 10, rec))
+		}
+	}
+	d.MustAddTable(db.MustNewTable("movie_info_idx",
+		db.NewIntColumn("id", seq(len(mixMovie))),
+		db.NewIntColumn("movie_id", mixMovie),
+		db.NewIntColumn("info_type_id", mixType),
+	))
+
+	// movie_keyword with era-affine keywords. Popularity is zipfian with a
+	// moderate exponent (the head keyword of real IMDb covers a percent or
+	// two of movie_keyword, not a quarter), and the popularity ranking is
+	// decoupled from dictionary order: named keywords land on mid-range
+	// ranks so the demo template probes a realistic keyword, not the
+	// global maximum.
+	var mkMovie, mkKeyword []int64
+	rankToKw := make([]int64, cfg.Keywords) // zipf rank (0-based) -> keyword id
+	for i := range rankToKw {
+		rankToKw[i] = int64(i + 1)
+	}
+	for i := range namedKeywords {
+		if i >= cfg.Keywords {
+			break
+		}
+		target := 7 + i*7 // ranks 8, 15, 22, ... (1-based)
+		if target >= cfg.Keywords {
+			target = cfg.Keywords - 1
+		}
+		rankToKw[i], rankToKw[target] = rankToKw[target], rankToKw[i]
+	}
+	kwZipf := ZipfInts(rng, 1.1, int64(cfg.Keywords))
+	drawKw := func() int64 { return rankToKw[kwZipf()-1] }
+	pickKeyword := func(year int64) int64 {
+		if rng.Float64() < 0.6 {
+			for tries := 0; tries < 16; tries++ {
+				k := drawKw()
+				dist := float64(abs64(kwCenter[k-1] - year))
+				if dist <= kwWidth[k-1]*(1+kwBoost[k-1]*rng.Float64()) {
+					return k
+				}
+			}
+		}
+		return drawKw()
+	}
+	for i := 0; i < n; i++ {
+		k := Poisson(rng, fanout(i, 0.3, 4.4))
+		for j := 0; j < k; j++ {
+			mkMovie = append(mkMovie, tIDs[i])
+			mkKeyword = append(mkKeyword, pickKeyword(tYear[i]))
+		}
+	}
+	d.MustAddTable(db.MustNewTable("movie_keyword",
+		db.NewIntColumn("id", seq(len(mkMovie))),
+		db.NewIntColumn("movie_id", mkMovie),
+		db.NewIntColumn("keyword_id", mkKeyword),
+	))
+
+	// --- keys and metadata ---
+	for _, tbl := range []string{"title", "keyword", "company_name", "movie_companies", "cast_info", "movie_info", "movie_info_idx", "movie_keyword"} {
+		d.SetPK(tbl, "id")
+	}
+	d.AddFK("movie_companies", "movie_id", "title", "id")
+	d.AddFK("cast_info", "movie_id", "title", "id")
+	d.AddFK("movie_info", "movie_id", "title", "id")
+	d.AddFK("movie_info_idx", "movie_id", "title", "id")
+	d.AddFK("movie_keyword", "movie_id", "title", "id")
+	d.AddFK("movie_keyword", "keyword_id", "keyword", "id")
+	d.AddFK("movie_companies", "company_id", "company_name", "id")
+
+	d.AddPredColumn("title", "kind_id")
+	d.AddPredColumn("title", "production_year")
+	d.AddPredColumn("title", "season_nr")
+	d.AddPredColumn("title", "episode_nr")
+	d.AddPredColumn("movie_companies", "company_id")
+	d.AddPredColumn("movie_companies", "company_type_id")
+	d.AddPredColumn("cast_info", "role_id")
+	d.AddPredColumn("cast_info", "person_id", db.OpEq)
+	d.AddPredColumn("movie_info", "info_type_id")
+	d.AddPredColumn("movie_info_idx", "info_type_id")
+	d.AddPredColumn("movie_keyword", "keyword_id")
+	d.AddPredColumn("keyword", "keyword") // string: eq only
+	d.AddPredColumn("company_name", "country_code")
+
+	if err := d.Validate(); err != nil {
+		panic("datagen: imdb schema invalid: " + err.Error())
+	}
+	return d
+}
+
+func seq(n int) []int64 {
+	s := make([]int64, n)
+	for i := range s {
+		s[i] = int64(i + 1)
+	}
+	return s
+}
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,99 @@
+// Package datagen builds the synthetic datasets the reproduction runs on.
+// The paper demonstrates on the real IMDb snapshot ("a real-world dataset
+// that contains many correlations and therefore proves to be very
+// challenging for cardinality estimators") and TPC-H. Neither is available
+// offline, so this package generates schema-compatible substitutes whose
+// difficulty comes from the same two sources: heavy skew (zipfian
+// popularity) and cross-column/cross-table correlation (era-dependent
+// keywords and companies, year-dependent fanouts, date ordering in TPC-H).
+// All generation is deterministic given a seed.
+package datagen
+
+import (
+	"math"
+	"math/rand"
+)
+
+// splitmix64 is a tiny, well-understood 64-bit PRNG used as the seed
+// expander and rand.Source64 for all generators, keeping every dataset
+// bit-for-bit reproducible and independent of math/rand's default source.
+type splitmix64 struct{ state uint64 }
+
+func (s *splitmix64) next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Seed implements rand.Source.
+func (s *splitmix64) Seed(seed int64) { s.state = uint64(seed) }
+
+// Int63 implements rand.Source.
+func (s *splitmix64) Int63() int64 { return int64(s.next() >> 1) }
+
+// Uint64 implements rand.Source64.
+func (s *splitmix64) Uint64() uint64 { return s.next() }
+
+// NewRand returns a deterministic *rand.Rand backed by splitmix64.
+func NewRand(seed int64) *rand.Rand {
+	src := &splitmix64{}
+	src.Seed(seed)
+	return rand.New(src)
+}
+
+// Poisson draws from a Poisson distribution with the given mean using
+// Knuth's method (fine for the small means used for fanouts).
+func Poisson(rng *rand.Rand, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	l := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+		if k > 1000 { // guard against pathological means
+			return k
+		}
+	}
+}
+
+// ZipfInts returns a sampler producing values in [1, n] with zipfian skew s
+// (s > 1). Rank 1 is the most popular value.
+func ZipfInts(rng *rand.Rand, s float64, n int64) func() int64 {
+	if n < 1 {
+		n = 1
+	}
+	z := rand.NewZipf(rng, s, 1, uint64(n-1))
+	return func() int64 { return int64(z.Uint64()) + 1 }
+}
+
+// TriangularRecent draws an integer in [lo, hi] with linearly increasing
+// density toward hi — used for production years, where recent years have
+// many more titles.
+func TriangularRecent(rng *rand.Rand, lo, hi int64) int64 {
+	span := float64(hi - lo)
+	return lo + int64(span*math.Sqrt(rng.Float64())+0.5)
+}
+
+// Categorical draws an index from unnormalized weights.
+func Categorical(rng *rand.Rand, weights []float64) int {
+	var total float64
+	for _, w := range weights {
+		total += w
+	}
+	u := rng.Float64() * total
+	for i, w := range weights {
+		u -= w
+		if u < 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}

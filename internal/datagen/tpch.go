@@ -1,0 +1,217 @@
+package datagen
+
+import "deepsketch/internal/db"
+
+// TPCHConfig controls the synthetic TPC-H-like dataset. Zero values get
+// defaults (~100k total rows).
+type TPCHConfig struct {
+	Seed int64
+	// Orders is the orders row count; lineitem scales with it (1..7 lines
+	// per order, TPC-H's distribution).
+	Orders    int
+	Customers int
+	Parts     int
+	Suppliers int
+}
+
+func (c TPCHConfig) withDefaults() TPCHConfig {
+	if c.Orders == 0 {
+		c.Orders = 15000
+	}
+	if c.Customers == 0 {
+		c.Customers = max(150, c.Orders/10)
+	}
+	if c.Parts == 0 {
+		c.Parts = max(200, c.Orders/8)
+	}
+	if c.Suppliers == 0 {
+		c.Suppliers = max(10, c.Orders/150)
+	}
+	return c
+}
+
+// Dates are stored as day offsets from 1992-01-01, the TPC-H epoch; the
+// range spans seven years like the benchmark's.
+const tpchMaxDate = 7 * 365
+
+// TPCH generates the synthetic TPC-H-like database. Schema (FK edges form a
+// tree; nation is reachable only via customer so that auto-joins stay
+// acyclic):
+//
+//	nation(id, region_id)
+//	customer(id, nation_id->nation, mktsegment)
+//	orders(id, cust_id->customer, orderdate, orderstatus, totalprice_bucket)
+//	lineitem(id, order_id->orders, part_id->part, supp_id->supplier,
+//	         quantity, shipdate, discount, returnflag, shipmode)
+//	part(id, brand, size, container)
+//	supplier(id, nation_id)
+//
+// Correlations: shipdate = orderdate + small delta (so shipdate predicates
+// correlate with the joined orders' dates); orderstatus is 'F'inished for
+// old orders and 'O'pen for recent ones; returnflag correlates with
+// shipdate age. Brands and segments are zipfian.
+func TPCH(cfg TPCHConfig) *db.DB {
+	cfg = cfg.withDefaults()
+	rng := NewRand(cfg.Seed ^ 0x7c9)
+
+	d := db.NewDB("tpch")
+
+	// nation
+	const nations = 25
+	natIDs := seq(nations)
+	natRegion := make([]int64, nations)
+	for i := range natRegion {
+		natRegion[i] = int64(i % 5)
+	}
+	d.MustAddTable(db.MustNewTable("nation",
+		db.NewIntColumn("id", natIDs),
+		db.NewIntColumn("region_id", natRegion),
+	))
+
+	// customer
+	segments := []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"}
+	custIDs := seq(cfg.Customers)
+	custNation := make([]int64, cfg.Customers)
+	custSegment := make([]int64, cfg.Customers)
+	natZipf := ZipfInts(rng, 1.2, nations)
+	for i := 0; i < cfg.Customers; i++ {
+		custNation[i] = natZipf()
+		custSegment[i] = int64(Categorical(rng, []float64{3, 2.5, 2, 1.5, 1}))
+	}
+	d.MustAddTable(db.MustNewTable("customer",
+		db.NewIntColumn("id", custIDs),
+		db.NewIntColumn("nation_id", custNation),
+		db.NewStringColumn("mktsegment", custSegment, segments),
+	))
+
+	// supplier
+	suppIDs := seq(cfg.Suppliers)
+	suppNation := make([]int64, cfg.Suppliers)
+	for i := 0; i < cfg.Suppliers; i++ {
+		suppNation[i] = 1 + rng.Int63n(nations)
+	}
+	d.MustAddTable(db.MustNewTable("supplier",
+		db.NewIntColumn("id", suppIDs),
+		db.NewIntColumn("nation_id", suppNation),
+	))
+
+	// part
+	partIDs := seq(cfg.Parts)
+	partBrand := make([]int64, cfg.Parts)
+	partSize := make([]int64, cfg.Parts)
+	partContainer := make([]int64, cfg.Parts)
+	brandZipf := ZipfInts(rng, 1.15, 25)
+	for i := 0; i < cfg.Parts; i++ {
+		brand := brandZipf()
+		partBrand[i] = brand
+		// size correlates with brand: premium (low-id) brands skew small.
+		if brand <= 5 {
+			partSize[i] = 1 + rng.Int63n(20)
+		} else {
+			partSize[i] = 1 + rng.Int63n(50)
+		}
+		partContainer[i] = 1 + rng.Int63n(40)
+	}
+	d.MustAddTable(db.MustNewTable("part",
+		db.NewIntColumn("id", partIDs),
+		db.NewIntColumn("brand", partBrand),
+		db.NewIntColumn("size", partSize),
+		db.NewIntColumn("container", partContainer),
+	))
+
+	// orders
+	ordIDs := seq(cfg.Orders)
+	ordCust := make([]int64, cfg.Orders)
+	ordDate := make([]int64, cfg.Orders)
+	ordStatus := make([]int64, cfg.Orders)
+	ordPrice := make([]int64, cfg.Orders)
+	statusDict := []string{"F", "O", "P"}
+	custZipf := ZipfInts(rng, 1.05, int64(cfg.Customers))
+	for i := 0; i < cfg.Orders; i++ {
+		ordCust[i] = custZipf()
+		date := rng.Int63n(tpchMaxDate + 1)
+		ordDate[i] = date
+		// Old orders finished, recent open, a sliver pending.
+		cutoff := int64(tpchMaxDate - 200)
+		switch {
+		case date < cutoff:
+			ordStatus[i] = 0
+		case rng.Float64() < 0.1:
+			ordStatus[i] = 2
+		default:
+			ordStatus[i] = 1
+		}
+		ordPrice[i] = 1 + rng.Int63n(40) // price bucket in [1, 40]
+	}
+	d.MustAddTable(db.MustNewTable("orders",
+		db.NewIntColumn("id", ordIDs),
+		db.NewIntColumn("cust_id", ordCust),
+		db.NewIntColumn("orderdate", ordDate),
+		db.NewStringColumn("orderstatus", ordStatus, statusDict),
+		db.NewIntColumn("totalprice_bucket", ordPrice),
+	))
+
+	// lineitem
+	var liOrder, liPart, liSupp, liQty, liShip, liDisc, liFlag, liMode []int64
+	flagDict := []string{"N", "R", "A"}
+	modeCount := int64(7)
+	partZipf := ZipfInts(rng, 1.1, int64(cfg.Parts))
+	for i := 0; i < cfg.Orders; i++ {
+		lines := 1 + rng.Int63n(7)
+		for j := int64(0); j < lines; j++ {
+			liOrder = append(liOrder, ordIDs[i])
+			liPart = append(liPart, partZipf())
+			liSupp = append(liSupp, 1+rng.Int63n(int64(cfg.Suppliers)))
+			liQty = append(liQty, 1+rng.Int63n(50))
+			ship := ordDate[i] + 1 + rng.Int63n(121) // shipdate > orderdate, correlated
+			liShip = append(liShip, ship)
+			liDisc = append(liDisc, rng.Int63n(11))
+			// Returnflag: old shipments resolved (R/A), recent ones N.
+			if ship < tpchMaxDate-365 && rng.Float64() < 0.5 {
+				liFlag = append(liFlag, 1+rng.Int63n(2))
+			} else {
+				liFlag = append(liFlag, 0)
+			}
+			liMode = append(liMode, 1+rng.Int63n(modeCount))
+		}
+	}
+	d.MustAddTable(db.MustNewTable("lineitem",
+		db.NewIntColumn("id", seq(len(liOrder))),
+		db.NewIntColumn("order_id", liOrder),
+		db.NewIntColumn("part_id", liPart),
+		db.NewIntColumn("supp_id", liSupp),
+		db.NewIntColumn("quantity", liQty),
+		db.NewIntColumn("shipdate", liShip),
+		db.NewIntColumn("discount", liDisc),
+		db.NewStringColumn("returnflag", liFlag, flagDict),
+		db.NewIntColumn("shipmode", liMode),
+	))
+
+	for _, tbl := range []string{"nation", "customer", "supplier", "part", "orders", "lineitem"} {
+		d.SetPK(tbl, "id")
+	}
+	d.AddFK("customer", "nation_id", "nation", "id")
+	d.AddFK("orders", "cust_id", "customer", "id")
+	d.AddFK("lineitem", "order_id", "orders", "id")
+	d.AddFK("lineitem", "part_id", "part", "id")
+	d.AddFK("lineitem", "supp_id", "supplier", "id")
+
+	d.AddPredColumn("nation", "region_id")
+	d.AddPredColumn("customer", "mktsegment")
+	d.AddPredColumn("orders", "orderdate")
+	d.AddPredColumn("orders", "orderstatus")
+	d.AddPredColumn("orders", "totalprice_bucket")
+	d.AddPredColumn("lineitem", "quantity")
+	d.AddPredColumn("lineitem", "shipdate")
+	d.AddPredColumn("lineitem", "discount")
+	d.AddPredColumn("lineitem", "returnflag")
+	d.AddPredColumn("lineitem", "shipmode")
+	d.AddPredColumn("part", "brand")
+	d.AddPredColumn("part", "size")
+	d.AddPredColumn("part", "container")
+
+	if err := d.Validate(); err != nil {
+		panic("datagen: tpch schema invalid: " + err.Error())
+	}
+	return d
+}

@@ -1,0 +1,114 @@
+package db
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchDB builds a mid-sized star schema once for executor benchmarks.
+func benchDB(b *testing.B) *DB {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	const dimRows, factRows = 20000, 120000
+	mkIDs := func(n int) []int64 {
+		ids := make([]int64, n)
+		for i := range ids {
+			ids[i] = int64(i + 1)
+		}
+		return ids
+	}
+	randCol := func(n int, lo, hi int64) []int64 {
+		vals := make([]int64, n)
+		for i := range vals {
+			vals[i] = lo + rng.Int63n(hi-lo+1)
+		}
+		return vals
+	}
+	d := NewDB("bench")
+	d.MustAddTable(MustNewTable("dim_a",
+		NewIntColumn("id", mkIDs(dimRows)),
+		NewIntColumn("attr", randCol(dimRows, 0, 99)),
+	))
+	d.MustAddTable(MustNewTable("dim_b",
+		NewIntColumn("id", mkIDs(dimRows/10)),
+		NewIntColumn("attr", randCol(dimRows/10, 0, 9)),
+	))
+	d.MustAddTable(MustNewTable("fact",
+		NewIntColumn("id", mkIDs(factRows)),
+		NewIntColumn("a_id", randCol(factRows, 1, dimRows)),
+		NewIntColumn("b_id", randCol(factRows, 1, dimRows/10)),
+		NewIntColumn("val", randCol(factRows, 0, 999)),
+	))
+	d.SetPK("dim_a", "id")
+	d.SetPK("dim_b", "id")
+	d.SetPK("fact", "id")
+	d.AddFK("fact", "a_id", "dim_a", "id")
+	d.AddFK("fact", "b_id", "dim_b", "id")
+	return d
+}
+
+func BenchmarkFilterTableFullScan(b *testing.B) {
+	d := benchDB(b)
+	fact := d.Table("fact")
+	preds := []Predicate{{Col: "val", Op: OpLt, Val: 500}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := FilterTable(fact, preds); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCountSingleTable(b *testing.B) {
+	d := benchDB(b)
+	q := Query{
+		Tables: []TableRef{{Table: "fact", Alias: "f"}},
+		Preds:  []Predicate{{Alias: "f", Col: "val", Op: OpGt, Val: 200}},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Count(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCountOneJoin(b *testing.B) {
+	d := benchDB(b)
+	q := Query{
+		Tables: []TableRef{{Table: "fact", Alias: "f"}, {Table: "dim_a", Alias: "da"}},
+		Joins:  []JoinPred{{LeftAlias: "f", LeftCol: "a_id", RightAlias: "da", RightCol: "id"}},
+		Preds:  []Predicate{{Alias: "da", Col: "attr", Op: OpLt, Val: 50}},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Count(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCountStarJoin(b *testing.B) {
+	d := benchDB(b)
+	q := Query{
+		Tables: []TableRef{
+			{Table: "fact", Alias: "f"},
+			{Table: "dim_a", Alias: "da"},
+			{Table: "dim_b", Alias: "db"},
+		},
+		Joins: []JoinPred{
+			{LeftAlias: "f", LeftCol: "a_id", RightAlias: "da", RightCol: "id"},
+			{LeftAlias: "f", LeftCol: "b_id", RightAlias: "db", RightCol: "id"},
+		},
+		Preds: []Predicate{
+			{Alias: "da", Col: "attr", Op: OpGt, Val: 20},
+			{Alias: "f", Col: "val", Op: OpLt, Val: 800},
+		},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Count(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,290 @@
+package db
+
+import (
+	"fmt"
+	"math"
+)
+
+// Count computes the exact COUNT(*) of a select-project-join query. It is
+// the ground-truth oracle the paper obtains from HyPer: training labels and
+// "true cardinality" overlays both come from here.
+//
+// The algorithm is counting Yannakakis over the join tree: every base table
+// is reduced to its qualifying rows, the join graph (which must be a tree —
+// the demo auto-generates joins from single PK/FK relationships, so cyclic
+// graphs never arise) is rooted at the first table, and weights are
+// propagated bottom-up. A child contributes, per join key, the sum of its
+// row weights; each parent row multiplies in the sum matching its key. The
+// final count is the weight sum at the root. This is exact for acyclic
+// equi-join queries and runs in time linear in the qualifying rows.
+//
+// Counts are accumulated in float64, which is exact up to 2^53; the result
+// saturates at MaxInt64 beyond that (unreachable at supported scales).
+func (d *DB) Count(q Query) (int64, error) {
+	if err := d.ValidateQuery(q); err != nil {
+		return 0, err
+	}
+	if len(q.Joins) != len(q.Tables)-1 {
+		return 0, fmt.Errorf("db: join graph must be a tree: %d tables need %d joins, got %d",
+			len(q.Tables), len(q.Tables)-1, len(q.Joins))
+	}
+
+	nodes := make([]*execNode, len(q.Tables))
+	byAlias := make(map[string]*execNode, len(q.Tables))
+	for i, tr := range q.Tables {
+		t := d.Table(tr.Table)
+		rows, all, err := FilterTable(t, q.PredsFor(tr.Alias))
+		if err != nil {
+			return 0, err
+		}
+		n := &execNode{ref: tr, table: t, rows: rows, all: all}
+		nodes[i] = n
+		byAlias[tr.Alias] = n
+	}
+	if len(nodes) == 1 {
+		n := nodes[0]
+		if n.all {
+			return int64(n.table.NumRows()), nil
+		}
+		return int64(len(n.rows)), nil
+	}
+
+	// Build the join tree rooted at the first table.
+	type edge struct {
+		to       *execNode
+		toCol    string // join column on the child (to) side
+		fromCol  string // join column on the parent (from) side
+		consumed bool
+	}
+	adj := make(map[string][]*edge)
+	for _, j := range q.Joins {
+		l, r := byAlias[j.LeftAlias], byAlias[j.RightAlias]
+		adj[l.ref.Alias] = append(adj[l.ref.Alias], &edge{to: r, toCol: j.RightCol, fromCol: j.LeftCol})
+		adj[r.ref.Alias] = append(adj[r.ref.Alias], &edge{to: l, toCol: j.LeftCol, fromCol: j.RightCol})
+	}
+
+	root := nodes[0]
+	visited := map[string]bool{root.ref.Alias: true}
+	// reduce folds the subtree under n into n's row weights; query trees
+	// are at most a handful of tables deep, so recursion is fine.
+	var reduce func(n *execNode) error
+	reduce = func(n *execNode) error {
+		for _, e := range adj[n.ref.Alias] {
+			if visited[e.to.ref.Alias] {
+				continue
+			}
+			visited[e.to.ref.Alias] = true
+			if err := reduce(e.to); err != nil {
+				return err
+			}
+			if err := n.absorb(e.to, e.fromCol, e.toCol); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := reduce(root); err != nil {
+		return 0, err
+	}
+	total := root.totalWeight()
+	if total >= math.MaxInt64 {
+		return math.MaxInt64, nil
+	}
+	return int64(total), nil
+}
+
+// execNode is one table occurrence during execution: its qualifying rows and
+// their accumulated weights. weights == nil means every qualifying row has
+// weight 1 (the common leaf case), avoiding an allocation per node.
+type execNode struct {
+	ref     TableRef
+	table   *Table
+	rows    []int32 // qualifying row ids; nil+all means every row
+	all     bool
+	weights []float64 // parallel to rows (or to all rows when all)
+}
+
+func (n *execNode) totalWeight() float64 {
+	if n.weights == nil {
+		if n.all {
+			return float64(n.table.NumRows())
+		}
+		return float64(len(n.rows))
+	}
+	var s float64
+	for _, w := range n.weights {
+		s += w
+	}
+	return s
+}
+
+// absorb folds a fully-reduced child into the parent: parent row weights are
+// multiplied by the child's per-key weight sums, and parent rows without a
+// matching child key are dropped.
+func (n *execNode) absorb(child *execNode, parentCol, childCol string) error {
+	ccol := child.table.Column(childCol)
+	if ccol == nil {
+		return fmt.Errorf("db: column %s.%s missing", child.ref.Table, childCol)
+	}
+	pcol := n.table.Column(parentCol)
+	if pcol == nil {
+		return fmt.Errorf("db: column %s.%s missing", n.ref.Table, parentCol)
+	}
+
+	agg := newWeightAgg(ccol.Min, ccol.Max, child.size())
+	if child.all {
+		if child.weights == nil {
+			for _, v := range ccol.Vals {
+				agg.add(v, 1)
+			}
+		} else {
+			for i, v := range ccol.Vals {
+				agg.add(v, child.weights[i])
+			}
+		}
+	} else {
+		if child.weights == nil {
+			for _, r := range child.rows {
+				agg.add(ccol.Vals[r], 1)
+			}
+		} else {
+			for i, r := range child.rows {
+				agg.add(ccol.Vals[r], child.weights[i])
+			}
+		}
+	}
+
+	// Multiply into parent, materializing its row list if still implicit.
+	if n.all {
+		n.rows = make([]int32, n.table.NumRows())
+		for i := range n.rows {
+			n.rows[i] = int32(i)
+		}
+		n.all = false
+	}
+	oldWeights := n.weights
+	newRows := n.rows[:0]
+	newWeights := make([]float64, 0, len(n.rows))
+	for i, r := range n.rows {
+		w := agg.get(pcol.Vals[r])
+		if w == 0 {
+			continue
+		}
+		if oldWeights != nil {
+			w *= oldWeights[i]
+		}
+		newRows = append(newRows, r)
+		newWeights = append(newWeights, w)
+	}
+	n.rows = newRows
+	n.weights = newWeights
+	return nil
+}
+
+func (n *execNode) size() int {
+	if n.all {
+		return n.table.NumRows()
+	}
+	return len(n.rows)
+}
+
+// weightAgg sums weights per join key. Join keys in the supported schemas
+// are dense integer ids, so a dense array is used whenever the key range is
+// reasonable relative to the input size; otherwise it falls back to a map.
+type weightAgg struct {
+	dense  []float64
+	offset int64
+	m      map[int64]float64
+}
+
+const denseSlack = 4
+
+func newWeightAgg(min, max int64, n int) *weightAgg {
+	if min <= max {
+		span := max - min + 1
+		if span <= int64(denseSlack*n)+1024 || span <= 1<<16 {
+			return &weightAgg{dense: make([]float64, span), offset: min}
+		}
+	}
+	return &weightAgg{m: make(map[int64]float64, n)}
+}
+
+func (a *weightAgg) add(key int64, w float64) {
+	if a.dense != nil {
+		a.dense[key-a.offset] += w
+		return
+	}
+	a.m[key] += w
+}
+
+func (a *weightAgg) get(key int64) float64 {
+	if a.dense != nil {
+		idx := key - a.offset
+		if idx < 0 || idx >= int64(len(a.dense)) {
+			return 0
+		}
+		return a.dense[idx]
+	}
+	return a.m[key]
+}
+
+// CountBruteForce computes COUNT(*) by exhaustive nested-loop enumeration.
+// It is exponential in the number of tables and exists as a reference
+// implementation for validating Count in tests; do not use it on full-size
+// datasets.
+func (d *DB) CountBruteForce(q Query) (int64, error) {
+	if err := d.ValidateQuery(q); err != nil {
+		return 0, err
+	}
+	type tbl struct {
+		ref  TableRef
+		t    *Table
+		rows []int32
+	}
+	tbls := make([]tbl, len(q.Tables))
+	for i, tr := range q.Tables {
+		t := d.Table(tr.Table)
+		rows, all, err := FilterTable(t, q.PredsFor(tr.Alias))
+		if err != nil {
+			return 0, err
+		}
+		if all {
+			rows = make([]int32, t.NumRows())
+			for r := range rows {
+				rows[r] = int32(r)
+			}
+		}
+		tbls[i] = tbl{ref: tr, t: t, rows: rows}
+	}
+	aliasIdx := map[string]int{}
+	for i, tb := range tbls {
+		aliasIdx[tb.ref.Alias] = i
+	}
+	assignment := make([]int32, len(tbls))
+	var count int64
+	var rec func(depth int)
+	rec = func(depth int) {
+		if depth == len(tbls) {
+			count++
+			return
+		}
+	next:
+		for _, r := range tbls[depth].rows {
+			assignment[depth] = r
+			for _, j := range q.Joins {
+				li, ri := aliasIdx[j.LeftAlias], aliasIdx[j.RightAlias]
+				if li > depth || ri > depth {
+					continue
+				}
+				lv := tbls[li].t.Column(j.LeftCol).Vals[assignment[li]]
+				rv := tbls[ri].t.Column(j.RightCol).Vals[assignment[ri]]
+				if lv != rv {
+					continue next
+				}
+			}
+			rec(depth + 1)
+		}
+	}
+	rec(0)
+	return count, nil
+}

@@ -1,0 +1,256 @@
+package db
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func count(t *testing.T, d *DB, q Query) int64 {
+	t.Helper()
+	got, err := d.Count(q)
+	if err != nil {
+		t.Fatalf("Count(%s): %v", q.SQL(nil), err)
+	}
+	return got
+}
+
+func TestCountSingleTable(t *testing.T) {
+	d := testDB(t)
+	q := Query{Tables: []TableRef{{Table: "fact", Alias: "f"}}}
+	if got := count(t, d, q); got != 6 {
+		t.Errorf("count = %d, want 6", got)
+	}
+	q.Preds = []Predicate{{Alias: "f", Col: "val", Op: OpEq, Val: 100}}
+	if got := count(t, d, q); got != 3 {
+		t.Errorf("count = %d, want 3", got)
+	}
+	q.Preds = append(q.Preds, Predicate{Alias: "f", Col: "dim_id", Op: OpGt, Val: 1})
+	if got := count(t, d, q); got != 2 {
+		t.Errorf("count = %d, want 2", got)
+	}
+}
+
+func TestCountPKFKJoin(t *testing.T) {
+	d := testDB(t)
+	q := Query{
+		Tables: []TableRef{{Table: "dim", Alias: "d"}, {Table: "fact", Alias: "f"}},
+		Joins:  []JoinPred{{LeftAlias: "f", LeftCol: "dim_id", RightAlias: "d", RightCol: "id"}},
+	}
+	// Every fact row matches exactly one dim row: join size = |fact| = 6.
+	if got := count(t, d, q); got != 6 {
+		t.Errorf("join count = %d, want 6", got)
+	}
+	// dim.attr = 10 matches dim ids {1,3}; facts with dim_id in {1,3}: rows 1,2,4,5,6 -> 5.
+	q.Preds = []Predicate{{Alias: "d", Col: "attr", Op: OpEq, Val: 10}}
+	if got := count(t, d, q); got != 5 {
+		t.Errorf("filtered join count = %d, want 5", got)
+	}
+	// Add fact filter val=100 (rows with dim_id 1,2,3): intersect -> dim_id in {1,3} & val=100 -> rows 1,5 -> 2.
+	q.Preds = append(q.Preds, Predicate{Alias: "f", Col: "val", Op: OpEq, Val: 100})
+	if got := count(t, d, q); got != 2 {
+		t.Errorf("double filtered join count = %d, want 2", got)
+	}
+}
+
+func TestCountEmptyResult(t *testing.T) {
+	d := testDB(t)
+	q := Query{
+		Tables: []TableRef{{Table: "dim", Alias: "d"}, {Table: "fact", Alias: "f"}},
+		Joins:  []JoinPred{{LeftAlias: "f", LeftCol: "dim_id", RightAlias: "d", RightCol: "id"}},
+		Preds:  []Predicate{{Alias: "d", Col: "attr", Op: OpGt, Val: 1000}},
+	}
+	if got := count(t, d, q); got != 0 {
+		t.Errorf("count = %d, want 0", got)
+	}
+}
+
+func TestCountRejectsNonTree(t *testing.T) {
+	d := testDB(t)
+	q := Query{
+		Tables: []TableRef{{Table: "dim", Alias: "d"}, {Table: "fact", Alias: "f"}},
+		Joins: []JoinPred{
+			{LeftAlias: "f", LeftCol: "dim_id", RightAlias: "d", RightCol: "id"},
+			{LeftAlias: "f", LeftCol: "id", RightAlias: "d", RightCol: "id"},
+		},
+	}
+	if _, err := d.Count(q); err == nil {
+		t.Error("cyclic join graph should be rejected")
+	}
+}
+
+// randomStarDB builds a randomized star schema: one fact table and two
+// dimension tables, with random values, for cross-checking the Yannakakis
+// executor against the brute-force reference.
+func randomStarDB(rng *rand.Rand, dimRows, factRows int) *DB {
+	d := NewDB("rand")
+	mkIDs := func(n int) []int64 {
+		ids := make([]int64, n)
+		for i := range ids {
+			ids[i] = int64(i + 1)
+		}
+		return ids
+	}
+	randCol := func(n int, lo, hi int64) []int64 {
+		vals := make([]int64, n)
+		for i := range vals {
+			vals[i] = lo + rng.Int63n(hi-lo+1)
+		}
+		return vals
+	}
+	d.MustAddTable(MustNewTable("dim_a",
+		NewIntColumn("id", mkIDs(dimRows)),
+		NewIntColumn("attr", randCol(dimRows, 0, 9)),
+	))
+	d.MustAddTable(MustNewTable("dim_b",
+		NewIntColumn("id", mkIDs(dimRows)),
+		NewIntColumn("attr", randCol(dimRows, 0, 4)),
+	))
+	d.MustAddTable(MustNewTable("fact",
+		NewIntColumn("id", mkIDs(factRows)),
+		NewIntColumn("a_id", randCol(factRows, 1, int64(dimRows)+2)), // some dangling FKs
+		NewIntColumn("b_id", randCol(factRows, 1, int64(dimRows))),
+		NewIntColumn("val", randCol(factRows, 0, 19)),
+	))
+	d.SetPK("dim_a", "id")
+	d.SetPK("dim_b", "id")
+	d.SetPK("fact", "id")
+	d.AddFK("fact", "a_id", "dim_a", "id")
+	d.AddFK("fact", "b_id", "dim_b", "id")
+	return d
+}
+
+func randomQuery(rng *rand.Rand) Query {
+	q := Query{Tables: []TableRef{{Table: "fact", Alias: "f"}}}
+	if rng.Intn(2) == 0 {
+		q.Tables = append(q.Tables, TableRef{Table: "dim_a", Alias: "da"})
+		q.Joins = append(q.Joins, JoinPred{LeftAlias: "f", LeftCol: "a_id", RightAlias: "da", RightCol: "id"})
+		if rng.Intn(2) == 0 {
+			q.Preds = append(q.Preds, Predicate{Alias: "da", Col: "attr", Op: Op(rng.Intn(3)), Val: rng.Int63n(10)})
+		}
+	}
+	if rng.Intn(2) == 0 {
+		q.Tables = append(q.Tables, TableRef{Table: "dim_b", Alias: "db"})
+		q.Joins = append(q.Joins, JoinPred{LeftAlias: "f", LeftCol: "b_id", RightAlias: "db", RightCol: "id"})
+		if rng.Intn(2) == 0 {
+			q.Preds = append(q.Preds, Predicate{Alias: "db", Col: "attr", Op: Op(rng.Intn(3)), Val: rng.Int63n(5)})
+		}
+	}
+	if rng.Intn(2) == 0 {
+		q.Preds = append(q.Preds, Predicate{Alias: "f", Col: "val", Op: Op(rng.Intn(3)), Val: rng.Int63n(20)})
+	}
+	return q
+}
+
+// TestCountMatchesBruteForce is the core correctness property of the ground
+// truth oracle: on 200 random star queries over random data, the Yannakakis
+// executor agrees exactly with nested-loop enumeration.
+func TestCountMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 10; trial++ {
+		d := randomStarDB(rng, 8+rng.Intn(8), 20+rng.Intn(20))
+		for i := 0; i < 20; i++ {
+			q := randomQuery(rng)
+			want, err := d.CountBruteForce(q)
+			if err != nil {
+				t.Fatalf("brute force: %v", err)
+			}
+			got, err := d.Count(q)
+			if err != nil {
+				t.Fatalf("count: %v", err)
+			}
+			if got != want {
+				t.Fatalf("trial %d query %d: Count=%d bruteforce=%d for %s",
+					trial, i, got, want, q.SQL(nil))
+			}
+		}
+	}
+}
+
+// TestCountMonotonicity: adding a predicate never increases the count.
+func TestCountMonotonicity(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	d := randomStarDB(rng, 12, 60)
+	for i := 0; i < 50; i++ {
+		q := randomQuery(rng)
+		base := count(t, d, q)
+		q2 := q.Clone()
+		q2.Preds = append(q2.Preds, Predicate{Alias: "f", Col: "val", Op: OpLt, Val: rng.Int63n(20)})
+		narrowed := count(t, d, q2)
+		if narrowed > base {
+			t.Fatalf("adding predicate increased count %d -> %d for %s", base, narrowed, q2.SQL(nil))
+		}
+	}
+}
+
+// TestCountJoinRootIndependence: the result must not depend on which table
+// comes first in the FROM list (Count roots the join tree at the first).
+func TestCountJoinRootIndependence(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	d := randomStarDB(rng, 10, 50)
+	q := Query{
+		Tables: []TableRef{{Table: "fact", Alias: "f"}, {Table: "dim_a", Alias: "da"}, {Table: "dim_b", Alias: "db"}},
+		Joins: []JoinPred{
+			{LeftAlias: "f", LeftCol: "a_id", RightAlias: "da", RightCol: "id"},
+			{LeftAlias: "f", LeftCol: "b_id", RightAlias: "db", RightCol: "id"},
+		},
+		Preds: []Predicate{{Alias: "da", Col: "attr", Op: OpGt, Val: 3}},
+	}
+	want := count(t, d, q)
+	perm := Query{
+		Tables: []TableRef{q.Tables[2], q.Tables[0], q.Tables[1]},
+		Joins:  q.Joins,
+		Preds:  q.Preds,
+	}
+	if got := count(t, d, perm); got != want {
+		t.Errorf("root choice changed count: %d vs %d", got, want)
+	}
+}
+
+func TestFilterTable(t *testing.T) {
+	d := testDB(t)
+	fact := d.Table("fact")
+	rows, all, err := FilterTable(fact, nil)
+	if err != nil || !all || rows != nil {
+		t.Errorf("no-predicate filter: rows=%v all=%v err=%v", rows, all, err)
+	}
+	rows, all, err = FilterTable(fact, []Predicate{{Col: "val", Op: OpEq, Val: 100}})
+	if err != nil || all || len(rows) != 3 {
+		t.Errorf("eq filter: rows=%v all=%v err=%v", rows, all, err)
+	}
+	if _, err := CountRows(fact, []Predicate{{Col: "nope", Op: OpEq, Val: 1}}); err == nil {
+		t.Error("unknown column should error")
+	}
+	n, err := CountRows(fact, nil)
+	if err != nil || n != 6 {
+		t.Errorf("CountRows all = %d, %v", n, err)
+	}
+}
+
+func TestWeightAggDenseAndSparse(t *testing.T) {
+	// Dense path.
+	a := newWeightAgg(10, 20, 5)
+	if a.dense == nil {
+		t.Fatal("expected dense agg for small range")
+	}
+	a.add(10, 1.5)
+	a.add(20, 2)
+	a.add(10, 0.5)
+	if got := a.get(10); got != 2 {
+		t.Errorf("dense get = %v", got)
+	}
+	if got := a.get(999); got != 0 {
+		t.Errorf("dense out-of-range get = %v", got)
+	}
+	// Sparse path: enormous key range.
+	s := newWeightAgg(0, 1<<40, 3)
+	if s.m == nil {
+		t.Fatal("expected map agg for huge range")
+	}
+	s.add(1<<39, 3)
+	if got := s.get(1 << 39); got != 3 {
+		t.Errorf("sparse get = %v", got)
+	}
+	if got := s.get(5); got != 0 {
+		t.Errorf("sparse missing get = %v", got)
+	}
+}

@@ -1,0 +1,94 @@
+package db
+
+import "fmt"
+
+// FilterTable evaluates a conjunction of predicates against a table and
+// returns the matching row indices in ascending order. A nil result with
+// ok=true means "all rows match" (no predicates); callers use this to avoid
+// materializing full-table row lists on unfiltered tables.
+func FilterTable(t *Table, preds []Predicate) (rows []int32, all bool, err error) {
+	if len(preds) == 0 {
+		return nil, true, nil
+	}
+	var sel []int32
+	for i, p := range preds {
+		col := t.Column(p.Col)
+		if col == nil {
+			return nil, false, fmt.Errorf("db: table %s has no column %s", t.Name, p.Col)
+		}
+		if i == 0 {
+			sel = filterFull(col, p.Op, p.Val)
+		} else {
+			sel = filterSubset(col, p.Op, p.Val, sel)
+		}
+		if len(sel) == 0 {
+			return sel, false, nil
+		}
+	}
+	return sel, false, nil
+}
+
+func filterFull(c *Column, op Op, lit int64) []int32 {
+	out := make([]int32, 0, len(c.Vals)/4+1)
+	vals := c.Vals
+	switch op {
+	case OpEq:
+		for i, v := range vals {
+			if v == lit {
+				out = append(out, int32(i))
+			}
+		}
+	case OpLt:
+		for i, v := range vals {
+			if v < lit {
+				out = append(out, int32(i))
+			}
+		}
+	case OpGt:
+		for i, v := range vals {
+			if v > lit {
+				out = append(out, int32(i))
+			}
+		}
+	}
+	return out
+}
+
+func filterSubset(c *Column, op Op, lit int64, sel []int32) []int32 {
+	out := sel[:0]
+	vals := c.Vals
+	switch op {
+	case OpEq:
+		for _, r := range sel {
+			if vals[r] == lit {
+				out = append(out, r)
+			}
+		}
+	case OpLt:
+		for _, r := range sel {
+			if vals[r] < lit {
+				out = append(out, r)
+			}
+		}
+	case OpGt:
+		for _, r := range sel {
+			if vals[r] > lit {
+				out = append(out, r)
+			}
+		}
+	}
+	return out
+}
+
+// CountRows is a convenience wrapper returning the number of rows of t
+// matching preds.
+func CountRows(t *Table, preds []Predicate) (int64, error) {
+	rows, all, err := FilterTable(t, preds)
+	if err != nil {
+		return 0, err
+	}
+	if all {
+		return int64(t.NumRows()), nil
+	}
+	return int64(len(rows)), nil
+}

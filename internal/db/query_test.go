@@ -1,0 +1,142 @@
+package db
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOpEvalAndString(t *testing.T) {
+	cases := []struct {
+		op   Op
+		v, l int64
+		want bool
+	}{
+		{OpEq, 5, 5, true}, {OpEq, 5, 6, false},
+		{OpLt, 4, 5, true}, {OpLt, 5, 5, false},
+		{OpGt, 6, 5, true}, {OpGt, 5, 5, false},
+	}
+	for _, c := range cases {
+		if got := c.op.Eval(c.v, c.l); got != c.want {
+			t.Errorf("%d %s %d = %v, want %v", c.v, c.op, c.l, got, c.want)
+		}
+	}
+	for _, s := range []string{"=", "<", ">"} {
+		op, err := ParseOp(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if op.String() != s {
+			t.Errorf("round trip %q -> %q", s, op.String())
+		}
+	}
+	if _, err := ParseOp(">="); err == nil {
+		t.Error("ParseOp(>=) should fail")
+	}
+}
+
+func TestJoinCanonical(t *testing.T) {
+	j := JoinPred{LeftAlias: "t", LeftCol: "id", RightAlias: "mk", RightCol: "movie_id"}
+	c1 := j.Canonical()
+	j2 := JoinPred{LeftAlias: "mk", LeftCol: "movie_id", RightAlias: "t", RightCol: "id"}
+	c2 := j2.Canonical()
+	if c1 != c2 {
+		t.Errorf("canonical forms differ: %+v vs %+v", c1, c2)
+	}
+}
+
+func TestQuerySQL(t *testing.T) {
+	q := Query{
+		Tables: []TableRef{{Table: "dim", Alias: "d"}, {Table: "fact", Alias: "f"}},
+		Joins:  []JoinPred{{LeftAlias: "f", LeftCol: "dim_id", RightAlias: "d", RightCol: "id"}},
+		Preds:  []Predicate{{Alias: "d", Col: "attr", Op: OpGt, Val: 15}},
+	}
+	sql := q.SQL(nil)
+	for _, want := range []string{"SELECT COUNT(*) FROM dim d, fact f", "d.id=f.dim_id", "d.attr>15"} {
+		if !strings.Contains(sql, want) {
+			t.Errorf("SQL missing %q: %s", want, sql)
+		}
+	}
+}
+
+func TestQuerySQLStringLiteral(t *testing.T) {
+	d := NewDB("x")
+	d.MustAddTable(MustNewTable("kw",
+		NewIntColumn("id", []int64{1, 2}),
+		NewStringColumn("keyword", []int64{0, 1}, []string{"ai", "robot"}),
+	))
+	q := Query{
+		Tables: []TableRef{{Table: "kw", Alias: "k"}},
+		Preds:  []Predicate{{Alias: "k", Col: "keyword", Op: OpEq, Val: 1}},
+	}
+	sql := q.SQL(d)
+	if !strings.Contains(sql, "k.keyword='robot'") {
+		t.Errorf("string literal not rendered: %s", sql)
+	}
+}
+
+func TestQuerySignatureOrderIndependent(t *testing.T) {
+	a := Query{
+		Tables: []TableRef{{Table: "dim", Alias: "d"}, {Table: "fact", Alias: "f"}},
+		Joins:  []JoinPred{{LeftAlias: "f", LeftCol: "dim_id", RightAlias: "d", RightCol: "id"}},
+		Preds: []Predicate{
+			{Alias: "d", Col: "attr", Op: OpGt, Val: 15},
+			{Alias: "f", Col: "val", Op: OpEq, Val: 100},
+		},
+	}
+	b := Query{
+		Tables: []TableRef{{Table: "fact", Alias: "f"}, {Table: "dim", Alias: "d"}},
+		Joins:  []JoinPred{{LeftAlias: "d", LeftCol: "id", RightAlias: "f", RightCol: "dim_id"}},
+		Preds: []Predicate{
+			{Alias: "f", Col: "val", Op: OpEq, Val: 100},
+			{Alias: "d", Col: "attr", Op: OpGt, Val: 15},
+		},
+	}
+	if a.Signature() != b.Signature() {
+		t.Errorf("signatures differ:\n%s\n%s", a.Signature(), b.Signature())
+	}
+}
+
+func TestQueryClone(t *testing.T) {
+	q := Query{
+		Tables: []TableRef{{Table: "dim", Alias: "d"}},
+		Preds:  []Predicate{{Alias: "d", Col: "attr", Op: OpEq, Val: 10}},
+	}
+	c := q.Clone()
+	c.Preds[0].Val = 99
+	c.Tables[0].Alias = "x"
+	if q.Preds[0].Val != 10 || q.Tables[0].Alias != "d" {
+		t.Error("Clone aliases underlying storage")
+	}
+}
+
+func TestValidateQuery(t *testing.T) {
+	d := testDB(t)
+	good := Query{
+		Tables: []TableRef{{Table: "dim", Alias: "d"}, {Table: "fact", Alias: "f"}},
+		Joins:  []JoinPred{{LeftAlias: "f", LeftCol: "dim_id", RightAlias: "d", RightCol: "id"}},
+	}
+	if err := d.ValidateQuery(good); err != nil {
+		t.Errorf("valid query rejected: %v", err)
+	}
+
+	bad := []Query{
+		{}, // no tables
+		{Tables: []TableRef{{Table: "nope", Alias: "n"}}},
+		{Tables: []TableRef{{Table: "dim", Alias: ""}}},
+		{Tables: []TableRef{{Table: "dim", Alias: "d"}, {Table: "fact", Alias: "d"}}},
+		{Tables: []TableRef{{Table: "dim", Alias: "d"}},
+			Preds: []Predicate{{Alias: "d", Col: "nope", Op: OpEq, Val: 1}}},
+		{Tables: []TableRef{{Table: "dim", Alias: "d"}},
+			Preds: []Predicate{{Alias: "x", Col: "attr", Op: OpEq, Val: 1}}},
+		// disconnected: two tables, no join
+		{Tables: []TableRef{{Table: "dim", Alias: "d"}, {Table: "fact", Alias: "f"}}},
+		// self join
+		{Tables: []TableRef{{Table: "dim", Alias: "d"}, {Table: "fact", Alias: "f"}},
+			Joins: []JoinPred{{LeftAlias: "d", LeftCol: "id", RightAlias: "d", RightCol: "id"}}},
+	}
+	for i, q := range bad {
+		if err := d.ValidateQuery(q); err == nil {
+			t.Errorf("bad query %d accepted: %s", i, q.SQL(nil))
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package db
+
+import (
+	"testing"
+)
+
+func TestColumnFreezeBounds(t *testing.T) {
+	c := NewIntColumn("x", []int64{5, -3, 7, 0})
+	if c.Min != -3 || c.Max != 7 {
+		t.Errorf("bounds = [%d,%d], want [-3,7]", c.Min, c.Max)
+	}
+	empty := NewIntColumn("y", nil)
+	if empty.Min <= empty.Max {
+		t.Errorf("empty column should have Min > Max, got [%d,%d]", empty.Min, empty.Max)
+	}
+}
+
+func TestStringColumnDict(t *testing.T) {
+	c := NewStringColumn("kw", []int64{0, 1, 0, 2}, []string{"ai", "robot", "space"})
+	if v, ok := c.Lookup("robot"); !ok || v != 1 {
+		t.Errorf("Lookup(robot) = %d,%v", v, ok)
+	}
+	if _, ok := c.Lookup("missing"); ok {
+		t.Error("Lookup(missing) should fail")
+	}
+	if s := c.StringOf(2); s != "space" {
+		t.Errorf("StringOf(2) = %q", s)
+	}
+	if s := c.StringOf(99); s != "99" {
+		t.Errorf("StringOf(out of range) = %q, want fallback decimal", s)
+	}
+}
+
+func TestNewTableValidation(t *testing.T) {
+	a := NewIntColumn("a", []int64{1, 2})
+	b := NewIntColumn("b", []int64{1})
+	if _, err := NewTable("t", a, b); err == nil {
+		t.Error("mismatched column lengths should error")
+	}
+	dup := NewIntColumn("a", []int64{3, 4})
+	if _, err := NewTable("t", a, dup); err == nil {
+		t.Error("duplicate column names should error")
+	}
+	tbl, err := NewTable("t", a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NumRows() != 2 {
+		t.Errorf("NumRows = %d", tbl.NumRows())
+	}
+	if tbl.Column("missing") != nil {
+		t.Error("missing column should be nil")
+	}
+	if got := tbl.ColumnNames(); len(got) != 1 || got[0] != "a" {
+		t.Errorf("ColumnNames = %v", got)
+	}
+}
+
+func testDB(t *testing.T) *DB {
+	t.Helper()
+	d := NewDB("test")
+	// Dimension table dim(id, attr), fact table fact(id, dim_id, val).
+	d.MustAddTable(MustNewTable("dim",
+		NewIntColumn("id", []int64{1, 2, 3, 4}),
+		NewIntColumn("attr", []int64{10, 20, 10, 30}),
+	))
+	d.MustAddTable(MustNewTable("fact",
+		NewIntColumn("id", []int64{1, 2, 3, 4, 5, 6}),
+		NewIntColumn("dim_id", []int64{1, 1, 2, 3, 3, 3}),
+		NewIntColumn("val", []int64{100, 200, 100, 300, 100, 200}),
+	))
+	d.SetPK("dim", "id")
+	d.SetPK("fact", "id")
+	d.AddFK("fact", "dim_id", "dim", "id")
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestDBValidate(t *testing.T) {
+	d := testDB(t)
+	d.AddFK("fact", "nope", "dim", "id")
+	if err := d.Validate(); err == nil {
+		t.Error("missing FK source column should fail validation")
+	}
+
+	d2 := NewDB("x")
+	d2.MustAddTable(MustNewTable("a", NewIntColumn("id", []int64{1})))
+	d2.MustAddTable(MustNewTable("b", NewIntColumn("id", []int64{1}), NewIntColumn("a_id", []int64{1})))
+	d2.AddFK("b", "a_id", "a", "id")
+	if err := d2.Validate(); err == nil {
+		t.Error("FK to non-PK column should fail validation")
+	}
+}
+
+func TestJoinableNeighbors(t *testing.T) {
+	d := testDB(t)
+	n := d.JoinableNeighbors("dim")
+	if len(n) != 1 || n[0] != "fact" {
+		t.Errorf("JoinableNeighbors(dim) = %v", n)
+	}
+	if got := d.FKsBetween("dim", "fact"); len(got) != 1 {
+		t.Errorf("FKsBetween = %v", got)
+	}
+	if got := d.FKsBetween("dim", "dim"); len(got) != 0 {
+		t.Errorf("FKsBetween same table = %v", got)
+	}
+}
+
+func TestTotalRowsAndNames(t *testing.T) {
+	d := testDB(t)
+	if d.TotalRows() != 10 {
+		t.Errorf("TotalRows = %d, want 10", d.TotalRows())
+	}
+	names := d.TableNames()
+	if len(names) != 2 || names[0] != "dim" || names[1] != "fact" {
+		t.Errorf("TableNames = %v", names)
+	}
+	if d.AddTable(MustNewTable("dim", NewIntColumn("id", nil))) == nil {
+		t.Error("duplicate table should error")
+	}
+}

@@ -1,0 +1,82 @@
+package estimator
+
+import (
+	"testing"
+
+	"deepsketch/internal/datagen"
+	"deepsketch/internal/db"
+)
+
+func benchSetup(b *testing.B) (*db.DB, db.Query) {
+	b.Helper()
+	d := datagen.IMDb(datagen.IMDbConfig{Seed: 7, Titles: 8000})
+	q := db.Query{
+		Tables: []db.TableRef{
+			{Table: "title", Alias: "t"},
+			{Table: "movie_info", Alias: "mi"},
+			{Table: "movie_keyword", Alias: "mk"},
+		},
+		Joins: []db.JoinPred{
+			{LeftAlias: "mi", LeftCol: "movie_id", RightAlias: "t", RightCol: "id"},
+			{LeftAlias: "mk", LeftCol: "movie_id", RightAlias: "t", RightCol: "id"},
+		},
+		Preds: []db.Predicate{
+			{Alias: "t", Col: "production_year", Op: db.OpGt, Val: 1995},
+			{Alias: "mi", Col: "info_type_id", Op: db.OpEq, Val: 5},
+		},
+	}
+	return d, q
+}
+
+func BenchmarkPostgresBuild(b *testing.B) {
+	d, _ := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NewPostgres(d, PostgresOptions{})
+	}
+}
+
+func BenchmarkPostgresEstimate(b *testing.B) {
+	d, q := benchSetup(b)
+	p := NewPostgres(d, PostgresOptions{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Estimate(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHyperEstimate(b *testing.B) {
+	d, q := benchSetup(b)
+	h, err := NewHyper(d, 1000, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := h.Estimate(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTruthExact(b *testing.B) {
+	d, q := benchSetup(b)
+	tr := &Truth{DB: d}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.Estimate(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBuildColStats(b *testing.B) {
+	d, _ := benchSetup(b)
+	col := d.Table("movie_keyword").Column("keyword_id")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BuildColStats(col, 100, 100)
+	}
+}

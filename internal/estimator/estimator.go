@@ -1,0 +1,75 @@
+// Package estimator provides the traditional cardinality estimators the
+// demo compares Deep Sketches against: a PostgreSQL-style estimator built on
+// per-column statistics (MCVs, equi-depth histograms, n_distinct) with the
+// attribute-independence assumption, and a HyPer-style estimator that
+// evaluates base-table predicates on materialized samples and falls back to
+// an educated guess in 0-tuple situations. Both combine base-table
+// selectivities across PK/FK joins with the classic System-R formula.
+package estimator
+
+import (
+	"fmt"
+
+	"deepsketch/internal/db"
+)
+
+// Estimator is anything that can estimate the result size of a COUNT(*)
+// query. Implementations must be safe for concurrent use after construction.
+type Estimator interface {
+	// Name identifies the estimator in reports ("PostgreSQL", ...).
+	Name() string
+	// Estimate returns the estimated cardinality (≥ 1 by convention, so
+	// q-errors stay finite).
+	Estimate(q db.Query) (float64, error)
+}
+
+// Truth is the ground-truth oracle: it executes the query exactly. It plays
+// HyPer's "true cardinality" role from the demo ("we issue the query against
+// HyPer to compute its true cardinality").
+type Truth struct {
+	DB *db.DB
+}
+
+// Name implements Estimator.
+func (t *Truth) Name() string { return "True cardinality" }
+
+// Estimate implements Estimator by exact execution.
+func (t *Truth) Estimate(q db.Query) (float64, error) {
+	c, err := t.DB.Count(q)
+	if err != nil {
+		return 0, err
+	}
+	return float64(c), nil
+}
+
+// joinSelectivity computes the System-R selectivity of one equi-join using
+// distinct counts: 1/max(nd(left), nd(right)). For the PK/FK joins of the
+// supported schemas this equals 1/|PK table| and is exact under referential
+// integrity and independence.
+func joinSelectivity(d *db.DB, q db.Query, j db.JoinPred, nd func(table, col string) float64) (float64, error) {
+	lt, ok := q.RefByAlias(j.LeftAlias)
+	if !ok {
+		return 0, fmt.Errorf("estimator: join alias %s not in query", j.LeftAlias)
+	}
+	rt, ok := q.RefByAlias(j.RightAlias)
+	if !ok {
+		return 0, fmt.Errorf("estimator: join alias %s not in query", j.RightAlias)
+	}
+	ndl := nd(lt.Table, j.LeftCol)
+	ndr := nd(rt.Table, j.RightCol)
+	m := ndl
+	if ndr > m {
+		m = ndr
+	}
+	if m < 1 {
+		m = 1
+	}
+	return 1 / m, nil
+}
+
+func clampCard(c float64) float64 {
+	if c < 1 {
+		return 1
+	}
+	return c
+}

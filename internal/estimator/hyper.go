@@ -1,0 +1,142 @@
+package estimator
+
+import (
+	"fmt"
+
+	"deepsketch/internal/db"
+	"deepsketch/internal/sample"
+)
+
+// Hyper is a HyPer-style sampling-based estimator: base-table selectivities
+// come from evaluating the predicate conjunction on materialized samples,
+// which makes it robust to intra-table correlations — until no sampled
+// tuple qualifies. In such 0-tuple situations it falls back to the
+// "educated" guess the MSCN paper documents for its sampling baseline: it
+// assumes that one sample tuple qualifies (selectivity 1/n). The guess
+// cannot distinguish a barely-missed predicate from an almost-impossible
+// one, which is exactly what the paper identifies as the cause of
+// sampling's large estimation errors. Join selectivities use distinct
+// counts like System-R, which is exact for PK/FK joins under referential
+// integrity but assumes fanout is independent of the predicates — the
+// cross-table correlation Deep Sketches learn.
+type Hyper struct {
+	d       *db.DB
+	samples *sample.Set
+	nd      map[string]map[string]float64 // exact distinct counts for join columns
+}
+
+// NewHyper draws its own samples of sampleSize tuples per table.
+func NewHyper(d *db.DB, sampleSize int, seed int64) (*Hyper, error) {
+	set, err := sample.New(d, nil, sampleSize, seed)
+	if err != nil {
+		return nil, err
+	}
+	return NewHyperWithSamples(d, set)
+}
+
+// NewHyperWithSamples uses an existing sample set (e.g. the sketch's own
+// samples, for an apples-to-apples 0-tuple comparison).
+func NewHyperWithSamples(d *db.DB, set *sample.Set) (*Hyper, error) {
+	h := &Hyper{d: d, samples: set, nd: make(map[string]map[string]float64)}
+	// Precompute distinct counts of join (PK/FK) columns only.
+	addCol := func(table, col string) {
+		if h.nd[table] == nil {
+			h.nd[table] = map[string]float64{}
+		}
+		if _, done := h.nd[table][col]; done {
+			return
+		}
+		c := d.Table(table).Column(col)
+		seen := make(map[int64]struct{}, 1024)
+		for _, v := range c.Vals {
+			seen[v] = struct{}{}
+		}
+		h.nd[table][col] = float64(len(seen))
+	}
+	for _, fk := range d.FKs {
+		addCol(fk.Table, fk.Column)
+		addCol(fk.RefTable, fk.RefColumn)
+	}
+	return h, nil
+}
+
+// Name implements Estimator.
+func (h *Hyper) Name() string { return "HyPer" }
+
+// ZeroTuple reports whether the query hits a 0-tuple situation: some table
+// with predicates has no qualifying sample tuples. These are the queries the
+// paper's §2 robustness claim is about.
+func (h *Hyper) ZeroTuple(q db.Query) (bool, error) {
+	for _, tr := range q.Tables {
+		preds := q.PredsFor(tr.Alias)
+		if len(preds) == 0 {
+			continue
+		}
+		ts := h.samples.For(tr.Table)
+		if ts == nil {
+			return false, fmt.Errorf("estimator: no sample for table %s", tr.Table)
+		}
+		bm, err := ts.QualifyingBitmap(preds)
+		if err != nil {
+			return false, err
+		}
+		if bm.Count() == 0 {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// Estimate implements Estimator.
+func (h *Hyper) Estimate(q db.Query) (float64, error) {
+	if err := h.d.ValidateQuery(q); err != nil {
+		return 0, err
+	}
+	card := 1.0
+	for _, tr := range q.Tables {
+		rows := float64(h.d.Table(tr.Table).NumRows())
+		sel, err := h.tableSelectivity(tr, q.PredsFor(tr.Alias))
+		if err != nil {
+			return 0, err
+		}
+		card *= rows * sel
+	}
+	for _, j := range q.Joins {
+		sel, err := joinSelectivity(h.d, q, j, func(table, col string) float64 {
+			if m, ok := h.nd[table]; ok {
+				if v, ok := m[col]; ok {
+					return v
+				}
+			}
+			// Join on a non-FK column: fall back to the table size.
+			return float64(h.d.Table(table).NumRows())
+		})
+		if err != nil {
+			return 0, err
+		}
+		card *= sel
+	}
+	return clampCard(card), nil
+}
+
+// tableSelectivity evaluates the predicate conjunction on the table's
+// sample, falling back to per-predicate independence in 0-tuple situations.
+func (h *Hyper) tableSelectivity(tr db.TableRef, preds []db.Predicate) (float64, error) {
+	if len(preds) == 0 {
+		return 1, nil
+	}
+	ts := h.samples.For(tr.Table)
+	if ts == nil {
+		return 0, fmt.Errorf("estimator: no sample for table %s", tr.Table)
+	}
+	bm, err := ts.QualifyingBitmap(preds)
+	if err != nil {
+		return 0, err
+	}
+	if n := bm.Count(); n > 0 {
+		return float64(n) / float64(ts.Rows), nil
+	}
+	// 0-tuple situation: educated guess — assume one sample tuple
+	// qualifies.
+	return 1.0 / float64(ts.Rows), nil
+}

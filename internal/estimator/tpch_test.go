@@ -1,0 +1,124 @@
+package estimator
+
+import (
+	"testing"
+
+	"deepsketch/internal/datagen"
+	"deepsketch/internal/db"
+	"deepsketch/internal/metrics"
+)
+
+// TestEstimatorsOnTPCH: both baselines must run on the second schema and be
+// reasonably accurate on simple queries (TPC-H is far more uniform than
+// IMDb).
+func TestEstimatorsOnTPCH(t *testing.T) {
+	d := datagen.TPCH(datagen.TPCHConfig{Seed: 11, Orders: 1500})
+	p := NewPostgres(d, PostgresOptions{})
+	h, err := NewHyper(d, 400, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []db.Query{
+		{
+			Tables: []db.TableRef{{Table: "lineitem", Alias: "l"}},
+			Preds:  []db.Predicate{{Alias: "l", Col: "quantity", Op: db.OpLt, Val: 25}},
+		},
+		{
+			Tables: []db.TableRef{{Table: "orders", Alias: "o"}, {Table: "lineitem", Alias: "l"}},
+			Joins:  []db.JoinPred{{LeftAlias: "l", LeftCol: "order_id", RightAlias: "o", RightCol: "id"}},
+			Preds:  []db.Predicate{{Alias: "o", Col: "totalprice_bucket", Op: db.OpGt, Val: 20}},
+		},
+	}
+	for _, q := range queries {
+		truth, err := d.Count(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, est := range []Estimator{p, h} {
+			v, err := est.Estimate(q)
+			if err != nil {
+				t.Fatalf("%s: %v", est.Name(), err)
+			}
+			if qe := metrics.QError(v, float64(truth)); qe > 2.5 {
+				t.Errorf("%s q-error %v on uniform TPC-H query %s (est %v true %d)",
+					est.Name(), qe, q.SQL(nil), v, truth)
+			}
+		}
+	}
+}
+
+// TestCorrelatedDatePredicatesBreakIndependence: shipdate follows orderdate
+// by construction; conjoining a tight orderdate range with a contradicting
+// shipdate range has a tiny true result that independence overestimates.
+func TestCorrelatedDatePredicatesBreakIndependence(t *testing.T) {
+	d := datagen.TPCH(datagen.TPCHConfig{Seed: 11, Orders: 1500})
+	p := NewPostgres(d, PostgresOptions{})
+	q := db.Query{
+		Tables: []db.TableRef{{Table: "orders", Alias: "o"}, {Table: "lineitem", Alias: "l"}},
+		Joins:  []db.JoinPred{{LeftAlias: "l", LeftCol: "order_id", RightAlias: "o", RightCol: "id"}},
+		Preds: []db.Predicate{
+			{Alias: "o", Col: "orderdate", Op: db.OpGt, Val: 2000}, // late orders
+			{Alias: "l", Col: "shipdate", Op: db.OpLt, Val: 1000},  // early shipments: impossible
+		},
+	}
+	truth, err := d.Count(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if truth != 0 {
+		t.Fatalf("contradictory ranges should be empty, got %d", truth)
+	}
+	est, err := p.Estimate(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Independence multiplies two individually-plausible selectivities and
+	// predicts far more than one row — the failure mode learned models fix.
+	if est < 100 {
+		t.Errorf("expected a large independence overestimate, got %v", est)
+	}
+}
+
+func TestHyperName(t *testing.T) {
+	d := datagen.TPCH(datagen.TPCHConfig{Seed: 1, Orders: 200})
+	h, err := NewHyper(d, 50, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Name() != "HyPer" {
+		t.Errorf("name = %q", h.Name())
+	}
+	p := NewPostgres(d, PostgresOptions{})
+	if p.Name() != "PostgreSQL" {
+		t.Errorf("name = %q", p.Name())
+	}
+}
+
+func TestHyperZeroTupleDetectionOnJoinQuery(t *testing.T) {
+	d := datagen.TPCH(datagen.TPCHConfig{Seed: 13, Orders: 800})
+	h, err := NewHyper(d, 30, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No predicates: never a 0-tuple situation.
+	q := db.Query{
+		Tables: []db.TableRef{{Table: "orders", Alias: "o"}, {Table: "lineitem", Alias: "l"}},
+		Joins:  []db.JoinPred{{LeftAlias: "l", LeftCol: "order_id", RightAlias: "o", RightCol: "id"}},
+	}
+	zt, err := h.ZeroTuple(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zt {
+		t.Error("predicate-free query flagged as 0-tuple")
+	}
+	// Impossible predicate: always a 0-tuple situation.
+	q.Preds = []db.Predicate{{Alias: "l", Col: "quantity", Op: db.OpGt, Val: 10000}}
+	zt, err = h.ZeroTuple(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !zt {
+		t.Error("impossible predicate not flagged as 0-tuple")
+	}
+}

@@ -1,0 +1,87 @@
+package featurize
+
+import (
+	"testing"
+
+	"deepsketch/internal/datagen"
+	"deepsketch/internal/db"
+	"deepsketch/internal/sample"
+)
+
+// TestEncoderOnTPCH: the encoder is schema-agnostic; exercise it end to end
+// on the second schema.
+func TestEncoderOnTPCH(t *testing.T) {
+	d := datagen.TPCH(datagen.TPCHConfig{Seed: 9, Orders: 400})
+	s, err := sample.New(d, nil, 32, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEncoder(d, nil, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e.Tables) != 6 {
+		t.Errorf("tables = %v", e.Tables)
+	}
+	if len(e.Joins) != 5 {
+		t.Errorf("joins = %v", e.Joins)
+	}
+	q := db.Query{
+		Tables: []db.TableRef{
+			{Table: "orders", Alias: "o"},
+			{Table: "lineitem", Alias: "l"},
+			{Table: "customer", Alias: "c"},
+		},
+		Joins: []db.JoinPred{
+			{LeftAlias: "l", LeftCol: "order_id", RightAlias: "o", RightCol: "id"},
+			{LeftAlias: "o", LeftCol: "cust_id", RightAlias: "c", RightCol: "id"},
+		},
+		Preds: []db.Predicate{
+			{Alias: "l", Col: "quantity", Op: db.OpGt, Val: 25},
+			{Alias: "c", Col: "mktsegment", Op: db.OpEq, Val: 0},
+		},
+	}
+	bms, err := s.Bitmaps(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := e.EncodeQuery(q, bms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(enc.TableVecs) != 3 || len(enc.JoinVecs) != 2 || len(enc.PredVecs) != 2 {
+		t.Fatalf("set sizes %d/%d/%d", len(enc.TableVecs), len(enc.JoinVecs), len(enc.PredVecs))
+	}
+	// Each join vector one-hot, distinct slots.
+	slot := func(v []float64) int {
+		for i, x := range v {
+			if x == 1 {
+				return i
+			}
+		}
+		return -1
+	}
+	if slot(enc.JoinVecs[0]) == slot(enc.JoinVecs[1]) {
+		t.Error("distinct joins mapped to the same one-hot slot")
+	}
+}
+
+// TestEncoderSubsetSmallerDims: encoders over subsets have proportionally
+// smaller one-hot spaces — the footprint the demo's table selection buys.
+func TestEncoderSubsetSmallerDims(t *testing.T) {
+	d := datagen.TPCH(datagen.TPCHConfig{Seed: 9, Orders: 300})
+	full, err := NewEncoder(d, nil, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := NewEncoder(d, []string{"orders", "lineitem"}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.PredDim() >= full.PredDim() {
+		t.Errorf("subset pred dim %d should be < full %d", sub.PredDim(), full.PredDim())
+	}
+	if len(sub.Joins) != 1 {
+		t.Errorf("subset joins = %v", sub.Joins)
+	}
+}

@@ -1,0 +1,157 @@
+// Package metrics provides q-error computation and summary statistics used
+// throughout the Deep Sketches evaluation (Moerkotte et al., "Preventing Bad
+// Plans by Bounding the Impact of Cardinality Estimation Errors", PVLDB 2009).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// QError returns the q-error between an estimate and the true cardinality:
+// the factor by which the estimate deviates, q = max(est/truth, truth/est),
+// with both sides clamped to at least one tuple so that empty results do not
+// produce infinities. QError is always >= 1 and symmetric in its arguments.
+func QError(estimate, truth float64) float64 {
+	e := math.Max(estimate, 1)
+	t := math.Max(truth, 1)
+	if e > t {
+		return e / t
+	}
+	return t / e
+}
+
+// Summary holds the distribution statistics the paper reports in Table 1.
+type Summary struct {
+	Median float64
+	P90    float64
+	P95    float64
+	P99    float64
+	Max    float64
+	Mean   float64
+	Count  int
+}
+
+// Summarize computes the Table 1 statistics over a slice of q-errors.
+// The input slice is not modified. Summarize of an empty slice returns a
+// zero Summary.
+func Summarize(qerrors []float64) Summary {
+	if len(qerrors) == 0 {
+		return Summary{}
+	}
+	sorted := make([]float64, len(qerrors))
+	copy(sorted, qerrors)
+	sort.Float64s(sorted)
+	var sum float64
+	for _, q := range sorted {
+		sum += q
+	}
+	return Summary{
+		Median: Quantile(sorted, 0.50),
+		P90:    Quantile(sorted, 0.90),
+		P95:    Quantile(sorted, 0.95),
+		P99:    Quantile(sorted, 0.99),
+		Max:    sorted[len(sorted)-1],
+		Mean:   sum / float64(len(sorted)),
+		Count:  len(sorted),
+	}
+}
+
+// Quantile returns the q-th quantile (0 <= q <= 1) of an ascending-sorted
+// slice using linear interpolation between closest ranks, matching the
+// behaviour of numpy.percentile(.., interpolation="linear") that the original
+// MSCN evaluation scripts used.
+func Quantile(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return math.NaN()
+	}
+	if n == 1 {
+		return sorted[0]
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[n-1]
+	}
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Row is one line of a comparison table: a system name plus its Summary.
+type Row struct {
+	Name    string
+	Summary Summary
+}
+
+// FormatTable renders rows in the layout of the paper's Table 1:
+//
+//	            median   90th   95th   99th    max   mean
+//	Deep Sketch   3.82   78.4    362    927   1110   57.9
+//
+// Values are formatted with three significant digits like the paper.
+func FormatTable(rows []Row) string {
+	var b strings.Builder
+	nameW := len("system")
+	for _, r := range rows {
+		if len(r.Name) > nameW {
+			nameW = len(r.Name)
+		}
+	}
+	fmt.Fprintf(&b, "%-*s %8s %8s %8s %8s %8s %8s\n", nameW, "system",
+		"median", "90th", "95th", "99th", "max", "mean")
+	for _, r := range rows {
+		s := r.Summary
+		fmt.Fprintf(&b, "%-*s %8s %8s %8s %8s %8s %8s\n", nameW, r.Name,
+			Sig3(s.Median), Sig3(s.P90), Sig3(s.P95), Sig3(s.P99), Sig3(s.Max), Sig3(s.Mean))
+	}
+	return b.String()
+}
+
+// UnderFrac returns the fraction of estimates that undershoot the truth
+// (estimate < truth after clamping both to ≥ 1). The MSCN evaluation
+// reports the under/over direction alongside q-errors: sampling-based
+// estimators characteristically underestimate joins, independence-based
+// ones can err either way.
+func UnderFrac(estimates, truths []float64) float64 {
+	if len(estimates) == 0 || len(estimates) != len(truths) {
+		return math.NaN()
+	}
+	var under int
+	for i, e := range estimates {
+		if math.Max(e, 1) < math.Max(truths[i], 1) {
+			under++
+		}
+	}
+	return float64(under) / float64(len(estimates))
+}
+
+// Sig3 formats a value with three significant digits, the precision used in
+// the paper's Table 1 (e.g. 3.82, 78.4, 362, 1110).
+func Sig3(v float64) string {
+	if math.IsNaN(v) {
+		return "NaN"
+	}
+	if math.IsInf(v, 0) {
+		return "Inf"
+	}
+	if v == 0 {
+		return "0"
+	}
+	abs := math.Abs(v)
+	digits := int(math.Floor(math.Log10(abs)))
+	prec := 2 - digits
+	if prec < 0 {
+		prec = 0
+	}
+	return fmt.Sprintf("%.*f", prec, v)
+}

@@ -1,0 +1,190 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestQErrorBasics(t *testing.T) {
+	cases := []struct {
+		est, truth, want float64
+	}{
+		{10, 10, 1},
+		{20, 10, 2},
+		{10, 20, 2},
+		{1, 1000, 1000},
+		{1000, 1, 1000},
+		{0, 10, 10},   // estimate clamped to 1
+		{10, 0, 10},   // truth clamped to 1
+		{0, 0, 1},     // both clamped
+		{0.5, 0.1, 1}, // sub-tuple values clamp to 1
+	}
+	for _, c := range cases {
+		if got := QError(c.est, c.truth); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("QError(%v,%v) = %v, want %v", c.est, c.truth, got, c.want)
+		}
+	}
+}
+
+func TestQErrorPropertyAtLeastOneAndSymmetric(t *testing.T) {
+	f := func(a, b float64) bool {
+		a = math.Abs(a)
+		b = math.Abs(b)
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+			return true
+		}
+		q := QError(a, b)
+		return q >= 1 && q == QError(b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQErrorMultiplicativeIdentity(t *testing.T) {
+	// Scaling estimate by factor k away from truth yields q-error k.
+	f := func(truth float64, k float64) bool {
+		truth = 1 + math.Mod(math.Abs(truth), 1e6)
+		k = 1 + math.Mod(math.Abs(k), 1e3)
+		if math.IsNaN(truth) || math.IsNaN(k) {
+			return true
+		}
+		q := QError(truth*k, truth)
+		return math.Abs(q-k) < 1e-9*k
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5}
+	cases := []struct {
+		q, want float64
+	}{
+		{0, 1}, {1, 5}, {0.5, 3}, {0.25, 2}, {0.75, 4}, {0.9, 4.6},
+	}
+	for _, c := range cases {
+		if got := Quantile(sorted, c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if got := Quantile([]float64{7}, 0.5); got != 7 {
+		t.Errorf("Quantile single = %v, want 7", got)
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Errorf("Quantile(nil) should be NaN")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	qs := make([]float64, 100)
+	for i := range qs {
+		qs[i] = float64(i + 1) // 1..100
+	}
+	s := Summarize(qs)
+	if s.Count != 100 {
+		t.Fatalf("Count = %d", s.Count)
+	}
+	if math.Abs(s.Median-50.5) > 1e-9 {
+		t.Errorf("Median = %v, want 50.5", s.Median)
+	}
+	if math.Abs(s.Mean-50.5) > 1e-9 {
+		t.Errorf("Mean = %v, want 50.5", s.Mean)
+	}
+	if s.Max != 100 {
+		t.Errorf("Max = %v, want 100", s.Max)
+	}
+	if math.Abs(s.P90-90.1) > 1e-9 {
+		t.Errorf("P90 = %v, want 90.1", s.P90)
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	qs := []float64{5, 1, 3}
+	Summarize(qs)
+	if qs[0] != 5 || qs[1] != 1 || qs[2] != 3 {
+		t.Errorf("input mutated: %v", qs)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.Count != 0 || s.Mean != 0 {
+		t.Errorf("empty summary should be zero, got %+v", s)
+	}
+}
+
+func TestSummaryPropertyOrdering(t *testing.T) {
+	// median <= p90 <= p95 <= p99 <= max and mean <= max for any input.
+	f := func(raw []float64) bool {
+		qs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			v = math.Abs(v)
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			qs = append(qs, 1+math.Mod(v, 1e9))
+		}
+		if len(qs) == 0 {
+			return true
+		}
+		s := Summarize(qs)
+		return s.Median <= s.P90+1e-9 && s.P90 <= s.P95+1e-9 &&
+			s.P95 <= s.P99+1e-9 && s.P99 <= s.Max+1e-9 && s.Mean <= s.Max+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnderFrac(t *testing.T) {
+	ests := []float64{5, 20, 10, 0.5}
+	truths := []float64{10, 10, 10, 0.2} // under, over, equal, both clamp to 1 (equal)
+	got := UnderFrac(ests, truths)
+	if math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("UnderFrac = %v, want 0.25", got)
+	}
+	if !math.IsNaN(UnderFrac(nil, nil)) {
+		t.Error("empty input should be NaN")
+	}
+	if !math.IsNaN(UnderFrac([]float64{1}, []float64{1, 2})) {
+		t.Error("length mismatch should be NaN")
+	}
+}
+
+func TestSig3(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want string
+	}{
+		{3.8231, "3.82"},
+		{78.44, "78.4"},
+		{362.2, "362"},
+		{1110.4, "1110"},
+		{0.0123, "0.0123"},
+		{0, "0"},
+	}
+	for _, c := range cases {
+		if got := Sig3(c.v); got != c.want {
+			t.Errorf("Sig3(%v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestFormatTable(t *testing.T) {
+	rows := []Row{
+		{Name: "Deep Sketch", Summary: Summary{Median: 3.82, P90: 78.4, P95: 362, P99: 927, Max: 1110, Mean: 57.9}},
+		{Name: "PostgreSQL", Summary: Summary{Median: 7.93, P90: 164, P95: 1104, P99: 2912, Max: 3477, Mean: 174}},
+	}
+	out := FormatTable(rows)
+	if !strings.Contains(out, "Deep Sketch") || !strings.Contains(out, "3.82") {
+		t.Errorf("table missing expected cells:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Errorf("want header + 2 rows, got %d lines", len(lines))
+	}
+}

@@ -1,0 +1,96 @@
+package mscn
+
+import (
+	"testing"
+
+	"deepsketch/internal/featurize"
+	"deepsketch/internal/nn"
+)
+
+// benchExamples builds synthetic featurized examples with paper-ish
+// dimensions (bitmap width 1000) without touching a database.
+func benchExamples(b *testing.B, n int) ([]Example, int, int, int, nn.LabelNorm) {
+	b.Helper()
+	const tdim, jdim, pdim = 1008, 7, 17
+	examples := make([]Example, n)
+	for i := range examples {
+		tv := make([][]float64, 1+i%3)
+		for j := range tv {
+			v := make([]float64, tdim)
+			v[j%8] = 1
+			for k := 8; k < tdim; k += 7 {
+				v[k] = float64((i + k) % 2)
+			}
+			tv[j] = v
+		}
+		jv := [][]float64{make([]float64, jdim)}
+		jv[0][i%jdim] = 1
+		pv := [][]float64{make([]float64, pdim)}
+		pv[0][i%13] = 1
+		pv[0][pdim-1] = float64(i%100) / 100
+		examples[i] = Example{
+			Enc:  featurize.Encoded{TableVecs: tv, JoinVecs: jv, PredVecs: pv},
+			Card: int64(1 + i*37%100000),
+		}
+	}
+	cards := make([]int64, n)
+	for i, ex := range examples {
+		cards[i] = ex.Card
+	}
+	return examples, tdim, jdim, pdim, nn.NewLabelNorm(cards)
+}
+
+func BenchmarkForwardBatch(b *testing.B) {
+	examples, tdim, jdim, pdim, _ := benchExamples(b, 128)
+	m := New(Config{HiddenUnits: 64, Seed: 1}, tdim, jdim, pdim)
+	encs := make([]featurize.Encoded, len(examples))
+	ys := make([]float64, len(examples))
+	for i, ex := range examples {
+		encs[i] = ex.Enc
+	}
+	batch, err := BuildBatch(encs, ys, tdim, jdim, pdim)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Forward(batch)
+	}
+}
+
+func BenchmarkPredictSingle(b *testing.B) {
+	examples, tdim, jdim, pdim, _ := benchExamples(b, 8)
+	m := New(Config{HiddenUnits: 64, Seed: 1}, tdim, jdim, pdim)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Predict(examples[i%len(examples)].Enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTrainEpoch(b *testing.B) {
+	examples, tdim, jdim, pdim, norm := benchExamples(b, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := New(Config{HiddenUnits: 64, Epochs: 1, BatchSize: 128, Seed: 1}, tdim, jdim, pdim)
+		if _, err := m.Train(examples, norm, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBuildBatch(b *testing.B) {
+	examples, tdim, jdim, pdim, _ := benchExamples(b, 128)
+	encs := make([]featurize.Encoded, len(examples))
+	ys := make([]float64, len(examples))
+	for i, ex := range examples {
+		encs[i] = ex.Enc
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildBatch(encs, ys, tdim, jdim, pdim); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package mscn
+
+import (
+	"encoding/json"
+	"testing"
+
+	"deepsketch/internal/nn"
+)
+
+func TestConfigJSONRoundTrip(t *testing.T) {
+	cfg := Config{
+		HiddenUnits: 96, Epochs: 42, BatchSize: 256, LearningRate: 5e-4,
+		Loss: nn.LossL1Log, ClipNorm: 7, GradCap: 500, ValFrac: 0.2, Seed: 99,
+	}
+	blob, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Config
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != cfg {
+		t.Errorf("round trip changed config:\n%+v\n%+v", cfg, back)
+	}
+}
+
+func TestTrainWithL1LogLoss(t *testing.T) {
+	_, enc, examples, norm := testSetup(t, 200)
+	cfg := Config{HiddenUnits: 16, Epochs: 8, BatchSize: 32, Seed: 3, Loss: nn.LossL1Log}
+	m := New(cfg, enc.TableDim(), enc.JoinDim(), enc.PredDim())
+	stats, err := m.Train(examples, norm, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := stats[0], stats[len(stats)-1]
+	if !(last.ValMeanQ < first.ValMeanQ) {
+		t.Errorf("L1-log training did not improve: %v -> %v", first.ValMeanQ, last.ValMeanQ)
+	}
+}
+
+func TestDifferentSeedsDifferentWeights(t *testing.T) {
+	a := New(Config{HiddenUnits: 8, Seed: 1}, 5, 2, 3)
+	b := New(Config{HiddenUnits: 8, Seed: 2}, 5, 2, 3)
+	same := true
+	pa, pb := a.Params(), b.Params()
+	for i := range pa {
+		for j := range pa[i].Data {
+			if pa[i].Data[j] != pb[i].Data[j] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical initial weights")
+	}
+}
+
+// TestKeepBestRestoresBestEpoch: with KeepBest the final weights must give
+// validation error no worse than the best epoch observed (equal by
+// construction), and differ from a run without KeepBest when the last epoch
+// was not the best.
+func TestKeepBestRestoresBestEpoch(t *testing.T) {
+	_, enc, examples, norm := testSetup(t, 200)
+	cfg := Config{HiddenUnits: 16, Epochs: 10, BatchSize: 32, Seed: 11, ValFrac: 0.2, KeepBest: true}
+	m := New(cfg, enc.TableDim(), enc.JoinDim(), enc.PredDim())
+	stats, err := m.Train(examples, norm, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := stats[0].ValMeanQ
+	for _, st := range stats {
+		if st.ValMeanQ < best {
+			best = st.ValMeanQ
+		}
+	}
+	// Recompute validation error with the restored weights: it must match
+	// the best epoch (same deterministic split).
+	val := validationSlice(examples, cfg, m)
+	qs, err := m.evalQErrors(val, norm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := mean(qs)
+	if got > best*1.0000001 {
+		t.Errorf("restored weights give val mean-q %v, best epoch was %v", got, best)
+	}
+}
+
+// validationSlice reproduces Train's deterministic shuffle/split so tests
+// can evaluate the exact validation set.
+func validationSlice(examples []Example, cfg Config, m *Model) []Example {
+	rng := trainRand(m.Cfg.Seed)
+	perm := shuffle(rng, len(examples))
+	shuffled := make([]Example, len(examples))
+	for i, p := range perm {
+		shuffled[i] = examples[p]
+	}
+	nVal := int(float64(len(shuffled)) * m.Cfg.ValFrac)
+	if nVal >= len(shuffled) {
+		nVal = len(shuffled) - 1
+	}
+	return shuffled[len(shuffled)-nVal:]
+}
+
+func TestPredictAllEmpty(t *testing.T) {
+	m := New(Config{HiddenUnits: 8, Seed: 1}, 5, 2, 3)
+	out, err := m.PredictAll(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 {
+		t.Errorf("PredictAll(nil) = %v", out)
+	}
+}

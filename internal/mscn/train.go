@@ -1,0 +1,205 @@
+package mscn
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"deepsketch/internal/datagen"
+	"deepsketch/internal/featurize"
+	"deepsketch/internal/nn"
+	"deepsketch/internal/trainmon"
+)
+
+// Example is one training example: a featurized query and its true
+// cardinality.
+type Example struct {
+	Enc  featurize.Encoded
+	Card int64
+}
+
+// EpochStats captures one epoch of training for monitoring and the epoch-
+// convergence experiment (E7).
+type EpochStats struct {
+	Epoch     int
+	TrainLoss float64
+	ValMeanQ  float64
+	ValMedQ   float64
+	Duration  time.Duration
+}
+
+// Train fits the model on examples using the encoder's label normalization.
+// A validation split (Cfg.ValFrac, taken deterministically from the shuffled
+// tail) is evaluated after every epoch; per-epoch metrics stream to mon and
+// are returned. The encoder must already have its label norm fitted
+// (Encoder.FitLabels) on the training cardinalities.
+func (m *Model) Train(examples []Example, norm nn.LabelNorm, mon *trainmon.Monitor) ([]EpochStats, error) {
+	if len(examples) == 0 {
+		return nil, fmt.Errorf("mscn: no training examples")
+	}
+	rng := trainRand(m.Cfg.Seed)
+
+	// Deterministic shuffle, then split off validation tail.
+	perm := shuffle(rng, len(examples))
+	shuffled := make([]Example, len(examples))
+	for i, p := range perm {
+		shuffled[i] = examples[p]
+	}
+	nVal := int(float64(len(shuffled)) * m.Cfg.ValFrac)
+	if nVal >= len(shuffled) {
+		nVal = len(shuffled) - 1
+	}
+	train := shuffled[:len(shuffled)-nVal]
+	val := shuffled[len(shuffled)-nVal:]
+
+	ys := make([]float64, len(train))
+	for i, ex := range train {
+		ys[i] = norm.Normalize(ex.Card)
+	}
+
+	opt := nn.NewAdam(m.Cfg.LearningRate, m.Cfg.ClipNorm)
+	params := m.Params()
+	stats := make([]EpochStats, 0, m.Cfg.Epochs)
+
+	var bestVal float64
+	var bestWeights [][]float64
+	snapshot := func() {
+		if bestWeights == nil {
+			bestWeights = make([][]float64, len(params))
+			for i, p := range params {
+				bestWeights[i] = make([]float64, len(p.Data))
+			}
+		}
+		for i, p := range params {
+			copy(bestWeights[i], p.Data)
+		}
+	}
+
+	for epoch := 1; epoch <= m.Cfg.Epochs; epoch++ {
+		start := time.Now()
+		order := shuffle(rng, len(train))
+		var lossSum float64
+		var batches int
+		for lo := 0; lo < len(order); lo += m.Cfg.BatchSize {
+			hi := lo + m.Cfg.BatchSize
+			if hi > len(order) {
+				hi = len(order)
+			}
+			encs := make([]featurize.Encoded, hi-lo)
+			targets := make([]float64, hi-lo)
+			for i, idx := range order[lo:hi] {
+				encs[i] = train[idx].Enc
+				targets[i] = ys[idx]
+			}
+			batch, err := BuildBatch(encs, targets, m.TDim, m.JDim, m.PDim)
+			if err != nil {
+				return stats, err
+			}
+			preds, tp := m.forward(batch)
+			loss, grad := nn.Loss(m.Cfg.Loss, norm, preds, batch.Y, m.Cfg.GradCap)
+			m.backward(tp, grad)
+			opt.Step(params)
+			lossSum += loss
+			batches++
+		}
+		st := EpochStats{Epoch: epoch, TrainLoss: lossSum / float64(batches), Duration: time.Since(start)}
+		if len(val) > 0 {
+			qs, err := m.evalQErrors(val, norm)
+			if err != nil {
+				return stats, err
+			}
+			st.ValMeanQ = mean(qs)
+			st.ValMedQ = median(qs)
+		}
+		stats = append(stats, st)
+		mon.Epoch(epoch, st.TrainLoss, st.ValMeanQ, st.ValMedQ)
+		if m.Cfg.KeepBest && len(val) > 0 && (bestWeights == nil || st.ValMeanQ < bestVal) {
+			bestVal = st.ValMeanQ
+			snapshot()
+		}
+	}
+	if m.Cfg.KeepBest && bestWeights != nil {
+		for i, p := range params {
+			copy(p.Data, bestWeights[i])
+		}
+	}
+	return stats, nil
+}
+
+// evalQErrors predicts the validation examples and returns their q-errors.
+func (m *Model) evalQErrors(val []Example, norm nn.LabelNorm) ([]float64, error) {
+	encs := make([]featurize.Encoded, len(val))
+	for i, ex := range val {
+		encs[i] = ex.Enc
+	}
+	preds, err := m.PredictAll(encs)
+	if err != nil {
+		return nil, err
+	}
+	qs := make([]float64, len(val))
+	for i, ex := range val {
+		qs[i] = norm.QErrorOf(preds[i], norm.Normalize(ex.Card))
+	}
+	return qs, nil
+}
+
+// Predict returns the normalized prediction for one featurized query.
+func (m *Model) Predict(enc featurize.Encoded) (float64, error) {
+	batch, err := BuildBatch([]featurize.Encoded{enc}, nil, m.TDim, m.JDim, m.PDim)
+	if err != nil {
+		return 0, err
+	}
+	return m.Forward(batch)[0], nil
+}
+
+// PredictAll returns normalized predictions for many featurized queries,
+// processed in inference batches.
+func (m *Model) PredictAll(encs []featurize.Encoded) ([]float64, error) {
+	out := make([]float64, 0, len(encs))
+	bs := m.Cfg.BatchSize
+	if bs <= 0 {
+		bs = 64
+	}
+	for lo := 0; lo < len(encs); lo += bs {
+		hi := lo + bs
+		if hi > len(encs) {
+			hi = len(encs)
+		}
+		batch, err := BuildBatch(encs[lo:hi], nil, m.TDim, m.JDim, m.PDim)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m.Forward(batch)...)
+	}
+	return out, nil
+}
+
+// trainRand derives the training RNG (shuffles, validation split) from the
+// model seed; exposed within the package so tests can reproduce the split.
+func trainRand(seed int64) *rand.Rand { return datagen.NewRand(seed ^ 0x7ea1) }
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	c := make([]float64, len(xs))
+	copy(c, xs)
+	sort.Float64s(c)
+	n := len(c)
+	if n%2 == 1 {
+		return c[n/2]
+	}
+	return (c[n/2-1] + c[n/2]) / 2
+}

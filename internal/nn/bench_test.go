@@ -1,0 +1,114 @@
+package nn
+
+import (
+	"testing"
+
+	"deepsketch/internal/datagen"
+)
+
+// Layer sizes mirror the MSCN table module at paper-ish scale: input width
+// dominated by the 1000-bit sample bitmap, hidden width 64.
+const (
+	benchIn    = 1008
+	benchOut   = 64
+	benchBatch = 256
+)
+
+func benchLinear(b *testing.B) (*Linear, Matrix) {
+	b.Helper()
+	rng := datagen.NewRand(1)
+	l := NewLinear("bench", benchIn, benchOut, rng)
+	x := NewMatrix(benchBatch, benchIn)
+	for i := range x.Data {
+		x.Data[i] = rng.Float64()
+	}
+	return l, x
+}
+
+func BenchmarkLinearForward(b *testing.B) {
+	l, x := benchLinear(b)
+	b.SetBytes(int64(benchBatch * benchIn * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Forward(x)
+	}
+}
+
+func BenchmarkLinearBackward(b *testing.B) {
+	l, x := benchLinear(b)
+	y := l.Forward(x)
+	dy := NewMatrix(y.Rows, y.Cols)
+	for i := range dy.Data {
+		dy.Data[i] = 0.01
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Backward(x, dy)
+		l.W.ZeroGrad()
+		l.B.ZeroGrad()
+	}
+}
+
+func BenchmarkReLU(b *testing.B) {
+	_, x := benchLinear(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ReLU(x)
+	}
+}
+
+func BenchmarkMaskedAvgPool(b *testing.B) {
+	rng := datagen.NewRand(2)
+	const sets, elems, width = 64, 4, 64
+	x := NewMatrix(sets*elems, width)
+	for i := range x.Data {
+		x.Data[i] = rng.Float64()
+	}
+	mask := make([]float64, sets*elems)
+	for i := range mask {
+		if i%elems < 2 {
+			mask[i] = 1
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MaskedAvgPool(x, mask, sets, elems)
+	}
+}
+
+func BenchmarkAdamStep(b *testing.B) {
+	rng := datagen.NewRand(3)
+	l := NewLinear("bench", benchIn, benchOut, rng)
+	opt := NewAdam(1e-3, 5)
+	params := l.Params()
+	for _, p := range params {
+		for i := range p.Grad {
+			p.Grad[i] = rng.Float64() - 0.5
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Re-fill grads so the step has work to do.
+		for _, p := range params {
+			for j := range p.Grad {
+				p.Grad[j] = 0.01
+			}
+		}
+		opt.Step(params)
+	}
+}
+
+func BenchmarkQErrorLoss(b *testing.B) {
+	rng := datagen.NewRand(4)
+	norm := LabelNorm{MinLog: 0, MaxLog: 15}
+	preds := make([]float64, 1024)
+	targets := make([]float64, 1024)
+	for i := range preds {
+		preds[i] = rng.Float64()
+		targets[i] = rng.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Loss(LossQError, norm, preds, targets, 1e4)
+	}
+}

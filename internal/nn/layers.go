@@ -1,0 +1,301 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Param is a learnable parameter tensor with its gradient accumulator.
+type Param struct {
+	Name string
+	Data []float64
+	Grad []float64
+}
+
+// NewParam allocates a named parameter of n elements.
+func NewParam(name string, n int) *Param {
+	return &Param{Name: name, Data: make([]float64, n), Grad: make([]float64, n)}
+}
+
+// ZeroGrad clears the gradient accumulator.
+func (p *Param) ZeroGrad() {
+	for i := range p.Grad {
+		p.Grad[i] = 0
+	}
+}
+
+// Linear is a fully-connected layer: y = x·Wᵀ + b with W stored row-major
+// as [out][in].
+type Linear struct {
+	In, Out int
+	W       *Param
+	B       *Param
+}
+
+// NewLinear constructs a layer with He-uniform initialized weights and
+// PyTorch-style uniform bias init (±1/√in), drawn from the given
+// deterministic rng. Non-zero biases also keep zero-vector padding elements
+// off the ReLU kink, which matters for gradient checking.
+func NewLinear(name string, in, out int, rng *rand.Rand) *Linear {
+	l := &Linear{In: in, Out: out, W: NewParam(name+".W", in*out), B: NewParam(name+".b", out)}
+	bound := math.Sqrt(6.0 / float64(in))
+	for i := range l.W.Data {
+		l.W.Data[i] = (rng.Float64()*2 - 1) * bound
+	}
+	bBound := 1.0 / math.Sqrt(float64(in))
+	for i := range l.B.Data {
+		l.B.Data[i] = (rng.Float64()*2 - 1) * bBound
+	}
+	return l
+}
+
+// Params returns the layer's learnable parameters.
+func (l *Linear) Params() []*Param { return []*Param{l.W, l.B} }
+
+// dot computes Σ a[i]*b[i] with four accumulators to break the FP add
+// dependency chain; a and b must have equal length.
+func dot(a, b []float64) float64 {
+	var s0, s1, s2, s3 float64
+	n := len(a)
+	b = b[:n]
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		s0 += a[i] * b[i]
+		s1 += a[i+1] * b[i+1]
+		s2 += a[i+2] * b[i+2]
+		s3 += a[i+3] * b[i+3]
+	}
+	for ; i < n; i++ {
+		s0 += a[i] * b[i]
+	}
+	return s0 + s1 + s2 + s3
+}
+
+// axpy computes y[i] += alpha * x[i]; x and y must have equal length.
+func axpy(alpha float64, x, y []float64) {
+	n := len(x)
+	y = y[:n]
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		y[i] += alpha * x[i]
+		y[i+1] += alpha * x[i+1]
+		y[i+2] += alpha * x[i+2]
+		y[i+3] += alpha * x[i+3]
+	}
+	for ; i < n; i++ {
+		y[i] += alpha * x[i]
+	}
+}
+
+// Forward computes y = x·Wᵀ + b for a batch of rows.
+func (l *Linear) Forward(x Matrix) Matrix {
+	if x.Cols != l.In {
+		panic("nn: Linear.Forward dimension mismatch")
+	}
+	y := NewMatrix(x.Rows, l.Out)
+	w, b := l.W.Data, l.B.Data
+	parallelRows(x.Rows, func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			xr := x.Row(r)
+			yr := y.Row(r)
+			for o := 0; o < l.Out; o++ {
+				yr[o] = dot(xr, w[o*l.In:(o+1)*l.In]) + b[o]
+			}
+		}
+	})
+	return y
+}
+
+// Backward computes dx from dy and accumulates parameter gradients, given
+// the forward input x.
+func (l *Linear) Backward(x, dy Matrix) Matrix {
+	if dy.Cols != l.Out || x.Rows != dy.Rows {
+		panic("nn: Linear.Backward dimension mismatch")
+	}
+	dx := NewMatrix(x.Rows, l.In)
+	w := l.W.Data
+
+	// dx[r] = Σ_o dy[r,o] * W[o,:] — parallel over batch rows.
+	parallelRows(x.Rows, func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			dyr := dy.Row(r)
+			dxr := dx.Row(r)
+			for o := 0; o < l.Out; o++ {
+				if g := dyr[o]; g != 0 {
+					axpy(g, w[o*l.In:(o+1)*l.In], dxr)
+				}
+			}
+		}
+	})
+
+	// dW[o,:] += Σ_r dy[r,o] * x[r,:]; db[o] += Σ_r dy[r,o] — parallel over
+	// output units so accumulators never race.
+	dW, dB := l.W.Grad, l.B.Grad
+	parallelRows(l.Out, func(olo, ohi int) {
+		for r := 0; r < x.Rows; r++ {
+			dyr := dy.Row(r)
+			xr := x.Row(r)
+			for o := olo; o < ohi; o++ {
+				g := dyr[o]
+				if g == 0 {
+					continue
+				}
+				dB[o] += g
+				axpy(g, xr, dW[o*l.In:(o+1)*l.In])
+			}
+		}
+	})
+	return dx
+}
+
+// ReLU applies max(0, x) element-wise, returning a new matrix.
+func ReLU(x Matrix) Matrix {
+	y := NewMatrix(x.Rows, x.Cols)
+	for i, v := range x.Data {
+		if v > 0 {
+			y.Data[i] = v
+		}
+	}
+	return y
+}
+
+// ReLUBackward computes dx given the forward *output* y and dy: gradient
+// passes where the output was positive.
+func ReLUBackward(y, dy Matrix) Matrix {
+	dx := NewMatrix(dy.Rows, dy.Cols)
+	for i, v := range y.Data {
+		if v > 0 {
+			dx.Data[i] = dy.Data[i]
+		}
+	}
+	return dx
+}
+
+// Sigmoid applies 1/(1+e^-x) element-wise.
+func Sigmoid(x Matrix) Matrix {
+	y := NewMatrix(x.Rows, x.Cols)
+	for i, v := range x.Data {
+		y.Data[i] = 1.0 / (1.0 + math.Exp(-v))
+	}
+	return y
+}
+
+// SigmoidBackward computes dx given the forward output y and dy:
+// σ'(x) = y·(1−y).
+func SigmoidBackward(y, dy Matrix) Matrix {
+	dx := NewMatrix(dy.Rows, dy.Cols)
+	for i, v := range y.Data {
+		dx.Data[i] = dy.Data[i] * v * (1 - v)
+	}
+	return dx
+}
+
+// Concat horizontally concatenates matrices with equal row counts.
+func Concat(ms ...Matrix) Matrix {
+	if len(ms) == 0 {
+		return Matrix{}
+	}
+	rows := ms[0].Rows
+	cols := 0
+	for _, m := range ms {
+		if m.Rows != rows {
+			panic("nn: Concat row mismatch")
+		}
+		cols += m.Cols
+	}
+	out := NewMatrix(rows, cols)
+	for r := 0; r < rows; r++ {
+		dst := out.Row(r)
+		off := 0
+		for _, m := range ms {
+			copy(dst[off:off+m.Cols], m.Row(r))
+			off += m.Cols
+		}
+	}
+	return out
+}
+
+// SplitCols splits a matrix horizontally into widths, the inverse of Concat.
+func SplitCols(m Matrix, widths ...int) []Matrix {
+	total := 0
+	for _, w := range widths {
+		total += w
+	}
+	if total != m.Cols {
+		panic("nn: SplitCols width mismatch")
+	}
+	out := make([]Matrix, len(widths))
+	off := 0
+	for i, w := range widths {
+		part := NewMatrix(m.Rows, w)
+		for r := 0; r < m.Rows; r++ {
+			copy(part.Row(r), m.Row(r)[off:off+w])
+		}
+		out[i] = part
+		off += w
+	}
+	return out
+}
+
+// MaskedAvgPool averages set-element representations into one vector per
+// set. x is (B·S)×H (B sets of S padded elements); mask is length B·S with
+// 1 for valid elements. Sets whose mask is all zero yield a zero vector
+// (division guarded), though callers are expected to pad empty sets with a
+// single zero element instead.
+func MaskedAvgPool(x Matrix, mask []float64, b, s int) Matrix {
+	if x.Rows != b*s || len(mask) != b*s {
+		panic("nn: MaskedAvgPool shape mismatch")
+	}
+	out := NewMatrix(b, x.Cols)
+	for bi := 0; bi < b; bi++ {
+		dst := out.Row(bi)
+		var n float64
+		for si := 0; si < s; si++ {
+			r := bi*s + si
+			if mask[r] == 0 {
+				continue
+			}
+			n++
+			src := x.Row(r)
+			for c, v := range src {
+				dst[c] += v
+			}
+		}
+		if n > 0 {
+			inv := 1.0 / n
+			for c := range dst {
+				dst[c] *= inv
+			}
+		}
+	}
+	return out
+}
+
+// MaskedAvgPoolBackward distributes dOut (B×H) back to the set elements.
+func MaskedAvgPoolBackward(dOut Matrix, mask []float64, b, s int) Matrix {
+	dx := NewMatrix(b*s, dOut.Cols)
+	for bi := 0; bi < b; bi++ {
+		var n float64
+		for si := 0; si < s; si++ {
+			if mask[bi*s+si] != 0 {
+				n++
+			}
+		}
+		if n == 0 {
+			continue
+		}
+		inv := 1.0 / n
+		src := dOut.Row(bi)
+		for si := 0; si < s; si++ {
+			r := bi*s + si
+			if mask[r] == 0 {
+				continue
+			}
+			dst := dx.Row(r)
+			for c, v := range src {
+				dst[c] = v * inv
+			}
+		}
+	}
+	return dx
+}

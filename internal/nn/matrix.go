@@ -1,0 +1,83 @@
+// Package nn is a small from-scratch neural network library — the stand-in
+// for PyTorch in this reproduction. It provides exactly what the MSCN model
+// needs: dense matrices, fully-connected layers with backpropagation, ReLU
+// and sigmoid activations, masked average-pooling over sets, the Adam
+// optimizer with global-norm gradient clipping, the paper's mean q-error
+// training objective, and deterministic weight initialization. Everything is
+// float64 and CPU-only; hot loops are parallelized across row blocks.
+package nn
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewMatrix allocates a zeroed Rows×Cols matrix.
+func NewMatrix(rows, cols int) Matrix {
+	return Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// At returns element (r, c).
+func (m Matrix) At(r, c int) float64 { return m.Data[r*m.Cols+c] }
+
+// Set assigns element (r, c).
+func (m Matrix) Set(r, c int, v float64) { m.Data[r*m.Cols+c] = v }
+
+// Row returns the r-th row as a slice aliasing the matrix storage.
+func (m Matrix) Row(r int) []float64 { return m.Data[r*m.Cols : (r+1)*m.Cols] }
+
+// Zero clears all elements in place.
+func (m Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Clone returns a deep copy.
+func (m Matrix) Clone() Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+func (m Matrix) String() string {
+	return fmt.Sprintf("Matrix(%dx%d)", m.Rows, m.Cols)
+}
+
+// parallelThreshold is the minimum amount of row-work before forward/backward
+// loops fan out across goroutines.
+const parallelThreshold = 64
+
+// parallelRows splits [0, n) into contiguous blocks and runs f on each block,
+// using up to GOMAXPROCS goroutines. Small n runs inline.
+func parallelRows(n int, f func(lo, hi int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if n < parallelThreshold || workers <= 1 {
+		f(0, n)
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			f(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

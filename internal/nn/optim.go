@@ -1,0 +1,77 @@
+package nn
+
+import "math"
+
+// Adam implements the Adam optimizer (Kingma & Ba) with optional global-norm
+// gradient clipping — the paper trains MSCN with Adam at the PyTorch default
+// learning rate.
+type Adam struct {
+	LR       float64
+	Beta1    float64
+	Beta2    float64
+	Eps      float64
+	ClipNorm float64 // <= 0 disables clipping
+
+	t int
+	m map[*Param][]float64
+	v map[*Param][]float64
+}
+
+// NewAdam constructs an Adam optimizer with standard defaults
+// (β1=0.9, β2=0.999, ε=1e-8).
+func NewAdam(lr, clipNorm float64) *Adam {
+	return &Adam{
+		LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8, ClipNorm: clipNorm,
+		m: make(map[*Param][]float64), v: make(map[*Param][]float64),
+	}
+}
+
+// GlobalGradNorm returns the L2 norm of all gradients combined.
+func GlobalGradNorm(params []*Param) float64 {
+	var ss float64
+	for _, p := range params {
+		for _, g := range p.Grad {
+			ss += g * g
+		}
+	}
+	return math.Sqrt(ss)
+}
+
+// Step applies one update to all parameters from their accumulated
+// gradients, then zeroes the gradients.
+func (a *Adam) Step(params []*Param) {
+	if a.ClipNorm > 0 {
+		norm := GlobalGradNorm(params)
+		if norm > a.ClipNorm {
+			scale := a.ClipNorm / (norm + 1e-12)
+			for _, p := range params {
+				for i := range p.Grad {
+					p.Grad[i] *= scale
+				}
+			}
+		}
+	}
+	a.t++
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for _, p := range params {
+		m, ok := a.m[p]
+		if !ok {
+			m = make([]float64, len(p.Data))
+			a.m[p] = m
+		}
+		v, ok := a.v[p]
+		if !ok {
+			v = make([]float64, len(p.Data))
+			a.v[p] = v
+		}
+		for i, g := range p.Grad {
+			m[i] = a.Beta1*m[i] + (1-a.Beta1)*g
+			v[i] = a.Beta2*v[i] + (1-a.Beta2)*g*g
+			mh := m[i] / bc1
+			vh := v[i] / bc2
+			p.Data[i] -= a.LR * mh / (math.Sqrt(vh) + a.Eps)
+		}
+		p.ZeroGrad()
+	}
+}

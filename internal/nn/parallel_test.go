@@ -1,0 +1,96 @@
+package nn
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"deepsketch/internal/datagen"
+)
+
+// TestParallelRowsCoversExactly: the row partition must cover [0, n) with no
+// gaps and no overlaps for any n.
+func TestParallelRowsCoversExactly(t *testing.T) {
+	f := func(raw uint16) bool {
+		n := int(raw % 2048)
+		var mu sync.Mutex
+		seen := make([]int, n)
+		parallelRows(n, func(lo, hi int) {
+			mu.Lock()
+			defer mu.Unlock()
+			for i := lo; i < hi; i++ {
+				seen[i]++
+			}
+		})
+		for _, c := range seen {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParallelRowsZero(t *testing.T) {
+	called := false
+	parallelRows(0, func(lo, hi int) {
+		if lo != hi {
+			t.Error("zero rows should produce empty range")
+		}
+		called = true
+	})
+	if !called {
+		t.Error("callback should still run once for inline path")
+	}
+}
+
+// TestForwardMatchesSerial: the parallel forward must equal a serial
+// reference computation.
+func TestForwardMatchesSerial(t *testing.T) {
+	rng := datagen.NewRand(123)
+	l := NewLinear("l", 33, 17, rng)
+	x := NewMatrix(parallelThreshold*2, 33) // force the parallel path
+	for i := range x.Data {
+		x.Data[i] = rng.Float64()*2 - 1
+	}
+	y := l.Forward(x)
+	for r := 0; r < x.Rows; r++ {
+		for o := 0; o < 17; o++ {
+			var want float64
+			for i := 0; i < 33; i++ {
+				want += x.At(r, i) * l.W.Data[o*33+i]
+			}
+			want += l.B.Data[o]
+			if diff := y.At(r, o) - want; diff > 1e-9 || diff < -1e-9 {
+				t.Fatalf("forward[%d,%d] = %v, want %v", r, o, y.At(r, o), want)
+			}
+		}
+	}
+}
+
+func TestDotAndAxpyEdgeLengths(t *testing.T) {
+	// Exercise the unrolled loops' remainder handling at every small size.
+	for n := 0; n < 9; n++ {
+		a := make([]float64, n)
+		b := make([]float64, n)
+		var want float64
+		for i := 0; i < n; i++ {
+			a[i] = float64(i + 1)
+			b[i] = float64(2 * (i + 1))
+			want += a[i] * b[i]
+		}
+		if got := dot(a, b); got != want {
+			t.Errorf("dot len %d = %v, want %v", n, got, want)
+		}
+		y := make([]float64, n)
+		axpy(2, a, y)
+		for i := range y {
+			if y[i] != 2*a[i] {
+				t.Errorf("axpy len %d[%d] = %v", n, i, y[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package nn
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// WriteParams serializes parameters as little-endian float64 blocks, each
+// prefixed by its element count, in slice order. The format carries no
+// names: readers must present the same parameter list in the same order,
+// which model constructors guarantee for a fixed architecture.
+func WriteParams(w io.Writer, params []*Param) error {
+	var buf [8]byte
+	binary.LittleEndian.PutUint32(buf[:4], uint32(len(params)))
+	if _, err := w.Write(buf[:4]); err != nil {
+		return fmt.Errorf("nn: write param count: %w", err)
+	}
+	for _, p := range params {
+		binary.LittleEndian.PutUint32(buf[:4], uint32(len(p.Data)))
+		if _, err := w.Write(buf[:4]); err != nil {
+			return fmt.Errorf("nn: write %s length: %w", p.Name, err)
+		}
+		for _, v := range p.Data {
+			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+			if _, err := w.Write(buf[:]); err != nil {
+				return fmt.Errorf("nn: write %s data: %w", p.Name, err)
+			}
+		}
+	}
+	return nil
+}
+
+// ReadParams deserializes into an existing parameter list, enforcing that
+// counts and lengths match the target architecture exactly.
+func ReadParams(r io.Reader, params []*Param) error {
+	var buf [8]byte
+	if _, err := io.ReadFull(r, buf[:4]); err != nil {
+		return fmt.Errorf("nn: read param count: %w", err)
+	}
+	if n := binary.LittleEndian.Uint32(buf[:4]); int(n) != len(params) {
+		return fmt.Errorf("nn: serialized model has %d params, architecture expects %d", n, len(params))
+	}
+	for _, p := range params {
+		if _, err := io.ReadFull(r, buf[:4]); err != nil {
+			return fmt.Errorf("nn: read %s length: %w", p.Name, err)
+		}
+		if n := binary.LittleEndian.Uint32(buf[:4]); int(n) != len(p.Data) {
+			return fmt.Errorf("nn: param %s has %d elements, architecture expects %d", p.Name, n, len(p.Data))
+		}
+		for i := range p.Data {
+			if _, err := io.ReadFull(r, buf[:]); err != nil {
+				return fmt.Errorf("nn: read %s data: %w", p.Name, err)
+			}
+			p.Data[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[:]))
+		}
+	}
+	return nil
+}

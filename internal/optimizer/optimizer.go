@@ -1,0 +1,351 @@
+// Package optimizer implements a System-R-style dynamic-programming join
+// enumerator with the C_out cost model. It exists to demonstrate the
+// paper's motivating use case end to end: "estimates of intermediate query
+// result sizes are the core ingredient to cost-based query optimizers" and
+// "the estimates produced by Deep Sketches can directly be leveraged by
+// existing, sophisticated join enumeration algorithms and cost models".
+//
+// The enumerator is estimator-agnostic: any cardinality source (the exact
+// executor, the traditional estimators, or a Deep Sketch) can drive plan
+// selection, and plans chosen under different estimators can be compared by
+// costing them under the true cardinalities — the methodology of Leis et
+// al., "How Good Are Query Optimizers, Really?" (PVLDB 2015), which the
+// paper builds on.
+package optimizer
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+	"strings"
+
+	"deepsketch/internal/db"
+)
+
+// CardinalityEstimator estimates the result size of a (sub-)query. Both the
+// baselines and Deep Sketches satisfy this shape; exact execution provides
+// the ground truth.
+type CardinalityEstimator func(db.Query) (float64, error)
+
+// Plan is a binary join tree.
+type Plan struct {
+	// Leaf table alias (set iff Left/Right are nil).
+	Alias string
+	Left  *Plan
+	Right *Plan
+	// Set is the bitmask of relation indices covered by this subtree.
+	Set uint32
+	// Card is the estimated cardinality of this subtree under the
+	// estimator that produced the plan.
+	Card float64
+	// Cost is the accumulated C_out cost under that estimator.
+	Cost float64
+}
+
+// String renders the join tree in the usual parenthesized form, e.g.
+// ((t ⋈ mk) ⋈ k).
+func (p *Plan) String() string {
+	if p == nil {
+		return "<nil>"
+	}
+	if p.Left == nil {
+		return p.Alias
+	}
+	return "(" + p.Left.String() + " ⋈ " + p.Right.String() + ")"
+}
+
+// Leaves returns the plan's aliases left-to-right.
+func (p *Plan) Leaves() []string {
+	if p == nil {
+		return nil
+	}
+	if p.Left == nil {
+		return []string{p.Alias}
+	}
+	return append(p.Left.Leaves(), p.Right.Leaves()...)
+}
+
+// Optimizer enumerates join orders for one query.
+type Optimizer struct {
+	query   db.Query
+	aliases []string
+	// adjacency[i] is the bitmask of relations joinable with relation i.
+	adjacency []uint32
+	est       CardinalityEstimator
+	// memo of estimated cardinalities per relation subset.
+	cards map[uint32]float64
+}
+
+// New prepares an optimizer for a query. The query must pass the usual
+// validation (connected acyclic join graph); queries with more than 30
+// relations are rejected (bitmask representation).
+func New(q db.Query, est CardinalityEstimator) (*Optimizer, error) {
+	if len(q.Tables) == 0 {
+		return nil, fmt.Errorf("optimizer: query has no tables")
+	}
+	if len(q.Tables) > 30 {
+		return nil, fmt.Errorf("optimizer: %d relations exceed the supported maximum", len(q.Tables))
+	}
+	o := &Optimizer{
+		query:     q,
+		aliases:   make([]string, len(q.Tables)),
+		adjacency: make([]uint32, len(q.Tables)),
+		est:       est,
+		cards:     make(map[uint32]float64),
+	}
+	idx := map[string]int{}
+	for i, tr := range q.Tables {
+		o.aliases[i] = tr.Alias
+		idx[tr.Alias] = i
+	}
+	for _, j := range q.Joins {
+		li, ok := idx[j.LeftAlias]
+		if !ok {
+			return nil, fmt.Errorf("optimizer: join alias %s not in query", j.LeftAlias)
+		}
+		ri, ok := idx[j.RightAlias]
+		if !ok {
+			return nil, fmt.Errorf("optimizer: join alias %s not in query", j.RightAlias)
+		}
+		o.adjacency[li] |= 1 << uint(ri)
+		o.adjacency[ri] |= 1 << uint(li)
+	}
+	return o, nil
+}
+
+// SubQuery materializes the sub-query induced by a set of relation indices:
+// the tables in the set, the joins with both ends inside, and the
+// predicates on member aliases. Exported because estimators and tests need
+// the same notion of "intermediate result".
+func (o *Optimizer) SubQuery(set uint32) db.Query {
+	var q db.Query
+	member := map[string]bool{}
+	for i, tr := range o.query.Tables {
+		if set&(1<<uint(i)) != 0 {
+			q.Tables = append(q.Tables, tr)
+			member[tr.Alias] = true
+		}
+	}
+	for _, j := range o.query.Joins {
+		if member[j.LeftAlias] && member[j.RightAlias] {
+			q.Joins = append(q.Joins, j)
+		}
+	}
+	for _, p := range o.query.Preds {
+		if member[p.Alias] {
+			q.Preds = append(q.Preds, p)
+		}
+	}
+	return q
+}
+
+// cardOf returns (memoized) the estimated cardinality of a relation subset.
+func (o *Optimizer) cardOf(set uint32) (float64, error) {
+	if c, ok := o.cards[set]; ok {
+		return c, nil
+	}
+	est, err := o.est(o.SubQuery(set))
+	if err != nil {
+		return 0, err
+	}
+	if est < 1 || math.IsNaN(est) || math.IsInf(est, 0) {
+		est = 1
+	}
+	o.cards[set] = est
+	return est, nil
+}
+
+// connected reports whether the relations in set form a connected subgraph
+// of the join graph.
+func (o *Optimizer) connected(set uint32) bool {
+	if set == 0 {
+		return false
+	}
+	start := uint32(1) << uint(bits.TrailingZeros32(set))
+	frontier := start
+	visited := start
+	for frontier != 0 {
+		next := uint32(0)
+		f := frontier
+		for f != 0 {
+			i := bits.TrailingZeros32(f)
+			f &^= 1 << uint(i)
+			next |= o.adjacency[i] & set
+		}
+		next &^= visited
+		visited |= next
+		frontier = next
+	}
+	return visited == set
+}
+
+// BestPlan runs dynamic programming over connected subsets (DPsub), costing
+// with C_out: cost(P) = Σ |intermediate results|, the standard cost model of
+// the JOB studies. Bushy plans are allowed; cross products are not.
+func (o *Optimizer) BestPlan() (*Plan, error) {
+	n := len(o.aliases)
+	full := uint32(1<<uint(n)) - 1
+	best := make(map[uint32]*Plan, 1<<uint(n))
+
+	for i := 0; i < n; i++ {
+		set := uint32(1) << uint(i)
+		card, err := o.cardOf(set)
+		if err != nil {
+			return nil, err
+		}
+		// Leaf cost: 0 under C_out (base-table scans are not counted; they
+		// are identical across plans).
+		best[set] = &Plan{Alias: o.aliases[i], Set: set, Card: card}
+	}
+	if n == 1 {
+		return best[1], nil
+	}
+
+	// Enumerate subsets in increasing popcount so sub-plans exist.
+	subsets := make([]uint32, 0, 1<<uint(n))
+	for s := uint32(1); s <= full; s++ {
+		if bits.OnesCount32(s) >= 2 && o.connected(s) {
+			subsets = append(subsets, s)
+		}
+	}
+	sort.Slice(subsets, func(i, j int) bool {
+		ci, cj := bits.OnesCount32(subsets[i]), bits.OnesCount32(subsets[j])
+		if ci != cj {
+			return ci < cj
+		}
+		return subsets[i] < subsets[j]
+	})
+
+	for _, s := range subsets {
+		card, err := o.cardOf(s)
+		if err != nil {
+			return nil, err
+		}
+		// Split s into connected left/right halves; iterate proper
+		// non-empty subsets of s.
+		var bestPlan *Plan
+		for l := (s - 1) & s; l != 0; l = (l - 1) & s {
+			r := s &^ l
+			if l > r {
+				continue // each unordered split once
+			}
+			lp, lok := best[l]
+			rp, rok := best[r]
+			if !lok || !rok {
+				continue
+			}
+			if !o.joinable(l, r) {
+				continue // would be a cross product
+			}
+			cost := lp.Cost + rp.Cost + card
+			if bestPlan == nil || cost < bestPlan.Cost {
+				bestPlan = &Plan{Left: lp, Right: rp, Set: s, Card: card, Cost: cost}
+			}
+		}
+		if bestPlan != nil {
+			best[s] = bestPlan
+		}
+	}
+	plan, ok := best[full]
+	if !ok {
+		return nil, fmt.Errorf("optimizer: join graph disconnected")
+	}
+	return plan, nil
+}
+
+func (o *Optimizer) joinable(l, r uint32) bool {
+	f := l
+	for f != 0 {
+		i := bits.TrailingZeros32(f)
+		f &^= 1 << uint(i)
+		if o.adjacency[i]&r != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// TrueCost re-costs an arbitrary plan under a reference cardinality source
+// (normally exact execution): C_out with the reference's cardinalities for
+// every intermediate. This is how plans picked by different estimators are
+// compared fairly.
+func (o *Optimizer) TrueCost(p *Plan, truth CardinalityEstimator) (float64, error) {
+	ref, err := New(o.query, truth)
+	if err != nil {
+		return 0, err
+	}
+	return ref.costOf(p)
+}
+
+func (o *Optimizer) costOf(p *Plan) (float64, error) {
+	if p.Left == nil {
+		return 0, nil
+	}
+	lc, err := o.costOf(p.Left)
+	if err != nil {
+		return 0, err
+	}
+	rc, err := o.costOf(p.Right)
+	if err != nil {
+		return 0, err
+	}
+	card, err := o.cardOf(p.Set)
+	if err != nil {
+		return 0, err
+	}
+	return lc + rc + card, nil
+}
+
+// PlanQuality compares an estimator against the optimal: it picks the best
+// plan under est, re-costs it under truth, and divides by the cost of the
+// plan picked (and costed) under truth. 1.0 means the estimator led the
+// optimizer to an optimal plan; larger is worse.
+func PlanQuality(q db.Query, est, truth CardinalityEstimator) (ratio float64, chosen, optimal *Plan, err error) {
+	if len(q.Tables) < 2 {
+		return 1, nil, nil, fmt.Errorf("optimizer: plan quality needs at least one join")
+	}
+	oe, err := New(q, est)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	chosen, err = oe.BestPlan()
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	ot, err := New(q, truth)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	optimal, err = ot.BestPlan()
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	chosenTrue, err := ot.costOf(chosen)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	if optimal.Cost <= 0 {
+		return 1, chosen, optimal, nil
+	}
+	return chosenTrue / optimal.Cost, chosen, optimal, nil
+}
+
+// FormatComparison renders per-system plan-quality summaries.
+func FormatComparison(names []string, ratios [][]float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-18s %10s %10s %10s %10s\n", "system", "median", "90th", "max", "mean")
+	for i, name := range names {
+		rs := append([]float64(nil), ratios[i]...)
+		sort.Float64s(rs)
+		var sum float64
+		for _, r := range rs {
+			sum += r
+		}
+		med := rs[len(rs)/2]
+		p90 := rs[int(float64(len(rs)-1)*0.9)]
+		fmt.Fprintf(&b, "%-18s %10.2f %10.2f %10.2f %10.2f\n",
+			name, med, p90, rs[len(rs)-1], sum/float64(len(rs)))
+	}
+	return b.String()
+}

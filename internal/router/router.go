@@ -1,0 +1,103 @@
+// Package router selects among multiple Deep Sketches. The paper leaves
+// open "for which schema parts we should build such sketches" and expects
+// deployments to hold several (the demo's SHOW SKETCHES list); the router
+// answers estimation requests from whichever registered sketch covers the
+// query's tables, preferring the most specific (smallest) covering sketch —
+// specialist sketches see a denser training distribution over their
+// subschema and estimate it better than a generalist.
+package router
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"deepsketch/internal/core"
+	"deepsketch/internal/db"
+)
+
+// Router is a concurrency-safe registry of sketches with coverage-based
+// dispatch.
+type Router struct {
+	mu       sync.RWMutex
+	sketches []*core.Sketch
+}
+
+// New returns an empty router.
+func New() *Router { return &Router{} }
+
+// Register adds a sketch. Sketches may overlap; dispatch prefers the
+// smallest covering table set, breaking ties by registration order.
+func (r *Router) Register(s *core.Sketch) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.sketches = append(r.sketches, s)
+}
+
+// Len returns the number of registered sketches.
+func (r *Router) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.sketches)
+}
+
+// Names lists registered sketch names in registration order.
+func (r *Router) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, len(r.sketches))
+	for i, s := range r.sketches {
+		names[i] = s.Name
+	}
+	return names
+}
+
+// Route returns the sketch that will answer the query, or an error when no
+// registered sketch covers every referenced table.
+func (r *Router) Route(q db.Query) (*core.Sketch, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	type cand struct {
+		s    *core.Sketch
+		size int
+		ord  int
+	}
+	var cands []cand
+	for ord, s := range r.sketches {
+		if covers(s, q) {
+			cands = append(cands, cand{s: s, size: len(s.Cfg.Tables), ord: ord})
+		}
+	}
+	if len(cands) == 0 {
+		return nil, fmt.Errorf("router: no sketch covers tables of %s", q.SQL(nil))
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].size != cands[j].size {
+			return cands[i].size < cands[j].size
+		}
+		return cands[i].ord < cands[j].ord
+	})
+	return cands[0].s, nil
+}
+
+// Estimate routes and estimates in one step.
+func (r *Router) Estimate(q db.Query) (float64, error) {
+	s, err := r.Route(q)
+	if err != nil {
+		return 0, err
+	}
+	return s.Estimate(q)
+}
+
+func covers(s *core.Sketch, q db.Query) bool {
+	set := make(map[string]bool, len(s.Cfg.Tables))
+	for _, t := range s.Cfg.Tables {
+		set[t] = true
+	}
+	for _, tr := range q.Tables {
+		if !set[tr.Table] {
+			return false
+		}
+	}
+	return true
+}

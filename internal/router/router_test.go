@@ -1,0 +1,124 @@
+package router
+
+import (
+	"sync"
+	"testing"
+
+	"deepsketch/internal/core"
+	"deepsketch/internal/datagen"
+	"deepsketch/internal/db"
+	"deepsketch/internal/mscn"
+)
+
+func buildSub(t *testing.T, d *db.DB, name string, tables []string) *core.Sketch {
+	t.Helper()
+	s, err := core.Build(d, core.Config{
+		Name: name, Tables: tables, SampleSize: 16,
+		TrainQueries: 60, MaxJoins: 2, MaxPreds: 1, Seed: 3,
+		Model: mscn.Config{HiddenUnits: 8, Epochs: 1, BatchSize: 16, Seed: 3},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestRouterPrefersSmallestCover(t *testing.T) {
+	d := datagen.IMDb(datagen.IMDbConfig{Seed: 51, Titles: 400, Keywords: 30, Companies: 15, Persons: 60})
+	full := buildSub(t, d, "full", nil)
+	kw := buildSub(t, d, "keywords", []string{"title", "movie_keyword", "keyword"})
+	r := New()
+	r.Register(full)
+	r.Register(kw)
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	if names := r.Names(); names[0] != "full" || names[1] != "keywords" {
+		t.Fatalf("Names = %v", names)
+	}
+
+	// A keyword query routes to the specialist.
+	q := db.Query{
+		Tables: []db.TableRef{{Table: "title", Alias: "t"}, {Table: "movie_keyword", Alias: "mk"}},
+		Joins:  []db.JoinPred{{LeftAlias: "mk", LeftCol: "movie_id", RightAlias: "t", RightCol: "id"}},
+	}
+	s, err := r.Route(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "keywords" {
+		t.Errorf("routed to %s, want keywords", s.Name)
+	}
+
+	// A cast_info query only fits the full sketch.
+	q2 := db.Query{Tables: []db.TableRef{{Table: "cast_info", Alias: "ci"}}}
+	s2, err := r.Route(q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Name != "full" {
+		t.Errorf("routed to %s, want full", s2.Name)
+	}
+
+	// Estimation through the router works end to end.
+	if est, err := r.Estimate(q); err != nil || est < 1 {
+		t.Errorf("router estimate = %v, %v", est, err)
+	}
+}
+
+func TestRouterNoCover(t *testing.T) {
+	d := datagen.IMDb(datagen.IMDbConfig{Seed: 52, Titles: 300, Keywords: 20, Companies: 10, Persons: 50})
+	kw := buildSub(t, d, "kw", []string{"title", "movie_keyword", "keyword"})
+	r := New()
+	r.Register(kw)
+	q := db.Query{Tables: []db.TableRef{{Table: "cast_info", Alias: "ci"}}}
+	if _, err := r.Route(q); err == nil {
+		t.Error("uncovered query should error")
+	}
+	if _, err := r.Estimate(q); err == nil {
+		t.Error("uncovered estimate should error")
+	}
+}
+
+func TestRouterEmptyAndConcurrent(t *testing.T) {
+	r := New()
+	if _, err := r.Route(db.Query{Tables: []db.TableRef{{Table: "x", Alias: "x"}}}); err == nil {
+		t.Error("empty router should error")
+	}
+	// Concurrent register + route must be race-free (run with -race).
+	d := datagen.IMDb(datagen.IMDbConfig{Seed: 53, Titles: 300, Keywords: 20, Companies: 10, Persons: 50})
+	s := buildSub(t, d, "s", nil)
+	q := db.Query{Tables: []db.TableRef{{Table: "title", Alias: "t"}}}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r.Register(s)
+			if _, err := r.Estimate(q); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Len() != 4 {
+		t.Errorf("Len = %d", r.Len())
+	}
+}
+
+func TestRouterTieBreakByRegistrationOrder(t *testing.T) {
+	d := datagen.IMDb(datagen.IMDbConfig{Seed: 54, Titles: 300, Keywords: 20, Companies: 10, Persons: 50})
+	a := buildSub(t, d, "first", []string{"title", "movie_keyword", "keyword"})
+	b := buildSub(t, d, "second", []string{"title", "movie_keyword", "keyword"})
+	r := New()
+	r.Register(a)
+	r.Register(b)
+	q := db.Query{Tables: []db.TableRef{{Table: "title", Alias: "t"}}}
+	s, err := r.Route(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "first" {
+		t.Errorf("tie should go to first registered, got %s", s.Name)
+	}
+}

@@ -1,0 +1,43 @@
+package sqlparse
+
+import (
+	"testing"
+
+	"deepsketch/internal/datagen"
+)
+
+// FuzzParse: the parser must never panic on arbitrary input — it either
+// returns a query that validates against the schema or an error.
+func FuzzParse(f *testing.F) {
+	d := datagen.IMDb(datagen.IMDbConfig{Seed: 3, Titles: 200, Keywords: 20, Companies: 10, Persons: 40})
+	seeds := []string{
+		"SELECT COUNT(*) FROM title t",
+		"SELECT COUNT(*) FROM title t WHERE t.production_year>2000",
+		"SELECT COUNT(*) FROM title t, movie_keyword mk WHERE mk.movie_id=t.id AND mk.keyword_id=7",
+		"SELECT COUNT(*) FROM keyword k WHERE k.keyword='love'",
+		"SELECT COUNT(*) FROM title t WHERE t.production_year=?",
+		"select count ( * ) from title",
+		"SELECT COUNT(*) FROM title t WHERE t.production_year>-2000",
+		"SELECT COUNT(*) FROM title t WHERE t.x='it''s'",
+		"##########",
+		"SELECT COUNT(*) FROM",
+		"",
+		"\x00\xff",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, sql string) {
+		res, err := Parse(d, sql)
+		if err != nil {
+			return
+		}
+		// Whatever parses must validate and render back to parseable SQL.
+		if err := d.ValidateQuery(res.Query); err != nil {
+			t.Fatalf("parsed query fails validation: %v (%q)", err, sql)
+		}
+		if _, err := Parse(d, res.Query.SQL(d)); err != nil {
+			t.Fatalf("rendered SQL fails to re-parse: %v (%q)", err, sql)
+		}
+	})
+}

@@ -1,0 +1,68 @@
+package sqlparse
+
+import (
+	"testing"
+
+	"deepsketch/internal/datagen"
+	"deepsketch/internal/workload"
+)
+
+// TestRenderParseRoundTripGeneratedWorkload: every query the uniform
+// generator can produce must render to SQL that parses back to an
+// equivalent query (same signature). This closes the loop between the
+// workload generator, the SQL renderer, and the parser over both schemas.
+func TestRenderParseRoundTripGeneratedWorkload(t *testing.T) {
+	imdb := datagen.IMDb(datagen.IMDbConfig{Seed: 77, Titles: 600, Keywords: 40, Companies: 20, Persons: 100})
+	tpch := datagen.TPCH(datagen.TPCHConfig{Seed: 77, Orders: 400})
+
+	t.Run("imdb", func(t *testing.T) {
+		g, err := workload.NewGenerator(imdb, workload.GenConfig{Seed: 5, Count: 150, MaxJoins: 3, MaxPreds: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, q := range g.Generate() {
+			sql := q.SQL(imdb)
+			res, err := Parse(imdb, sql)
+			if err != nil {
+				t.Fatalf("rendered SQL failed to parse: %v\n%s", err, sql)
+			}
+			if res.Query.Signature() != q.Signature() {
+				t.Fatalf("round trip changed query:\n in: %s\nout: %s", q.Signature(), res.Query.Signature())
+			}
+		}
+	})
+	t.Run("tpch", func(t *testing.T) {
+		g, err := workload.NewGenerator(tpch, workload.GenConfig{Seed: 6, Count: 150, MaxJoins: 3, MaxPreds: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, q := range g.Generate() {
+			sql := q.SQL(tpch)
+			res, err := Parse(tpch, sql)
+			if err != nil {
+				t.Fatalf("rendered SQL failed to parse: %v\n%s", err, sql)
+			}
+			if res.Query.Signature() != q.Signature() {
+				t.Fatalf("round trip changed query:\n in: %s\nout: %s", q.Signature(), res.Query.Signature())
+			}
+		}
+	})
+}
+
+// TestJOBLightRoundTrip: the evaluation workload itself must round-trip.
+func TestJOBLightRoundTrip(t *testing.T) {
+	imdb := datagen.IMDb(datagen.IMDbConfig{Seed: 78, Titles: 800, Keywords: 40, Companies: 20, Persons: 100})
+	qs, err := workload.JOBLight(imdb, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range qs {
+		res, err := Parse(imdb, q.SQL(imdb))
+		if err != nil {
+			t.Fatalf("JOB-light query failed round trip: %v\n%s", err, q.SQL(imdb))
+		}
+		if res.Query.Signature() != q.Signature() {
+			t.Fatalf("JOB-light round trip changed query")
+		}
+	}
+}

@@ -1,0 +1,400 @@
+// Package sqlparse parses the SQL dialect the demo accepts: COUNT(*)
+// queries over comma-separated tables with a conjunctive WHERE clause of
+// equi-joins and literal comparisons, plus the demo's `?` placeholder for
+// template queries:
+//
+//	SELECT COUNT(*)
+//	FROM title t, movie_keyword mk, keyword k
+//	WHERE mk.movie_id=t.id AND mk.keyword_id=k.id
+//	AND k.keyword='artificial-intelligence'
+//	AND t.production_year=?
+//
+// String literals are resolved against the database dictionary; unquoted
+// literals are integers. Keywords are case-insensitive; identifiers are
+// case-sensitive like the schema.
+package sqlparse
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"deepsketch/internal/db"
+	"deepsketch/internal/workload"
+)
+
+// Placeholder identifies the `?` column of a template query.
+type Placeholder struct {
+	Alias string
+	Col   string
+}
+
+// Result is a parsed statement: a concrete query, or a template when a
+// placeholder was present (at most one placeholder is allowed, like the
+// demo's UI).
+type Result struct {
+	Query       db.Query
+	Placeholder *Placeholder
+}
+
+// Template converts a parsed placeholder statement into a workload.Template.
+func (r Result) Template() (workload.Template, error) {
+	if r.Placeholder == nil {
+		return workload.Template{}, fmt.Errorf("sqlparse: statement has no placeholder")
+	}
+	return workload.Template{Base: r.Query, Alias: r.Placeholder.Alias, Col: r.Placeholder.Col}, nil
+}
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokSymbol // ( ) , . = < > * ?
+)
+
+type lexer struct {
+	in  string
+	pos int
+}
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.in) && isSpace(l.in[l.pos]) {
+		l.pos++
+	}
+	if l.pos >= len(l.in) {
+		return token{kind: tokEOF, pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.in[l.pos]
+	switch {
+	case isIdentStart(c):
+		for l.pos < len(l.in) && isIdentPart(l.in[l.pos]) {
+			l.pos++
+		}
+		return token{kind: tokIdent, text: l.in[start:l.pos], pos: start}, nil
+	case c >= '0' && c <= '9' || c == '-' && l.pos+1 < len(l.in) && l.in[l.pos+1] >= '0' && l.in[l.pos+1] <= '9':
+		l.pos++
+		for l.pos < len(l.in) && l.in[l.pos] >= '0' && l.in[l.pos] <= '9' {
+			l.pos++
+		}
+		return token{kind: tokNumber, text: l.in[start:l.pos], pos: start}, nil
+	case c == '\'':
+		l.pos++
+		var sb strings.Builder
+		for {
+			if l.pos >= len(l.in) {
+				return token{}, fmt.Errorf("sqlparse: unterminated string literal at %d", start)
+			}
+			if l.in[l.pos] == '\'' {
+				// '' escapes a quote.
+				if l.pos+1 < len(l.in) && l.in[l.pos+1] == '\'' {
+					sb.WriteByte('\'')
+					l.pos += 2
+					continue
+				}
+				l.pos++
+				break
+			}
+			sb.WriteByte(l.in[l.pos])
+			l.pos++
+		}
+		return token{kind: tokString, text: sb.String(), pos: start}, nil
+	case c == '<' || c == '>':
+		l.pos++
+		// <= and >= desugar later; lex them as two-char symbols.
+		if l.pos < len(l.in) && l.in[l.pos] == '=' {
+			l.pos++
+			return token{kind: tokSymbol, text: l.in[start:l.pos], pos: start}, nil
+		}
+		return token{kind: tokSymbol, text: string(c), pos: start}, nil
+	case strings.ContainsRune("(),.*=?", rune(c)):
+		l.pos++
+		return token{kind: tokSymbol, text: string(c), pos: start}, nil
+	default:
+		return token{}, fmt.Errorf("sqlparse: unexpected character %q at %d", c, start)
+	}
+}
+
+func isSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\n' || c == '\r' }
+func isIdentStart(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+func isIdentPart(c byte) bool { return isIdentStart(c) || c >= '0' && c <= '9' }
+
+type parser struct {
+	lex  *lexer
+	tok  token
+	d    *db.DB
+	res  Result
+	next func() (token, error)
+}
+
+// Parse parses one statement against the database schema. The schema is
+// needed to resolve string literals to dictionary codes and to validate
+// table/column references; the returned query passes db.ValidateQuery.
+func Parse(d *db.DB, sql string) (Result, error) {
+	p := &parser{lex: &lexer{in: sql}, d: d}
+	if err := p.advance(); err != nil {
+		return Result{}, err
+	}
+	if err := p.parseSelectCount(); err != nil {
+		return Result{}, err
+	}
+	if err := p.parseFrom(); err != nil {
+		return Result{}, err
+	}
+	if err := p.parseWhere(); err != nil {
+		return Result{}, err
+	}
+	if p.tok.kind != tokEOF {
+		return Result{}, fmt.Errorf("sqlparse: trailing input at %d: %q", p.tok.pos, p.tok.text)
+	}
+	if err := d.ValidateQuery(p.res.Query); err != nil {
+		return Result{}, err
+	}
+	return p.res, nil
+}
+
+func (p *parser) advance() error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if p.tok.kind != tokIdent || !strings.EqualFold(p.tok.text, kw) {
+		return fmt.Errorf("sqlparse: expected %s at %d, got %q", strings.ToUpper(kw), p.tok.pos, p.tok.text)
+	}
+	return p.advance()
+}
+
+func (p *parser) expectSymbol(s string) error {
+	if p.tok.kind != tokSymbol || p.tok.text != s {
+		return fmt.Errorf("sqlparse: expected %q at %d, got %q", s, p.tok.pos, p.tok.text)
+	}
+	return p.advance()
+}
+
+func (p *parser) parseSelectCount() error {
+	if err := p.expectKeyword("select"); err != nil {
+		return err
+	}
+	if err := p.expectKeyword("count"); err != nil {
+		return err
+	}
+	if err := p.expectSymbol("("); err != nil {
+		return err
+	}
+	if err := p.expectSymbol("*"); err != nil {
+		return err
+	}
+	return p.expectSymbol(")")
+}
+
+func (p *parser) parseFrom() error {
+	if err := p.expectKeyword("from"); err != nil {
+		return err
+	}
+	for {
+		if p.tok.kind != tokIdent {
+			return fmt.Errorf("sqlparse: expected table name at %d", p.tok.pos)
+		}
+		table := p.tok.text
+		if err := p.advance(); err != nil {
+			return err
+		}
+		alias := table
+		if p.tok.kind == tokIdent && !strings.EqualFold(p.tok.text, "where") {
+			alias = p.tok.text
+			if err := p.advance(); err != nil {
+				return err
+			}
+		}
+		p.res.Query.Tables = append(p.res.Query.Tables, db.TableRef{Table: table, Alias: alias})
+		if p.tok.kind == tokSymbol && p.tok.text == "," {
+			if err := p.advance(); err != nil {
+				return err
+			}
+			continue
+		}
+		return nil
+	}
+}
+
+func (p *parser) parseWhere() error {
+	if p.tok.kind == tokEOF {
+		return nil
+	}
+	if err := p.expectKeyword("where"); err != nil {
+		return err
+	}
+	for {
+		if err := p.parseCondition(); err != nil {
+			return err
+		}
+		if p.tok.kind == tokIdent && strings.EqualFold(p.tok.text, "and") {
+			if err := p.advance(); err != nil {
+				return err
+			}
+			continue
+		}
+		return nil
+	}
+}
+
+// parseColumnRef parses alias.column.
+func (p *parser) parseColumnRef() (alias, col string, err error) {
+	if p.tok.kind != tokIdent {
+		return "", "", fmt.Errorf("sqlparse: expected column reference at %d", p.tok.pos)
+	}
+	alias = p.tok.text
+	if err := p.advance(); err != nil {
+		return "", "", err
+	}
+	if err := p.expectSymbol("."); err != nil {
+		return "", "", err
+	}
+	if p.tok.kind != tokIdent {
+		return "", "", fmt.Errorf("sqlparse: expected column name at %d", p.tok.pos)
+	}
+	col = p.tok.text
+	err = p.advance()
+	return alias, col, err
+}
+
+func (p *parser) parseCondition() error {
+	alias, col, err := p.parseColumnRef()
+	if err != nil {
+		return err
+	}
+	opText := p.tok.text
+	validOp := p.tok.kind == tokSymbol &&
+		(opText == "=" || opText == "<" || opText == ">" || opText == "<=" || opText == ">=")
+	if !validOp {
+		return fmt.Errorf("sqlparse: expected operator at %d, got %q", p.tok.pos, p.tok.text)
+	}
+	// <= and >= desugar to the paper's strict operators on integer
+	// literals: c <= v  ≡  c < v+1 and c >= v  ≡  c > v−1. They are only
+	// valid before an integer literal (not joins, strings, placeholders).
+	var inclusiveDelta int64
+	var op db.Op
+	switch opText {
+	case "<=":
+		op, inclusiveDelta = db.OpLt, 1
+	case ">=":
+		op, inclusiveDelta = db.OpGt, -1
+	default:
+		op, _ = db.ParseOp(opText)
+	}
+	if err := p.advance(); err != nil {
+		return err
+	}
+	if inclusiveDelta != 0 && p.tok.kind != tokNumber {
+		return fmt.Errorf("sqlparse: %s requires an integer literal", opText)
+	}
+
+	switch p.tok.kind {
+	case tokIdent:
+		// Join predicate: alias2.col2.
+		a2, c2, err := p.parseColumnRef2(p.tok.text)
+		if err != nil {
+			return err
+		}
+		if op != db.OpEq {
+			return fmt.Errorf("sqlparse: joins must use equality")
+		}
+		p.res.Query.Joins = append(p.res.Query.Joins, db.JoinPred{
+			LeftAlias: alias, LeftCol: col, RightAlias: a2, RightCol: c2,
+		})
+		return nil
+	case tokNumber:
+		v, err := strconv.ParseInt(p.tok.text, 10, 64)
+		if err != nil {
+			return fmt.Errorf("sqlparse: bad integer literal %q: %v", p.tok.text, err)
+		}
+		p.res.Query.Preds = append(p.res.Query.Preds, db.Predicate{Alias: alias, Col: col, Op: op, Val: v + inclusiveDelta})
+		return p.advance()
+	case tokString:
+		v, err := p.resolveString(alias, col, p.tok.text)
+		if err != nil {
+			return err
+		}
+		if op != db.OpEq {
+			return fmt.Errorf("sqlparse: string literals support only equality")
+		}
+		p.res.Query.Preds = append(p.res.Query.Preds, db.Predicate{Alias: alias, Col: col, Op: op, Val: v})
+		return p.advance()
+	case tokSymbol:
+		if p.tok.text == "?" {
+			if p.res.Placeholder != nil {
+				return fmt.Errorf("sqlparse: multiple placeholders unsupported")
+			}
+			if op != db.OpEq {
+				return fmt.Errorf("sqlparse: placeholder supports only equality")
+			}
+			p.res.Placeholder = &Placeholder{Alias: alias, Col: col}
+			return p.advance()
+		}
+	}
+	return fmt.Errorf("sqlparse: expected literal, column, or ? at %d", p.tok.pos)
+}
+
+// parseColumnRef2 finishes a column reference whose alias token is current.
+func (p *parser) parseColumnRef2(alias string) (string, string, error) {
+	if err := p.advance(); err != nil {
+		return "", "", err
+	}
+	if err := p.expectSymbol("."); err != nil {
+		return "", "", err
+	}
+	if p.tok.kind != tokIdent {
+		return "", "", fmt.Errorf("sqlparse: expected column name at %d", p.tok.pos)
+	}
+	col := p.tok.text
+	if err := p.advance(); err != nil {
+		return "", "", err
+	}
+	return alias, col, nil
+}
+
+// resolveString maps a string literal to its dictionary code.
+func (p *parser) resolveString(alias, col, lit string) (int64, error) {
+	var table string
+	for _, tr := range p.res.Query.Tables {
+		if tr.Alias == alias {
+			table = tr.Table
+			break
+		}
+	}
+	if table == "" {
+		return 0, fmt.Errorf("sqlparse: unknown alias %s", alias)
+	}
+	t := p.d.Table(table)
+	if t == nil {
+		return 0, fmt.Errorf("sqlparse: unknown table %s", table)
+	}
+	c := t.Column(col)
+	if c == nil {
+		return 0, fmt.Errorf("sqlparse: unknown column %s.%s", table, col)
+	}
+	if c.Type != db.ColString {
+		return 0, fmt.Errorf("sqlparse: column %s.%s is not a string column", table, col)
+	}
+	v, ok := c.Lookup(lit)
+	if !ok {
+		return 0, fmt.Errorf("sqlparse: value %q not present in %s.%s", lit, table, col)
+	}
+	return v, nil
+}

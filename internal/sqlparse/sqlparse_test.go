@@ -1,0 +1,226 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+
+	"deepsketch/internal/datagen"
+	"deepsketch/internal/db"
+)
+
+func parseDB(t *testing.T) *db.DB {
+	t.Helper()
+	return datagen.IMDb(datagen.IMDbConfig{Seed: 71, Titles: 500, Keywords: 40, Companies: 20, Persons: 100})
+}
+
+func TestParsePaperExampleQuery(t *testing.T) {
+	d := parseDB(t)
+	sql := `SELECT COUNT(*)
+FROM title t, movie_keyword mk, keyword k
+WHERE mk.movie_id=t.id AND mk.keyword_id=k.id
+AND k.keyword='artificial-intelligence'
+AND t.production_year=?`
+	res, err := Parse(d, sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := res.Query
+	if len(q.Tables) != 3 || len(q.Joins) != 2 || len(q.Preds) != 1 {
+		t.Fatalf("parsed shape %d/%d/%d", len(q.Tables), len(q.Joins), len(q.Preds))
+	}
+	if res.Placeholder == nil || res.Placeholder.Alias != "t" || res.Placeholder.Col != "production_year" {
+		t.Fatalf("placeholder = %+v", res.Placeholder)
+	}
+	// String literal resolved to the dictionary code.
+	kw := d.Table("keyword").Column("keyword")
+	want, _ := kw.Lookup("artificial-intelligence")
+	if q.Preds[0].Val != want {
+		t.Errorf("keyword code = %d, want %d", q.Preds[0].Val, want)
+	}
+	tpl, err := res.Template()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tpl.Alias != "t" || tpl.Col != "production_year" {
+		t.Errorf("template = %+v", tpl)
+	}
+}
+
+func TestParseSimple(t *testing.T) {
+	d := parseDB(t)
+	res, err := Parse(d, "SELECT COUNT(*) FROM title t WHERE t.production_year>2000 AND t.kind_id=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Query.Preds) != 2 || res.Placeholder != nil {
+		t.Fatalf("parsed %+v", res)
+	}
+	if res.Query.Preds[0].Op != db.OpGt || res.Query.Preds[0].Val != 2000 {
+		t.Errorf("pred 0 = %+v", res.Query.Preds[0])
+	}
+	// Executable.
+	if _, err := d.Count(res.Query); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseNoWhere(t *testing.T) {
+	d := parseDB(t)
+	res, err := Parse(d, "SELECT COUNT(*) FROM title")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Query.Tables[0].Alias != "title" {
+		t.Error("bare table should alias to itself")
+	}
+}
+
+func TestParseCaseInsensitiveKeywords(t *testing.T) {
+	d := parseDB(t)
+	if _, err := Parse(d, "select count(*) from title t where t.kind_id=2"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseInclusiveOperators(t *testing.T) {
+	d := parseDB(t)
+	res, err := Parse(d, "SELECT COUNT(*) FROM title t WHERE t.production_year>=2000 AND t.kind_id<=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// >= 2000 desugars to > 1999; <= 3 desugars to < 4.
+	p0, p1 := res.Query.Preds[0], res.Query.Preds[1]
+	if p0.Op != db.OpGt || p0.Val != 1999 {
+		t.Errorf("pred 0 = %+v, want >1999", p0)
+	}
+	if p1.Op != db.OpLt || p1.Val != 4 {
+		t.Errorf("pred 1 = %+v, want <4", p1)
+	}
+	// Semantics check against strict form.
+	strict, err := Parse(d, "SELECT COUNT(*) FROM title t WHERE t.production_year>1999 AND t.kind_id<4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := d.Count(res.Query)
+	b, _ := d.Count(strict.Query)
+	if a != b {
+		t.Errorf("inclusive desugar changed semantics: %d vs %d", a, b)
+	}
+	// Inclusive ops are invalid for joins, strings, placeholders.
+	for _, sql := range []string{
+		"SELECT COUNT(*) FROM title t, movie_keyword mk WHERE mk.movie_id>=t.id",
+		"SELECT COUNT(*) FROM keyword k WHERE k.keyword>='a'",
+		"SELECT COUNT(*) FROM title t WHERE t.production_year>=?",
+	} {
+		if _, err := Parse(d, sql); err == nil {
+			t.Errorf("expected error for %q", sql)
+		}
+	}
+}
+
+func TestParseNegativeLiteral(t *testing.T) {
+	d := parseDB(t)
+	res, err := Parse(d, "SELECT COUNT(*) FROM title t WHERE t.episode_nr>-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Query.Preds[0].Val != -1 {
+		t.Errorf("val = %d", res.Query.Preds[0].Val)
+	}
+}
+
+func TestParseQuotedEscape(t *testing.T) {
+	d := db.NewDB("x")
+	d.MustAddTable(db.MustNewTable("s",
+		db.NewIntColumn("id", []int64{1}),
+		db.NewStringColumn("name", []int64{0}, []string{"o'brien"}),
+	))
+	res, err := Parse(d, "SELECT COUNT(*) FROM s WHERE s.name='o''brien'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Query.Preds[0].Val != 0 {
+		t.Errorf("val = %d", res.Query.Preds[0].Val)
+	}
+}
+
+func TestParseRoundTripThroughSQL(t *testing.T) {
+	// Parse -> render -> parse must be stable.
+	d := parseDB(t)
+	sql := "SELECT COUNT(*) FROM title t, movie_companies mc WHERE mc.movie_id=t.id AND mc.company_type_id=2 AND t.production_year<1980"
+	res1, err := Parse(d, sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rendered := res1.Query.SQL(d)
+	res2, err := Parse(d, rendered)
+	if err != nil {
+		t.Fatalf("re-parse of %q failed: %v", rendered, err)
+	}
+	if res1.Query.Signature() != res2.Query.Signature() {
+		t.Errorf("round trip changed query:\n%s\n%s", res1.Query.Signature(), res2.Query.Signature())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	d := parseDB(t)
+	cases := []string{
+		"",
+		"SELECT * FROM title",
+		"SELECT COUNT(*) FROM",
+		"SELECT COUNT(*) FROM nope",
+		"SELECT COUNT(*) FROM title t WHERE t.nope=1",
+		"SELECT COUNT(*) FROM title t WHERE x.kind_id=1",
+		"SELECT COUNT(*) FROM title t WHERE t.kind_id=1 OR t.kind_id=2",
+		"SELECT COUNT(*) FROM title t WHERE t.kind_id=1 AND",
+		"SELECT COUNT(*) FROM title t WHERE t.kind_id='movie'",           // string on int column
+		"SELECT COUNT(*) FROM keyword k WHERE k.keyword='definitely-no'", // unknown dict value
+		"SELECT COUNT(*) FROM keyword k WHERE k.keyword<'a'",             // range on string
+		"SELECT COUNT(*) FROM title t WHERE t.production_year=? AND t.kind_id=?",
+		"SELECT COUNT(*) FROM title t WHERE t.production_year>?",
+		"SELECT COUNT(*) FROM title t WHERE t.kind_id=1 extra",
+		"SELECT COUNT(*) FROM title t, movie_keyword mk WHERE mk.movie_id<t.id", // non-eq join
+		"SELECT COUNT(*) FROM title t WHERE t.kind_id='unterminated",
+		"SELECT COUNT(*) FROM title t; DROP TABLE title",
+		"SELECT COUNT(*) FROM title t, movie_keyword mk", // disconnected
+	}
+	for _, sql := range cases {
+		if _, err := Parse(d, sql); err == nil {
+			t.Errorf("expected error for %q", sql)
+		}
+	}
+}
+
+func TestResultTemplateWithoutPlaceholder(t *testing.T) {
+	d := parseDB(t)
+	res, _ := Parse(d, "SELECT COUNT(*) FROM title t")
+	if _, err := res.Template(); err == nil {
+		t.Error("Template() without placeholder should error")
+	}
+}
+
+func TestParsedQueriesExecutable(t *testing.T) {
+	d := parseDB(t)
+	sqls := []string{
+		"SELECT COUNT(*) FROM title t WHERE t.production_year>1990",
+		"SELECT COUNT(*) FROM title t, cast_info ci WHERE ci.movie_id=t.id AND ci.role_id=1",
+		"SELECT COUNT(*) FROM company_name cn, movie_companies mc WHERE mc.company_id=cn.id AND cn.country_code='[us]'",
+	}
+	for _, sql := range sqls {
+		res, err := Parse(d, sql)
+		if err != nil {
+			t.Fatalf("%s: %v", sql, err)
+		}
+		if _, err := d.Count(res.Query); err != nil {
+			t.Fatalf("%s not executable: %v", sql, err)
+		}
+	}
+}
+
+func TestLexUnexpectedChar(t *testing.T) {
+	d := parseDB(t)
+	if _, err := Parse(d, "SELECT COUNT(*) FROM title t WHERE t.kind_id=1 #"); err == nil ||
+		!strings.Contains(err.Error(), "unexpected character") {
+		t.Errorf("err = %v", err)
+	}
+}

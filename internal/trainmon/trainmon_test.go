@@ -1,0 +1,104 @@
+package trainmon
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestMonitorStagesAndSnapshot(t *testing.T) {
+	m := New()
+	// Deterministic clock.
+	now := time.Unix(1000, 0)
+	m.now = func() time.Time { now = now.Add(50 * time.Millisecond); return now }
+
+	m.StartStage(StageGenerate, "generating")
+	m.Progress(StageGenerate, 5, 10)
+	m.EndStage(StageGenerate)
+	m.StartStage(StageTrain, "")
+	m.Epoch(1, 5.5, 40, 8)
+	m.Epoch(2, 3.0, 20, 4)
+	m.EndStage(StageTrain)
+
+	evs := m.Events()
+	if len(evs) != 7 {
+		t.Fatalf("events = %d, want 7", len(evs))
+	}
+	snap := m.Snapshot()
+	if !snap.Finished {
+		t.Error("train stage ended; snapshot should be finished")
+	}
+	if snap.Epoch != 2 || snap.ValMeanQ != 20 || snap.ValMedQ != 4 {
+		t.Errorf("snapshot epoch state wrong: %+v", snap)
+	}
+	if snap.StageTimes[StageGenerate] <= 0 {
+		t.Errorf("generate stage time missing: %+v", snap.StageTimes)
+	}
+}
+
+func TestMonitorNilSafe(t *testing.T) {
+	var m *Monitor
+	m.StartStage(StageTrain, "")
+	m.EndStage(StageTrain)
+	m.Epoch(1, 0, 0, 0)
+	m.Progress(StageTrain, 1, 2)
+	if m.Events() != nil {
+		t.Error("nil monitor should return nil events")
+	}
+}
+
+func TestSinkReceivesEvents(t *testing.T) {
+	m := New()
+	var got []Event
+	m.AddSink(func(e Event) { got = append(got, e) })
+	m.Epoch(1, 1, 2, 3)
+	m.Progress(StageExecute, 3, 9)
+	if len(got) != 2 {
+		t.Fatalf("sink saw %d events", len(got))
+	}
+	if got[0].Kind != KindEpoch || got[1].Done != 3 {
+		t.Errorf("sink payloads wrong: %+v", got)
+	}
+}
+
+func TestJSONLSink(t *testing.T) {
+	m := New()
+	var buf bytes.Buffer
+	m.AddSink(NewJSONLSink(&buf, nil))
+	m.Epoch(3, 1.5, 12, 4)
+	line := strings.TrimSpace(buf.String())
+	var e Event
+	if err := json.Unmarshal([]byte(line), &e); err != nil {
+		t.Fatalf("invalid JSONL: %v (%q)", err, line)
+	}
+	if e.Epoch != 3 || e.ValMeanQ != 12 {
+		t.Errorf("round-tripped event wrong: %+v", e)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	s := Sparkline([]float64{1, 2, 3, 4, 8})
+	if len([]rune(s)) != 5 {
+		t.Errorf("sparkline length = %d", len([]rune(s)))
+	}
+	if Sparkline(nil) != "" {
+		t.Error("empty sparkline should be empty")
+	}
+	flat := Sparkline([]float64{5, 5, 5})
+	if len([]rune(flat)) != 3 {
+		t.Error("flat sparkline length wrong")
+	}
+}
+
+func TestFormatStageTimes(t *testing.T) {
+	out := FormatStageTimes(map[Stage]int{StageTrain: 120, StageGenerate: 10})
+	if !strings.Contains(out, "generate=10ms") || !strings.Contains(out, "train=120ms") {
+		t.Errorf("FormatStageTimes = %q", out)
+	}
+	// Pipeline order: generate before train.
+	if strings.Index(out, "generate") > strings.Index(out, "train") {
+		t.Error("stages out of order")
+	}
+}

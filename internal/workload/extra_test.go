@@ -1,0 +1,120 @@
+package workload
+
+import (
+	"testing"
+
+	"deepsketch/internal/datagen"
+	"deepsketch/internal/db"
+	"deepsketch/internal/sample"
+)
+
+func TestTemplateInstantiateDeterministic(t *testing.T) {
+	d := wlDB(t)
+	tpl, err := YearTemplate(d, "superhero")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, _ := sample.New(d, nil, 200, 4)
+	s2, _ := sample.New(d, nil, 200, 4)
+	a, err := tpl.Instantiate(s1, GroupDistinct, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := tpl.Instantiate(s2, GroupDistinct, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("instance counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Query.Signature() != b[i].Query.Signature() {
+			t.Fatalf("instance %d differs", i)
+		}
+	}
+}
+
+func TestTemplateBucketsClampedToSpan(t *testing.T) {
+	// Requesting more buckets than distinct values must clamp, not produce
+	// empty ranges.
+	d := wlDB(t)
+	s, _ := sample.New(d, nil, 200, 4)
+	tpl := Template{
+		Base:  db.Query{Tables: []db.TableRef{{Table: "title", Alias: "t"}}},
+		Alias: "t", Col: "kind_id",
+	}
+	insts, err := tpl.Instantiate(s, GroupBuckets, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi, _ := s.For("title").MinMax("kind_id")
+	if int64(len(insts)) > hi-lo+1 {
+		t.Errorf("buckets %d exceed value span %d", len(insts), hi-lo+1)
+	}
+}
+
+func TestGeneratorSingleTableOnly(t *testing.T) {
+	d := wlDB(t)
+	g, err := NewGenerator(d, GenConfig{Seed: 1, Count: 50, Tables: []string{"title"}, MaxJoins: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range g.Generate() {
+		if len(q.Tables) != 1 || len(q.Joins) != 0 {
+			t.Fatalf("single-table config produced join query: %s", q.SQL(nil))
+		}
+	}
+}
+
+func TestGeneratorOnTPCH(t *testing.T) {
+	d := datagen.TPCH(datagen.TPCHConfig{Seed: 3, Orders: 500})
+	g, err := NewGenerator(d, GenConfig{Seed: 2, Count: 120, MaxJoins: 4, MaxPreds: 3, Dedup: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := g.Generate()
+	if len(qs) < 80 {
+		t.Fatalf("generated only %d TPC-H queries", len(qs))
+	}
+	joins := 0
+	for _, q := range qs {
+		if err := d.ValidateQuery(q); err != nil {
+			t.Fatalf("invalid: %v (%s)", err, q.SQL(nil))
+		}
+		if _, err := d.Count(q); err != nil {
+			t.Fatal(err)
+		}
+		joins += len(q.Joins)
+	}
+	if joins == 0 {
+		t.Error("no joins generated on TPC-H")
+	}
+}
+
+func TestJOBLightDifferentSeedsDiffer(t *testing.T) {
+	d := wlDB(t)
+	a, _ := JOBLight(d, 1)
+	b, _ := JOBLight(d, 2)
+	same := 0
+	for i := range a {
+		if a[i].Signature() == b[i].Signature() {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("different seeds produced identical JOB-light workloads")
+	}
+}
+
+func TestLabelEmptyAndErrors(t *testing.T) {
+	d := wlDB(t)
+	out, err := Label(d, nil, 2, nil)
+	if err != nil || len(out) != 0 {
+		t.Errorf("empty labeling: %v %v", out, err)
+	}
+	// A query that fails validation must surface an error.
+	bad := []db.Query{{Tables: []db.TableRef{{Table: "nope", Alias: "n"}}}}
+	if _, err := Label(d, bad, 2, nil); err == nil {
+		t.Error("invalid query should fail labeling")
+	}
+}

@@ -1,0 +1,171 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"deepsketch/internal/db"
+)
+
+// The functions below read and write labeled workloads in the file format
+// of the original learnedcardinalities artifact (github.com/andreaskipf/
+// learnedcardinalities, referenced as [1] in the paper): one query per
+// line, four '#'-separated fields —
+//
+//	tables#joins#predicates#cardinality
+//
+// where tables is "name alias" pairs joined by commas, joins are
+// "a.x=b.y" terms joined by commas, predicates are flattened
+// "column,op,literal" triples joined by commas, and the label is the true
+// cardinality. Example:
+//
+//	title t,movie_keyword mk#t.id=mk.movie_id#t.production_year,>,2010#555
+//
+// Empty joins/predicates fields are allowed. Literals are written as raw
+// int64 values (dictionary codes for string columns), like the original's
+// encoded workloads.
+
+// WriteCSV writes labeled queries in the artifact format.
+func WriteCSV(w io.Writer, labeled []LabeledQuery) error {
+	bw := bufio.NewWriter(w)
+	for i, lq := range labeled {
+		if err := writeLine(bw, lq); err != nil {
+			return fmt.Errorf("workload: line %d: %w", i+1, err)
+		}
+	}
+	return bw.Flush()
+}
+
+func writeLine(w *bufio.Writer, lq LabeledQuery) error {
+	q := lq.Query
+	tables := make([]string, len(q.Tables))
+	for i, tr := range q.Tables {
+		tables[i] = tr.Table + " " + tr.Alias
+	}
+	joins := make([]string, len(q.Joins))
+	for i, j := range q.Joins {
+		c := j.Canonical()
+		joins[i] = fmt.Sprintf("%s.%s=%s.%s", c.LeftAlias, c.LeftCol, c.RightAlias, c.RightCol)
+	}
+	preds := make([]string, 0, 3*len(q.Preds))
+	for _, p := range q.Preds {
+		preds = append(preds, p.Alias+"."+p.Col, p.Op.String(), strconv.FormatInt(p.Val, 10))
+	}
+	_, err := fmt.Fprintf(w, "%s#%s#%s#%d\n",
+		strings.Join(tables, ","), strings.Join(joins, ","), strings.Join(preds, ","), lq.Card)
+	return err
+}
+
+// ReadCSV parses a workload in the artifact format and validates every
+// query against the database schema.
+func ReadCSV(d *db.DB, r io.Reader) ([]LabeledQuery, error) {
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	var out []LabeledQuery
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" || strings.HasPrefix(line, "--") {
+			continue
+		}
+		lq, err := parseLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("workload: line %d: %w", lineNo, err)
+		}
+		if err := d.ValidateQuery(lq.Query); err != nil {
+			return nil, fmt.Errorf("workload: line %d: %w", lineNo, err)
+		}
+		out = append(out, lq)
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func parseLine(line string) (LabeledQuery, error) {
+	var lq LabeledQuery
+	fields := strings.Split(line, "#")
+	if len(fields) != 4 {
+		return lq, fmt.Errorf("want 4 '#'-separated fields, got %d", len(fields))
+	}
+	for i := range fields {
+		fields[i] = strings.TrimSpace(fields[i])
+	}
+
+	if fields[0] == "" {
+		return lq, fmt.Errorf("empty table list")
+	}
+	for _, tf := range strings.Split(fields[0], ",") {
+		parts := strings.Fields(tf)
+		switch len(parts) {
+		case 1:
+			lq.Query.Tables = append(lq.Query.Tables, db.TableRef{Table: parts[0], Alias: parts[0]})
+		case 2:
+			lq.Query.Tables = append(lq.Query.Tables, db.TableRef{Table: parts[0], Alias: parts[1]})
+		default:
+			return lq, fmt.Errorf("bad table %q", tf)
+		}
+	}
+
+	if fields[1] != "" {
+		for _, jf := range strings.Split(fields[1], ",") {
+			sides := strings.Split(jf, "=")
+			if len(sides) != 2 {
+				return lq, fmt.Errorf("bad join %q", jf)
+			}
+			la, lc, err := splitColRef(sides[0])
+			if err != nil {
+				return lq, err
+			}
+			ra, rc, err := splitColRef(sides[1])
+			if err != nil {
+				return lq, err
+			}
+			lq.Query.Joins = append(lq.Query.Joins, db.JoinPred{
+				LeftAlias: la, LeftCol: lc, RightAlias: ra, RightCol: rc,
+			})
+		}
+	}
+
+	if fields[2] != "" {
+		parts := strings.Split(fields[2], ",")
+		if len(parts)%3 != 0 {
+			return lq, fmt.Errorf("predicate field has %d comma-separated parts, want a multiple of 3", len(parts))
+		}
+		for i := 0; i < len(parts); i += 3 {
+			alias, col, err := splitColRef(parts[i])
+			if err != nil {
+				return lq, err
+			}
+			op, err := db.ParseOp(parts[i+1])
+			if err != nil {
+				return lq, err
+			}
+			val, err := strconv.ParseInt(parts[i+2], 10, 64)
+			if err != nil {
+				return lq, fmt.Errorf("bad literal %q: %v", parts[i+2], err)
+			}
+			lq.Query.Preds = append(lq.Query.Preds, db.Predicate{Alias: alias, Col: col, Op: op, Val: val})
+		}
+	}
+
+	card, err := strconv.ParseInt(strings.TrimSpace(fields[3]), 10, 64)
+	if err != nil {
+		return lq, fmt.Errorf("bad cardinality %q: %v", fields[3], err)
+	}
+	lq.Card = card
+	return lq, nil
+}
+
+func splitColRef(s string) (alias, col string, err error) {
+	parts := strings.Split(strings.TrimSpace(s), ".")
+	if len(parts) != 2 || parts[0] == "" || parts[1] == "" {
+		return "", "", fmt.Errorf("bad column reference %q", s)
+	}
+	return parts[0], parts[1], nil
+}

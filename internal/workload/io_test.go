@@ -1,0 +1,104 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	d := wlDB(t)
+	g, _ := NewGenerator(d, GenConfig{Seed: 41, Count: 80, MaxJoins: 3, MaxPreds: 3, Dedup: true})
+	labeled, err := Label(d, g.Generate(), 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, labeled); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(d, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(labeled) {
+		t.Fatalf("round trip %d -> %d queries", len(labeled), len(back))
+	}
+	for i := range back {
+		if back[i].Card != labeled[i].Card {
+			t.Fatalf("line %d card %d != %d", i, back[i].Card, labeled[i].Card)
+		}
+		if back[i].Query.Signature() != labeled[i].Query.Signature() {
+			t.Fatalf("line %d query changed:\n%s\n%s", i,
+				labeled[i].Query.Signature(), back[i].Query.Signature())
+		}
+	}
+}
+
+func TestCSVFormatExample(t *testing.T) {
+	// The format matches the original artifact's example layout.
+	d := wlDB(t)
+	qs, _ := JOBLight(d, 1)
+	labeled, err := Label(d, qs[:1], 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, labeled); err != nil {
+		t.Fatal(err)
+	}
+	line := strings.TrimSpace(buf.String())
+	if strings.Count(line, "#") != 3 {
+		t.Errorf("line should have 3 '#': %s", line)
+	}
+	if !strings.Contains(line, "title t") {
+		t.Errorf("tables field malformed: %s", line)
+	}
+}
+
+func TestReadCSVSkipsCommentsAndBlanks(t *testing.T) {
+	d := wlDB(t)
+	in := "-- comment\n\ntitle t##t.kind_id,=,1#42\n"
+	out, err := ReadCSV(d, strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0].Card != 42 {
+		t.Fatalf("parsed %+v", out)
+	}
+	if out[0].Query.Tables[0].Alias != "t" {
+		t.Error("alias lost")
+	}
+}
+
+func TestReadCSVBareTableName(t *testing.T) {
+	d := wlDB(t)
+	out, err := ReadCSV(d, strings.NewReader("title## #7\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].Query.Tables[0].Alias != "title" {
+		t.Error("bare table should alias to itself")
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	d := wlDB(t)
+	bad := []string{
+		"only#three#fields",
+		"#j#p#1",                    // empty tables
+		"title t##x,=,1#5",          // bad column ref (no dot)
+		"title t##t.kind_id,>=,1#5", // bad op
+		"title t##t.kind_id,=,xx#5", // bad literal
+		"title t##t.kind_id,=#5",    // triple truncated
+		"title t#badjoin#t.kind_id,=,1#5",
+		"title t##t.kind_id,=,1#notanumber",
+		"nope n##n.x,=,1#5",             // schema validation
+		"title t,movie_keyword mk## #5", // disconnected
+	}
+	for _, line := range bad {
+		if _, err := ReadCSV(d, strings.NewReader(line+"\n")); err == nil {
+			t.Errorf("expected error for %q", line)
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"deepsketch/internal/db"
+	"deepsketch/internal/sample"
+)
+
+// Template is a query template: a base query plus a placeholder column, as
+// in the demo's
+//
+//	... AND k.keyword='artificial-intelligence' AND t.production_year=?
+//
+// A placeholder behaves like a group-by over the values present in the
+// column sample: the template is instantiated once per drawn value (or
+// value range) and each instance is estimated separately.
+type Template struct {
+	// Base is the query without the placeholder predicate.
+	Base db.Query
+	// Alias and Col identify the placeholder column.
+	Alias string
+	Col   string
+}
+
+// Grouping selects how placeholder values are drawn from the column sample.
+type Grouping int
+
+const (
+	// GroupDistinct instantiates one equality query per distinct sample
+	// value, ascending.
+	GroupDistinct Grouping = iota
+	// GroupBuckets instantiates one range query per equal-width bucket
+	// between the sample min and max (the demo's "equally sized buckets").
+	GroupBuckets
+)
+
+// Instance is one instantiation of a template.
+type Instance struct {
+	Query db.Query
+	// Lo and Hi describe the instantiated value (Lo == Hi for equality
+	// instances; [Lo, Hi] inclusive for bucket instances).
+	Lo, Hi int64
+	// Label is the display value for the X axis of the demo's chart.
+	Label string
+}
+
+// Instantiate expands the template against the sketch's samples. For
+// GroupDistinct every distinct sampled value yields an equality instance;
+// for GroupBuckets the sampled min/max range is divided into buckets many
+// equal-width range instances. buckets is ignored for GroupDistinct.
+//
+// Values come from the sample, not the full database — this is exactly the
+// demo's semantics ("it does not operate on all distinct values of the
+// group-by column but instead only on the values present in the column
+// sample that comes with the sketch").
+func (t Template) Instantiate(s *sample.Set, g Grouping, buckets int) ([]Instance, error) {
+	ref, ok := t.Base.RefByAlias(t.Alias)
+	if !ok {
+		return nil, fmt.Errorf("workload: template alias %s not in query", t.Alias)
+	}
+	ts := s.For(ref.Table)
+	if ts == nil {
+		return nil, fmt.Errorf("workload: no sample for table %s", ref.Table)
+	}
+	switch g {
+	case GroupDistinct:
+		vals, err := ts.DistinctValues(t.Col)
+		if err != nil {
+			return nil, err
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		out := make([]Instance, 0, len(vals))
+		for _, v := range vals {
+			q := t.Base.Clone()
+			q.Preds = append(q.Preds, db.Predicate{Alias: t.Alias, Col: t.Col, Op: db.OpEq, Val: v})
+			out = append(out, Instance{Query: q, Lo: v, Hi: v, Label: fmt.Sprintf("%d", v)})
+		}
+		return out, nil
+	case GroupBuckets:
+		if buckets <= 0 {
+			return nil, fmt.Errorf("workload: bucket count must be positive, got %d", buckets)
+		}
+		lo, hi, ok := ts.MinMax(t.Col)
+		if !ok {
+			return nil, fmt.Errorf("workload: empty sample for %s.%s", ref.Table, t.Col)
+		}
+		span := hi - lo + 1
+		if int64(buckets) > span {
+			buckets = int(span)
+		}
+		out := make([]Instance, 0, buckets)
+		for b := 0; b < buckets; b++ {
+			bLo := lo + span*int64(b)/int64(buckets)
+			bHi := lo + span*int64(b+1)/int64(buckets) - 1
+			q := t.Base.Clone()
+			// [bLo, bHi] as strict comparisons: > bLo-1 AND < bHi+1.
+			q.Preds = append(q.Preds,
+				db.Predicate{Alias: t.Alias, Col: t.Col, Op: db.OpGt, Val: bLo - 1},
+				db.Predicate{Alias: t.Alias, Col: t.Col, Op: db.OpLt, Val: bHi + 1})
+			out = append(out, Instance{Query: q, Lo: bLo, Hi: bHi, Label: fmt.Sprintf("%d-%d", bLo, bHi)})
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("workload: unknown grouping %d", g)
+	}
+}
+
+// YearTemplate builds the paper's flagship template on the IMDb schema:
+//
+//	SELECT COUNT(*) FROM title t, movie_keyword mk, keyword k
+//	WHERE mk.movie_id=t.id AND mk.keyword_id=k.id
+//	AND k.keyword='<keyword>' AND t.production_year=?
+func YearTemplate(d *db.DB, keyword string) (Template, error) {
+	kwTable := d.Table("keyword")
+	if kwTable == nil {
+		return Template{}, fmt.Errorf("workload: schema has no keyword table")
+	}
+	code, ok := kwTable.Column("keyword").Lookup(keyword)
+	if !ok {
+		return Template{}, fmt.Errorf("workload: unknown keyword %q", keyword)
+	}
+	base := db.Query{
+		Tables: []db.TableRef{
+			{Table: "title", Alias: "t"},
+			{Table: "movie_keyword", Alias: "mk"},
+			{Table: "keyword", Alias: "k"},
+		},
+		Joins: []db.JoinPred{
+			{LeftAlias: "mk", LeftCol: "movie_id", RightAlias: "t", RightCol: "id"},
+			{LeftAlias: "mk", LeftCol: "keyword_id", RightAlias: "k", RightCol: "id"},
+		},
+		Preds: []db.Predicate{{Alias: "k", Col: "keyword", Op: db.OpEq, Val: code}},
+	}
+	return Template{Base: base, Alias: "t", Col: "production_year"}, nil
+}
