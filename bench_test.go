@@ -17,6 +17,7 @@
 package deepsketch_test
 
 import (
+	"context"
 	"io"
 	"sync"
 	"testing"
@@ -113,7 +114,7 @@ func BenchmarkTable1JOBLight(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		sketchQ = sketchQ[:0]
 		for _, lq := range f.joblight {
-			est, err := f.sketch.Estimate(lq.Query)
+			est, err := f.sketch.Cardinality(lq.Query)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -122,11 +123,11 @@ func BenchmarkTable1JOBLight(b *testing.B) {
 	}
 	b.StopTimer()
 	for _, lq := range f.joblight {
-		he, err := f.hyper.Estimate(lq.Query)
+		he, err := f.hyper.Cardinality(lq.Query)
 		if err != nil {
 			b.Fatal(err)
 		}
-		pe, err := f.pg.Estimate(lq.Query)
+		pe, err := f.pg.Cardinality(lq.Query)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -211,7 +212,7 @@ func BenchmarkEstimateLatency(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		lq := f.joblight[i%len(f.joblight)]
-		if _, err := f.sketch.Estimate(lq.Query); err != nil {
+		if _, err := f.sketch.Cardinality(lq.Query); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -223,7 +224,7 @@ func BenchmarkEstimateSQL(b *testing.B) {
 	sql := "SELECT COUNT(*) FROM title t, movie_keyword mk WHERE mk.movie_id=t.id AND t.production_year>2000"
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := f.sketch.EstimateSQL(sql); err != nil {
+		if _, err := f.sketch.EstimateSQL(context.Background(), sql); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -260,7 +261,7 @@ func BenchmarkTemplateQuery(b *testing.B) {
 	b.ResetTimer()
 	var res []core.TemplateResult
 	for i := 0; i < b.N; i++ {
-		res, err = f.sketch.EstimateTemplate(tpl, workload.GroupBuckets, 14)
+		res, err = f.sketch.EstimateTemplate(context.Background(), tpl, workload.GroupBuckets, 14)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -315,7 +316,7 @@ func BenchmarkZeroTuple(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		sketchQ = sketchQ[:0]
 		for _, lq := range mined {
-			est, err := f.sketch.Estimate(lq.Query)
+			est, err := f.sketch.Cardinality(lq.Query)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -324,7 +325,7 @@ func BenchmarkZeroTuple(b *testing.B) {
 	}
 	b.StopTimer()
 	for _, lq := range mined {
-		he, err := f.hyper.Estimate(lq.Query)
+		he, err := f.hyper.Cardinality(lq.Query)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -351,7 +352,7 @@ func BenchmarkAblationBitmaps(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			qerrs, err = qerrsJOBLight(f, sk.Estimate)
+			qerrs, err = qerrsJOBLight(f, sk.Cardinality)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -396,7 +397,7 @@ func BenchmarkTPCHSketch(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		qs = qs[:0]
 		for _, lq := range labeled {
-			est, err := sk.Estimate(lq.Query)
+			est, err := sk.Cardinality(lq.Query)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -430,7 +431,7 @@ func BenchmarkPlanQuality(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		sketchRatios = sketchRatios[:0]
 		for _, lq := range queries {
-			ratio, _, _, err := optimizer.PlanQuality(lq.Query, f.sketch.Estimate, truth)
+			ratio, _, _, err := optimizer.PlanQuality(lq.Query, f.sketch.Cardinality, truth)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -439,7 +440,7 @@ func BenchmarkPlanQuality(b *testing.B) {
 	}
 	b.StopTimer()
 	for _, lq := range queries {
-		ratio, _, _, err := optimizer.PlanQuality(lq.Query, f.pg.Estimate, truth)
+		ratio, _, _, err := optimizer.PlanQuality(lq.Query, f.pg.Cardinality, truth)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -521,4 +522,73 @@ func itoa(v int) string {
 		v /= 10
 	}
 	return string(buf[i:])
+}
+
+// BenchmarkServeConcurrent measures serving throughput at 64 concurrent
+// clients cycling the JOB-light workload. Three modes: naive per-request
+// Estimate (one MSCN forward pass per request), the bare coalescer
+// (concurrent requests merged into shape-grouped batched forward passes —
+// its parallel batched inference pays off with GOMAXPROCS > 1), and the
+// serve stack as deepsketchd deploys it (LRU cache over the coalescer),
+// where the cache absorbs the hot-query repeats that dominate serving
+// traffic. One benchmark iteration = one served request; compare ns/op
+// (≈ inverse throughput).
+func BenchmarkServeConcurrent(b *testing.B) {
+	f := fixtureB(b)
+	const clients = 64
+	queries := make([]deepsketch.Query, len(f.joblight))
+	for i, lq := range f.joblight {
+		queries[i] = lq.Query
+	}
+	bench := func(est deepsketch.Estimator) func(b *testing.B) {
+		return func(b *testing.B) {
+			var wg sync.WaitGroup
+			reqs := make(chan int)
+			failed := make(chan error, 1)
+			for c := 0; c < clients; c++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := range reqs {
+						if _, err := est.Estimate(context.Background(), queries[i%len(queries)]); err != nil {
+							select {
+							case failed <- err:
+							default:
+							}
+							return
+						}
+					}
+				}()
+			}
+			b.ResetTimer()
+		feed:
+			for i := 0; i < b.N; i++ {
+				select {
+				case reqs <- i:
+				case err := <-failed:
+					// A dead worker must not leave the feeder blocked on an
+					// unbuffered send with no receivers.
+					close(reqs)
+					wg.Wait()
+					b.Fatal(err)
+					break feed
+				}
+			}
+			close(reqs)
+			wg.Wait()
+			b.StopTimer()
+			select {
+			case err := <-failed:
+				b.Fatal(err)
+			default:
+			}
+		}
+	}
+	b.Run("naive-per-request", bench(f.sketch))
+	co := deepsketch.NewCoalescer(f.sketch, deepsketch.CoalesceOptions{})
+	defer co.Close()
+	b.Run("coalesced", bench(co))
+	co2 := deepsketch.NewCoalescer(f.sketch, deepsketch.CoalesceOptions{})
+	defer co2.Close()
+	b.Run("serve-stack", bench(deepsketch.WithCache(co2, 1024)))
 }

@@ -12,11 +12,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"deepsketch"
 	"deepsketch/internal/trainmon"
@@ -180,7 +182,7 @@ func cmdBuild(args []string) error {
 		return err
 	}
 	fmt.Printf("sketch %q written to %s (%.2f MiB: weights %.2f, samples %.2f)\n",
-		s.Name, *out, mib(fb.Total), mib(fb.Weights), mib(fb.Samples))
+		s.Name(), *out, mib(fb.Total), mib(fb.Weights), mib(fb.Samples))
 	return nil
 }
 
@@ -200,7 +202,7 @@ func cmdInfo(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("name:          %s\n", s.Name)
+	fmt.Printf("name:          %s\n", s.Name())
 	fmt.Printf("database:      %s\n", s.DBName)
 	fmt.Printf("tables:        %s\n", strings.Join(s.Cfg.Tables, ", "))
 	fmt.Printf("samples/table: %d\n", s.Cfg.SampleSize)
@@ -241,11 +243,12 @@ func cmdQuery(args []string) error {
 	if err != nil {
 		return err
 	}
-	est, err := s.EstimateSQL(*sql)
+	ctx := context.Background()
+	est, err := s.EstimateSQL(ctx, *sql)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%-16s %14.1f\n", "Deep Sketch", est)
+	fmt.Printf("%-16s %14.1f   (%v)\n", "Deep Sketch", est.Cardinality, est.Latency.Round(time.Microsecond))
 	if !*truth {
 		return nil
 	}
@@ -261,23 +264,23 @@ func cmdQuery(args []string) error {
 	if err != nil {
 		return err
 	}
-	hyper, err := deepsketch.HyperSystem(d, s.Cfg.SampleSize, s.Cfg.Seed)
+	hyper, err := deepsketch.HyperEstimator(d, s.Cfg.SampleSize, s.Cfg.Seed)
 	if err != nil {
 		return err
 	}
-	pg := deepsketch.PostgresSystem(d)
-	he, err := hyper.Estimate(q)
+	pg := deepsketch.PostgresEstimator(d)
+	he, err := hyper.Estimate(ctx, q)
 	if err != nil {
 		return err
 	}
-	pe, err := pg.Estimate(q)
+	pe, err := pg.Estimate(ctx, q)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%-16s %14.1f   (q-error %.2f)\n", "HyPer", he, deepsketch.QError(he, float64(tc)))
-	fmt.Printf("%-16s %14.1f   (q-error %.2f)\n", "PostgreSQL", pe, deepsketch.QError(pe, float64(tc)))
+	fmt.Printf("%-16s %14.1f   (q-error %.2f)\n", "HyPer", he.Cardinality, deepsketch.QError(he.Cardinality, float64(tc)))
+	fmt.Printf("%-16s %14.1f   (q-error %.2f)\n", "PostgreSQL", pe.Cardinality, deepsketch.QError(pe.Cardinality, float64(tc)))
 	fmt.Printf("%-16s %14d\n", "True", tc)
-	fmt.Printf("%-16s %14s   (q-error %.2f)\n", "", "", deepsketch.QError(est, float64(tc)))
+	fmt.Printf("%-16s %14s   (q-error %.2f)\n", "", "", deepsketch.QError(est.Cardinality, float64(tc)))
 	return nil
 }
 
@@ -308,7 +311,7 @@ func cmdTemplate(args []string) error {
 	default:
 		return fmt.Errorf("unknown grouping %q", *group)
 	}
-	res, err := s.EstimateTemplateSQL(*sql, g, *buckets)
+	res, err := s.EstimateTemplateSQL(context.Background(), *sql, g, *buckets)
 	if err != nil {
 		return err
 	}
@@ -387,12 +390,12 @@ func cmdEval(args []string) error {
 	if err != nil {
 		return err
 	}
-	hyper, err := deepsketch.HyperSystem(d, s.Cfg.SampleSize, s.Cfg.Seed)
+	hyper, err := deepsketch.HyperEstimator(d, s.Cfg.SampleSize, s.Cfg.Seed)
 	if err != nil {
 		return err
 	}
-	rows, err := deepsketch.Compare(labeled, []deepsketch.System{
-		deepsketch.SketchSystem(s), hyper, deepsketch.PostgresSystem(d),
+	rows, err := deepsketch.Compare(context.Background(), labeled, []deepsketch.Estimator{
+		s, hyper, deepsketch.PostgresEstimator(d),
 	})
 	if err != nil {
 		return err
@@ -406,7 +409,7 @@ func cmdEval(args []string) error {
 	}
 	var worst []bad
 	for _, lq := range labeled {
-		est, err := s.Estimate(lq.Query)
+		est, err := s.Cardinality(lq.Query)
 		if err != nil {
 			return err
 		}

@@ -69,15 +69,27 @@ type sketchEntry struct {
 	Error   string    `json:"error,omitempty"`
 	Created time.Time `json:"created"`
 	sketch  *deepsketch.Sketch
+	// serving is the sketch behind its serving stack: an LRU estimate
+	// cache over a clamped micro-batching coalescer. All request traffic
+	// to this sketch goes through it.
+	serving deepsketch.Estimator
 	mon     *deepsketch.Monitor
+}
+
+type baseline struct {
+	hyper deepsketch.Estimator
+	pg    deepsketch.Estimator
 }
 
 type server struct {
 	datasets map[string]*deepsketch.DB
-	baseline map[string]struct {
-		hyper deepsketch.System
-		pg    deepsketch.System
-	}
+	baseline map[string]baseline
+	// routers dispatch auto-routed queries to the most specific ready
+	// sketch of each dataset; auto wraps them in the serving chain
+	// Router → PostgreSQL, so a query no sketch covers still gets an
+	// answer instead of an error.
+	routers map[string]*deepsketch.Router
+	auto    map[string]*deepsketch.EstimateCache
 
 	// store, when non-empty, is a directory where ready sketches are
 	// persisted and from which they are restored at startup.
@@ -94,24 +106,58 @@ func newServer(titles, orders int, seed int64) *server {
 			"imdb": deepsketch.NewIMDb(deepsketch.IMDbConfig{Seed: seed, Titles: titles}),
 			"tpch": deepsketch.NewTPCH(deepsketch.TPCHConfig{Seed: seed, Orders: orders}),
 		},
+		baseline: map[string]baseline{},
+		routers:  map[string]*deepsketch.Router{},
+		auto:     map[string]*deepsketch.EstimateCache{},
 		sketches: map[int]*sketchEntry{},
 		nextID:   1,
 	}
-	s.baseline = map[string]struct {
-		hyper deepsketch.System
-		pg    deepsketch.System
-	}{}
 	for name, d := range s.datasets {
-		hyper, err := deepsketch.HyperSystem(d, 1000, seed)
+		hyper, err := deepsketch.HyperEstimator(d, 1000, seed)
 		if err != nil {
 			log.Fatalf("baseline for %s: %v", name, err)
 		}
-		s.baseline[name] = struct {
-			hyper deepsketch.System
-			pg    deepsketch.System
-		}{hyper: hyper, pg: deepsketch.PostgresSystem(d)}
+		pg := deepsketch.PostgresEstimator(d)
+		s.baseline[name] = baseline{hyper: hyper, pg: pg}
+		r := deepsketch.NewRouter()
+		s.routers[name] = r
+		// Auto-routed traffic gets the same serving treatment as explicit
+		// sketch requests: coalesced batched inference behind the router,
+		// clamped, PostgreSQL fallback for uncovered queries, all cached.
+		// The fallback sits inside the coalescer so a coalesced batch that
+		// contains uncovered queries bisects into batched router calls plus
+		// per-query PostgreSQL answers, instead of failing wholesale and
+		// serializing the whole flush.
+		s.auto[name] = deepsketch.WithCache(
+			deepsketch.NewCoalescer(
+				deepsketch.Fallback(
+					deepsketch.Clamp(r, deepsketch.MaxCardinality(d)),
+					pg),
+				deepsketch.CoalesceOptions{}),
+			1024)
 	}
 	return s
+}
+
+// markReady publishes a built sketch: serving stack, router registration,
+// entry status. The coalescer lives as long as the entry (sketches are
+// never deleted), so it is not closed.
+func (s *server) markReady(e *sketchEntry, sk *deepsketch.Sketch) {
+	d := s.datasets[e.Dataset]
+	serving := deepsketch.WithCache(
+		deepsketch.Clamp(
+			deepsketch.NewCoalescer(sk, deepsketch.CoalesceOptions{}),
+			deepsketch.MaxCardinality(d)),
+		1024)
+	s.mu.Lock()
+	e.sketch = sk
+	e.serving = serving
+	e.Status = "ready"
+	s.mu.Unlock()
+	s.routers[e.Dataset].Register(sk)
+	// Registration changes which backend covers which queries; cached
+	// auto-routed answers (e.g. PostgreSQL fallbacks) may now be stale.
+	s.auto[e.Dataset].Reset()
 }
 
 func (s *server) routes() http.Handler {
@@ -226,16 +272,14 @@ func (s *server) build(e *sketchEntry, d *deepsketch.DB, req createReq) {
 		TrainQueries: req.TrainQueries, Seed: req.Seed, Model: mcfg,
 	}
 	sk, err := deepsketch.Build(d, cfg, e.mon)
-	s.mu.Lock()
 	if err != nil {
+		s.mu.Lock()
 		e.Status = "failed"
 		e.Error = err.Error()
 		s.mu.Unlock()
 		return
 	}
-	e.sketch = sk
-	e.Status = "ready"
-	s.mu.Unlock()
+	s.markReady(e, sk)
 	s.persist(e, sk)
 }
 
@@ -317,103 +361,67 @@ func (s *server) handleSketchDownload(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-func (s *server) readySketch(id int) (*sketchEntry, *deepsketch.Sketch, error) {
+func (s *server) readySketch(id int) (*sketchEntry, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	e, ok := s.sketches[id]
 	if !ok {
-		return nil, nil, fmt.Errorf("no sketch %d", id)
+		return nil, fmt.Errorf("no sketch %d", id)
 	}
 	if e.sketch == nil {
-		return nil, nil, fmt.Errorf("sketch %d is %s", id, e.Status)
+		return nil, fmt.Errorf("sketch %d is %s", id, e.Status)
 	}
-	return e, e.sketch, nil
-}
-
-// routeSketch picks the most specific ready sketch of the dataset that
-// covers the query's tables (smallest table set; ties by id). The SQL is
-// parsed against the dataset schema just to learn the referenced tables.
-func (s *server) routeSketch(dataset, sql string) (*sketchEntry, *deepsketch.Sketch, error) {
-	if dataset == "" {
-		dataset = "imdb"
-	}
-	d, ok := s.datasets[dataset]
-	if !ok {
-		return nil, nil, fmt.Errorf("unknown dataset %q", dataset)
-	}
-	q, err := deepsketch.ParseSQL(d, sql)
-	if err != nil {
-		return nil, nil, err
-	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	var best *sketchEntry
-	for id := 1; id < s.nextID; id++ {
-		e, ok := s.sketches[id]
-		if !ok || e.sketch == nil || e.Dataset != dataset {
-			continue
-		}
-		if !coversTables(e.sketch, q) {
-			continue
-		}
-		if best == nil || len(e.sketch.Cfg.Tables) < len(best.sketch.Cfg.Tables) {
-			best = e
-		}
-	}
-	if best == nil {
-		return nil, nil, fmt.Errorf("no ready sketch covers the query's tables")
-	}
-	return best, best.sketch, nil
-}
-
-func coversTables(sk *deepsketch.Sketch, q deepsketch.Query) bool {
-	set := make(map[string]bool, len(sk.Cfg.Tables))
-	for _, t := range sk.Cfg.Tables {
-		set[t] = true
-	}
-	for _, tr := range q.Tables {
-		if !set[tr.Table] {
-			return false
-		}
-	}
-	return true
+	return e, nil
 }
 
 type estimateReq struct {
-	// SketchID selects a sketch explicitly; 0 routes automatically to the
-	// most specific ready sketch of Dataset that covers the query's tables.
+	// SketchID selects a sketch explicitly; 0 routes automatically through
+	// the dataset's sketch router, falling back to the PostgreSQL-style
+	// estimator when no ready sketch covers the query's tables.
 	SketchID int    `json:"sketch_id"`
 	Dataset  string `json:"dataset,omitempty"`
 	SQL      string `json:"sql"`
 }
 
 // handleEstimate computes all the demo's overlays for one ad-hoc query:
-// Deep Sketch, HyPer, PostgreSQL, and the true cardinality.
+// Deep Sketch (through the serving stack), HyPer, PostgreSQL, and the true
+// cardinality. The client disconnecting cancels the work via the request
+// context.
 func (s *server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	var req estimateReq
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	var e *sketchEntry
-	var sk *deepsketch.Sketch
-	var err error
+	ctx := r.Context()
+	dataset := req.Dataset
+	var serving deepsketch.Estimator
 	if req.SketchID == 0 {
-		e, sk, err = s.routeSketch(req.Dataset, req.SQL)
+		if dataset == "" {
+			dataset = "imdb"
+		}
+		est, ok := s.auto[dataset]
+		if !ok {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown dataset %q", dataset))
+			return
+		}
+		serving = est
 	} else {
-		e, sk, err = s.readySketch(req.SketchID)
+		e, err := s.readySketch(req.SketchID)
+		if err != nil {
+			writeErr(w, http.StatusNotFound, err)
+			return
+		}
+		serving = e.serving
+		dataset = e.Dataset
 	}
-	if err != nil {
-		writeErr(w, http.StatusNotFound, err)
-		return
-	}
-	d := s.datasets[e.Dataset]
+	d := s.datasets[dataset]
 	q, err := deepsketch.ParseSQL(d, req.SQL)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	est, err := sk.Estimate(q)
+	est, err := serving.Estimate(ctx, q)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
@@ -423,27 +431,30 @@ func (s *server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	bl := s.baseline[e.Dataset]
-	hyperEst, err := bl.hyper.Estimate(q)
+	bl := s.baseline[dataset]
+	hyperEst, err := bl.hyper.Estimate(ctx, q)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	pgEst, err := bl.pg.Estimate(q)
+	pgEst, err := bl.pg.Estimate(ctx, q)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"sql":         q.SQL(d),
-		"deep_sketch": est,
-		"hyper":       hyperEst,
-		"postgresql":  pgEst,
+		"deep_sketch": est.Cardinality,
+		"source":      est.Source,
+		"latency_ms":  float64(est.Latency.Microseconds()) / 1000.0,
+		"cache_hit":   est.CacheHit,
+		"hyper":       hyperEst.Cardinality,
+		"postgresql":  pgEst.Cardinality,
 		"true":        truth,
 		"q_errors": map[string]float64{
-			"deep_sketch": deepsketch.QError(est, float64(truth)),
-			"hyper":       deepsketch.QError(hyperEst, float64(truth)),
-			"postgresql":  deepsketch.QError(pgEst, float64(truth)),
+			"deep_sketch": deepsketch.QError(est.Cardinality, float64(truth)),
+			"hyper":       deepsketch.QError(hyperEst.Cardinality, float64(truth)),
+			"postgresql":  deepsketch.QError(pgEst.Cardinality, float64(truth)),
 		},
 	})
 }
@@ -464,7 +475,7 @@ func (s *server) handleTemplate(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	e, sk, err := s.readySketch(req.SketchID)
+	e, err := s.readySketch(req.SketchID)
 	if err != nil {
 		writeErr(w, http.StatusNotFound, err)
 		return
@@ -476,7 +487,7 @@ func (s *server) handleTemplate(w http.ResponseWriter, r *http.Request) {
 			req.Buckets = 20
 		}
 	}
-	res, err := sk.EstimateTemplateSQL(req.SQL, g, req.Buckets)
+	res, err := e.sketch.EstimateTemplateSQL(r.Context(), req.SQL, g, req.Buckets)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
@@ -500,14 +511,18 @@ func (s *server) handleTemplate(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 			p.True = &tc
-			if p.Hyper, err = bl.hyper.Estimate(inst.Query); err != nil {
+			he, err := bl.hyper.Estimate(r.Context(), inst.Query)
+			if err != nil {
 				writeErr(w, http.StatusBadRequest, err)
 				return
 			}
-			if p.PostgreSQL, err = bl.pg.Estimate(inst.Query); err != nil {
+			p.Hyper = he.Cardinality
+			pe, err := bl.pg.Estimate(r.Context(), inst.Query)
+			if err != nil {
 				writeErr(w, http.StatusBadRequest, err)
 				return
 			}
+			p.PostgreSQL = pe.Cardinality
 		}
 		points = append(points, p)
 	}

@@ -200,19 +200,36 @@ func TestEstimateAutoRouting(t *testing.T) {
 		}
 		time.Sleep(50 * time.Millisecond)
 	}
-	// No sketch_id: auto-route to the covering sketch.
+	// No sketch_id: auto-route to the covering sketch, which reports
+	// itself as the estimate's source.
 	rec = post(t, h, "/api/estimate", estimateReq{
 		Dataset: "imdb", SQL: "SELECT COUNT(*) FROM title t WHERE t.kind_id=1",
 	})
 	if rec.Code != http.StatusOK {
 		t.Fatalf("routed estimate: %d %s", rec.Code, rec.Body)
 	}
-	// A query outside the sketch's tables cannot be routed.
+	var resp struct {
+		Source string `json:"source"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Source != "imdb-sketch-1" {
+		t.Errorf("covered query source = %q, want the sketch", resp.Source)
+	}
+	// A query outside every sketch's tables falls through the serving chain
+	// to the PostgreSQL-style estimator instead of erroring.
 	rec = post(t, h, "/api/estimate", estimateReq{
 		Dataset: "imdb", SQL: "SELECT COUNT(*) FROM cast_info ci",
 	})
-	if rec.Code != http.StatusNotFound {
-		t.Fatalf("uncoverable query status = %d", rec.Code)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("uncovered query status = %d %s", rec.Code, rec.Body)
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Source != "PostgreSQL" {
+		t.Errorf("uncovered query source = %q, want PostgreSQL fallback", resp.Source)
 	}
 }
 

@@ -59,10 +59,9 @@ func (s *server) loadStore() (int, error) {
 			log.Printf("deepsketchd: skipping %s: unknown dataset %q", path, sk.DBName)
 			continue
 		}
-		e := s.register(sk.Name, sk.DBName)
+		e := s.register(sk.Name(), sk.DBName)
+		s.markReady(e, sk)
 		s.mu.Lock()
-		e.sketch = sk
-		e.Status = "ready"
 		e.Created = time.Now()
 		s.mu.Unlock()
 		loaded++

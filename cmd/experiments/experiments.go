@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -31,15 +32,15 @@ func runTable1(c *ctx) error {
 		return err
 	}
 	rows := []metrics.Row{}
-	sketchQ, err := qerrsOf(labeled, s.Estimate)
+	sketchQ, err := qerrsOf(labeled, s.Cardinality)
 	if err != nil {
 		return err
 	}
-	hyperQ, err := qerrsOf(labeled, hyper.Estimate)
+	hyperQ, err := qerrsOf(labeled, hyper.Cardinality)
 	if err != nil {
 		return err
 	}
-	pgQ, err := qerrsOf(labeled, pg.Estimate)
+	pgQ, err := qerrsOf(labeled, pg.Cardinality)
 	if err != nil {
 		return err
 	}
@@ -66,9 +67,9 @@ func runTable1(c *ctx) error {
 		name string
 		est  func(db.Query) (float64, error)
 	}{
-		{"Deep Sketch", s.Estimate},
-		{"HyPer", hyper.Estimate},
-		{"PostgreSQL", pg.Estimate},
+		{"Deep Sketch", s.Cardinality},
+		{"HyPer", hyper.Cardinality},
+		{"PostgreSQL", pg.Cardinality},
 	}
 	for _, sys := range systems {
 		fmt.Printf(" %22s", sys.name)
@@ -187,7 +188,7 @@ func runFig1b(c *ctx) error {
 	}
 	t0 := time.Now()
 	for _, lq := range queries {
-		if _, err := s.Estimate(lq.Query); err != nil {
+		if _, err := s.Cardinality(lq.Query); err != nil {
 			return err
 		}
 	}
@@ -224,7 +225,7 @@ func runFig2(c *ctx) error {
 	if err != nil {
 		return err
 	}
-	res, err := s.EstimateTemplate(tpl, workload.GroupBuckets, 14)
+	res, err := s.EstimateTemplate(context.Background(), tpl, workload.GroupBuckets, 14)
 	if err != nil {
 		return err
 	}
@@ -236,11 +237,11 @@ func runFig2(c *ctx) error {
 		if err != nil {
 			return err
 		}
-		he, err := hyper.Estimate(r.Query)
+		he, err := hyper.Cardinality(r.Query)
 		if err != nil {
 			return err
 		}
-		pe, err := pg.Estimate(r.Query)
+		pe, err := pg.Cardinality(r.Query)
 		if err != nil {
 			return err
 		}
@@ -319,15 +320,15 @@ func runZeroTuple(c *ctx) error {
 		fmt.Println("\nno 0-tuple situations found (samples too large relative to data); rerun with -samples lowered")
 		return nil
 	}
-	sketchQ, err := qerrsOf(mined, s.Estimate)
+	sketchQ, err := qerrsOf(mined, s.Cardinality)
 	if err != nil {
 		return err
 	}
-	hyperQ, err := qerrsOf(mined, hyper.Estimate)
+	hyperQ, err := qerrsOf(mined, hyper.Cardinality)
 	if err != nil {
 		return err
 	}
-	pgQ, err := qerrsOf(mined, pg.Estimate)
+	pgQ, err := qerrsOf(mined, pg.Cardinality)
 	if err != nil {
 		return err
 	}
@@ -368,7 +369,7 @@ func runTrainSize(c *ctx) error {
 		if err != nil {
 			return err
 		}
-		qs, err := qerrsOf(labeled, sk.Estimate)
+		qs, err := qerrsOf(labeled, sk.Cardinality)
 		if err != nil {
 			return err
 		}
@@ -438,7 +439,7 @@ func runAblation(c *ctx) error {
 	if err != nil {
 		return err
 	}
-	withQ, err := qerrsOf(labeled, withSketch.Estimate)
+	withQ, err := qerrsOf(labeled, withSketch.Cardinality)
 	if err != nil {
 		return err
 	}
@@ -522,15 +523,15 @@ func runTPCH(c *ctx) error {
 		return err
 	}
 	pg := estimator.NewPostgres(d, estimator.PostgresOptions{})
-	sketchQ, err := qerrsOf(labeled, sk.Estimate)
+	sketchQ, err := qerrsOf(labeled, sk.Cardinality)
 	if err != nil {
 		return err
 	}
-	hyperQ, err := qerrsOf(labeled, hyper.Estimate)
+	hyperQ, err := qerrsOf(labeled, hyper.Cardinality)
 	if err != nil {
 		return err
 	}
-	pgQ, err := qerrsOf(labeled, pg.Estimate)
+	pgQ, err := qerrsOf(labeled, pg.Cardinality)
 	if err != nil {
 		return err
 	}

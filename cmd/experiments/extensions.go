@@ -133,9 +133,9 @@ func runOptimizer(c *ctx) error {
 		name string
 		est  optimizer.CardinalityEstimator
 	}{
-		{"Deep Sketch", s.Estimate},
-		{"HyPer", hyper.Estimate},
-		{"PostgreSQL", pg.Estimate},
+		{"Deep Sketch", s.Cardinality},
+		{"HyPer", hyper.Cardinality},
+		{"PostgreSQL", pg.Cardinality},
 	}
 	names := make([]string, len(systems))
 	ratios := make([][]float64, len(systems))
@@ -193,7 +193,7 @@ func runLossAblation(c *ctx) error {
 		if err != nil {
 			return err
 		}
-		qs, err := qerrsOf(labeled, sk.Estimate)
+		qs, err := qerrsOf(labeled, sk.Cardinality)
 		if err != nil {
 			return err
 		}

@@ -6,6 +6,20 @@
 // estimates COUNT(*) result sizes of select-project-join SQL queries in
 // milliseconds, without touching the database.
 //
+// # The Estimator interface
+//
+// Every estimation backend implements the one Estimator interface —
+// context-aware, batched, returning an Estimate result (cardinality, source
+// name, latency) rather than a bare number:
+//
+//	Estimate(ctx, q)       (Estimate, error)
+//	EstimateBatch(ctx, qs) ([]Estimate, error)
+//	Name()                 string
+//
+// Sketches, the multi-sketch Router, the traditional estimators
+// (PostgresEstimator, HyperEstimator), the exact TruthEstimator, and every
+// serving wrapper all satisfy it, so they compose and interchange freely.
+//
 // Typical usage:
 //
 //	d := deepsketch.NewIMDb(deepsketch.IMDbConfig{Seed: 1})
@@ -13,17 +27,34 @@
 //	    TrainQueries: 10000,
 //	    SampleSize:   1000,
 //	}, nil)
-//	est, err := sketch.EstimateSQL(
+//	est, err := sketch.EstimateSQL(ctx,
 //	    "SELECT COUNT(*) FROM title t, movie_keyword mk " +
 //	    "WHERE mk.movie_id=t.id AND t.production_year>2010")
+//	fmt.Println(est.Cardinality, est.Latency)
+//
+// # Serving
+//
+// For production-shaped serving, stack the middleware from the serve layer
+// onto any Estimator: WithCache adds an LRU estimate cache keyed on the
+// canonical query fingerprint, NewCoalescer merges concurrent single-query
+// requests into one batched MSCN forward pass, Clamp bounds estimates into
+// [1, |DB|], and Fallback chains backends so an uncovered query falls
+// through (e.g. Router → PostgreSQL) instead of erroring:
+//
+//	serving := deepsketch.WithCache(
+//	    deepsketch.Fallback(
+//	        deepsketch.Clamp(deepsketch.NewCoalescer(sketch, deepsketch.CoalesceOptions{}), maxCard),
+//	        deepsketch.PostgresEstimator(d)),
+//	    4096)
+//	est, err := serving.Estimate(ctx, q)
 //
 // Sketches serialize to a few MiB (Save/Load) and can be queried standalone.
-// The package also exposes the traditional estimators the paper compares
-// against (PostgreSQL-style statistics and HyPer-style sampling), the
-// JOB-light evaluation workload, and q-error reporting utilities.
+// The package also exposes the JOB-light evaluation workload and q-error
+// reporting utilities (Compare, FormatReport).
 package deepsketch
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -36,6 +67,7 @@ import (
 	"deepsketch/internal/mscn"
 	"deepsketch/internal/nn"
 	"deepsketch/internal/router"
+	"deepsketch/internal/serve"
 	"deepsketch/internal/sqlparse"
 	"deepsketch/internal/trainmon"
 	"deepsketch/internal/workload"
@@ -281,51 +313,90 @@ func YearTemplate(d *DB, keyword string) (Template, error) {
 	return workload.YearTemplate(d, keyword)
 }
 
-// System is a named cardinality estimator for comparison harnesses.
-type System struct {
-	Name     string
-	Estimate func(Query) (float64, error)
+// Estimation interface: the one entry point every backend implements.
+type (
+	// Estimator is the unified estimation interface (see the package doc).
+	Estimator = estimator.Estimator
+	// Estimate is one estimation result: cardinality, source backend name,
+	// latency, and whether it was served from a cache.
+	Estimate = estimator.Estimate
+)
+
+// EstimatorFunc adapts a plain estimation function to the Estimator
+// interface, for ad-hoc backends in comparison harnesses.
+func EstimatorFunc(name string, fn func(Query) (float64, error)) Estimator {
+	return estimator.Func{EstimatorName: name, Fn: fn}
 }
 
-// SketchSystem wraps a sketch for comparisons.
-func SketchSystem(s *Sketch) System {
-	return System{Name: "Deep Sketch", Estimate: s.Estimate}
-}
-
-// PostgresSystem builds the PostgreSQL-style estimator (per-column MCVs,
+// PostgresEstimator builds the PostgreSQL-style estimator (per-column MCVs,
 // histograms, independence assumption).
-func PostgresSystem(d *DB) System {
-	p := estimator.NewPostgres(d, estimator.PostgresOptions{})
-	return System{Name: "PostgreSQL", Estimate: p.Estimate}
+func PostgresEstimator(d *DB) Estimator {
+	return estimator.NewPostgres(d, estimator.PostgresOptions{})
 }
 
-// HyperSystem builds the HyPer-style sampling estimator with the given
+// HyperEstimator builds the HyPer-style sampling estimator with the given
 // sample size (educated-guess fallback in 0-tuple situations).
-func HyperSystem(d *DB, sampleSize int, seed int64) (System, error) {
-	h, err := estimator.NewHyper(d, sampleSize, seed)
-	if err != nil {
-		return System{}, err
-	}
-	return System{Name: "HyPer", Estimate: h.Estimate}, nil
+func HyperEstimator(d *DB, sampleSize int, seed int64) (Estimator, error) {
+	return estimator.NewHyper(d, sampleSize, seed)
 }
+
+// TruthEstimator wraps exact query execution as an Estimator (the ground
+// truth the demo obtains from HyPer).
+func TruthEstimator(d *DB) Estimator { return &estimator.Truth{DB: d} }
+
+// Serving layer: composable middleware over any Estimator.
+type (
+	// EstimateCache is an LRU estimate cache (see WithCache).
+	EstimateCache = serve.Cache
+	// Coalescer merges concurrent Estimate calls into batched forward
+	// passes (see NewCoalescer).
+	Coalescer = serve.Coalescer
+	// CoalesceOptions tune the coalescer's batch size and wait bound.
+	CoalesceOptions = serve.CoalesceOptions
+)
+
+// WithCache wraps an estimator with an LRU estimate cache keyed on the
+// canonical query fingerprint (clause order does not matter).
+func WithCache(e Estimator, capacity int) *EstimateCache { return serve.NewCache(e, capacity) }
+
+// NewCoalescer starts a micro-batching coalescer over the backend: while
+// one batch is in flight, concurrently arriving single-query requests are
+// merged into the next batched forward pass. Call Close when done.
+func NewCoalescer(e Estimator, opts CoalesceOptions) *Coalescer { return serve.NewCoalescer(e, opts) }
+
+// Clamp bounds every cardinality into [1, max]; max <= 0 only enforces ≥ 1.
+func Clamp(e Estimator, max float64) Estimator { return serve.Clamp(e, max) }
+
+// Fallback chains backends: each query is answered by the first backend
+// that succeeds (e.g. Router → PostgreSQL for uncovered queries).
+func Fallback(backends ...Estimator) Estimator { return serve.Fallback(backends...) }
+
+// MaxCardinality returns the product of all table sizes — the natural
+// Clamp bound for a database.
+func MaxCardinality(d *DB) float64 { return serve.MaxCardinality(d) }
 
 // QError returns the q-error between an estimate and a true cardinality.
 func QError(estimate, truth float64) float64 { return metrics.QError(estimate, truth) }
 
-// Compare evaluates systems on a labeled workload and returns Table-1-style
-// summary rows (median/90th/95th/99th/max/mean q-error), in input order.
-func Compare(labeled []LabeledQuery, systems []System) ([]ReportRow, error) {
+// Compare evaluates estimators on a labeled workload and returns
+// Table-1-style summary rows (median/90th/95th/99th/max/mean q-error), in
+// input order. Each estimator runs its batched path; ctx cancels mid-run.
+func Compare(ctx context.Context, labeled []LabeledQuery, systems []Estimator) ([]ReportRow, error) {
+	qs := make([]db.Query, len(labeled))
+	for i, lq := range labeled {
+		qs[i] = lq.Query
+	}
 	rows := make([]ReportRow, 0, len(systems))
 	for _, sys := range systems {
-		qerrs := make([]float64, 0, len(labeled))
-		for _, lq := range labeled {
-			est, err := sys.Estimate(lq.Query)
-			if err != nil {
-				return nil, fmt.Errorf("deepsketch: %s failed on %s: %w", sys.Name, lq.Query.SQL(nil), err)
-			}
-			qerrs = append(qerrs, metrics.QError(est, float64(lq.Card)))
+		ests, err := sys.EstimateBatch(ctx, qs)
+		if err != nil {
+			return nil, fmt.Errorf("deepsketch: %s failed: %w", sys.Name(), err)
 		}
-		rows = append(rows, ReportRow{Name: sys.Name, Summary: metrics.Summarize(qerrs)})
+		qerrs := make([]float64, len(labeled))
+		for i, lq := range labeled {
+			qerrs[i] = metrics.QError(ests[i].Cardinality, float64(lq.Card))
+		}
+		rows = append(rows, ReportRow{Name: sys.Name(), Summary: metrics.Summarize(qerrs)})
 	}
 	return rows, nil
 }

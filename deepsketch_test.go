@@ -2,6 +2,8 @@ package deepsketch_test
 
 import (
 	"bytes"
+	"context"
+	"math"
 	"os"
 	"path/filepath"
 	"strings"
@@ -39,9 +41,12 @@ func fixture(t *testing.T) (*deepsketch.DB, *deepsketch.Sketch) {
 func TestPublicAPIQuickstartFlow(t *testing.T) {
 	d, s := fixture(t)
 
-	est, err := s.EstimateSQL("SELECT COUNT(*) FROM title t, movie_keyword mk WHERE mk.movie_id=t.id AND t.production_year>2000")
+	est, err := s.EstimateSQL(context.Background(), "SELECT COUNT(*) FROM title t, movie_keyword mk WHERE mk.movie_id=t.id AND t.production_year>2000")
 	if err != nil {
 		t.Fatal(err)
+	}
+	if est.Source != "api-test" {
+		t.Errorf("estimate source = %q, want the sketch name", est.Source)
 	}
 	q, err := deepsketch.ParseSQL(d, "SELECT COUNT(*) FROM title t, movie_keyword mk WHERE mk.movie_id=t.id AND t.production_year>2000")
 	if err != nil {
@@ -54,13 +59,14 @@ func TestPublicAPIQuickstartFlow(t *testing.T) {
 	if truth <= 0 {
 		t.Fatal("expected non-empty result")
 	}
-	if qe := deepsketch.QError(est, float64(truth)); qe > 50 {
-		t.Errorf("quickstart estimate off by %v (est %v, truth %d)", qe, est, truth)
+	if qe := deepsketch.QError(est.Cardinality, float64(truth)); qe > 50 {
+		t.Errorf("quickstart estimate off by %v (est %v, truth %d)", qe, est.Cardinality, truth)
 	}
 }
 
 func TestPublicAPISaveLoadFile(t *testing.T) {
 	_, s := fixture(t)
+	ctx := context.Background()
 	path := filepath.Join(t.TempDir(), "sketch.dsk")
 	if err := deepsketch.SaveFile(s, path); err != nil {
 		t.Fatal(err)
@@ -69,10 +75,10 @@ func TestPublicAPISaveLoadFile(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a, _ := s.EstimateSQL("SELECT COUNT(*) FROM title t WHERE t.kind_id=1")
-	b, _ := loaded.EstimateSQL("SELECT COUNT(*) FROM title t WHERE t.kind_id=1")
-	if a != b {
-		t.Errorf("estimates differ after file round trip: %v vs %v", a, b)
+	a, _ := s.EstimateSQL(ctx, "SELECT COUNT(*) FROM title t WHERE t.kind_id=1")
+	b, _ := loaded.EstimateSQL(ctx, "SELECT COUNT(*) FROM title t WHERE t.kind_id=1")
+	if a.Cardinality != b.Cardinality {
+		t.Errorf("estimates differ after file round trip: %v vs %v", a.Cardinality, b.Cardinality)
 	}
 	fi, _ := os.Stat(path)
 	fb, err := s.Footprint()
@@ -94,14 +100,14 @@ func TestPublicAPICompare(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	hyper, err := deepsketch.HyperSystem(d, 64, 1)
+	hyper, err := deepsketch.HyperEstimator(d, 64, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rows, err := deepsketch.Compare(labeled, []deepsketch.System{
-		deepsketch.SketchSystem(s),
+	rows, err := deepsketch.Compare(context.Background(), labeled, []deepsketch.Estimator{
+		s,
 		hyper,
-		deepsketch.PostgresSystem(d),
+		deepsketch.PostgresEstimator(d),
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -110,10 +116,126 @@ func TestPublicAPICompare(t *testing.T) {
 		t.Fatalf("rows = %d", len(rows))
 	}
 	report := deepsketch.FormatReport(rows)
-	for _, name := range []string{"Deep Sketch", "HyPer", "PostgreSQL", "median"} {
+	for _, name := range []string{"api-test", "HyPer", "PostgreSQL", "median"} {
 		if !strings.Contains(report, name) {
 			t.Errorf("report missing %q:\n%s", name, report)
 		}
+	}
+}
+
+// TestPublicAPIServeStack drives the full serving stack — fallback(clamp(
+// coalesce(sketch)), postgres) behind a cache — against a real sketch and
+// checks coalesced serving returns the sequential path's estimates.
+func TestPublicAPIServeStack(t *testing.T) {
+	d, s := fixture(t)
+	ctx := context.Background()
+
+	co := deepsketch.NewCoalescer(s, deepsketch.CoalesceOptions{})
+	defer co.Close()
+	serving := deepsketch.WithCache(
+		deepsketch.Fallback(
+			deepsketch.Clamp(co, deepsketch.MaxCardinality(d)),
+			deepsketch.PostgresEstimator(d)),
+		128)
+
+	qs, err := deepsketch.GenerateWorkload(d, deepsketch.GenConfig{Seed: 303, Count: 24, MaxJoins: 2, MaxPreds: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Concurrent clients through the stack: results must match the
+	// sequential bare-sketch path.
+	var wg sync.WaitGroup
+	got := make([]deepsketch.Estimate, len(qs))
+	errs := make([]error, len(qs))
+	for i := range qs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i], errs[i] = serving.Estimate(ctx, qs[i])
+		}(i)
+	}
+	wg.Wait()
+	for i, q := range qs {
+		if errs[i] != nil {
+			t.Fatalf("query %d: %v", i, errs[i])
+		}
+		want, err := s.Cardinality(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want < 1 {
+			want = 1 // the stack clamps
+		}
+		if math.Abs(got[i].Cardinality-want)/want > 1e-9 {
+			t.Errorf("query %d: served %v, sequential %v", i, got[i].Cardinality, want)
+		}
+	}
+
+	// The fixture sketch covers every table, so nothing should have fallen
+	// through to PostgreSQL.
+	for i := range got {
+		if got[i].Source != "api-test" {
+			t.Errorf("query %d answered by %q, want api-test", i, got[i].Source)
+		}
+	}
+
+	// Cache: repeating a query must hit.
+	again, err := serving.Estimate(ctx, qs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.CacheHit {
+		t.Error("repeated query should be a cache hit")
+	}
+
+	// A query outside any sketch's coverage cannot exist here (full cover),
+	// but an invalid one still errors cleanly through the whole stack.
+	bad := deepsketch.Query{Tables: []deepsketch.TableRef{{Table: "nope", Alias: "n"}}}
+	if _, err := serving.Estimate(ctx, bad); err == nil {
+		t.Error("invalid query should error through the stack")
+	}
+}
+
+// TestPublicAPIFallbackToPostgres: a router with a partial sketch falls
+// through to PostgreSQL for uncovered queries instead of erroring.
+func TestPublicAPIFallbackToPostgres(t *testing.T) {
+	d, _ := fixture(t)
+	sub, err := deepsketch.Build(d, deepsketch.Config{
+		Name: "titles-only", Tables: []string{"title"}, SampleSize: 32,
+		TrainQueries: 60, MaxJoins: 1, MaxPreds: 1, Seed: 9,
+		Model: deepsketch.ModelConfig{HiddenUnits: 8, Epochs: 1, BatchSize: 16, Seed: 9},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := deepsketch.NewRouter()
+	r.Register(sub)
+	chain := deepsketch.Fallback(r, deepsketch.PostgresEstimator(d))
+	ctx := context.Background()
+
+	covered, err := deepsketch.ParseSQL(d, "SELECT COUNT(*) FROM title t WHERE t.kind_id=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := chain.Estimate(ctx, covered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Source != "titles-only" {
+		t.Errorf("covered query answered by %q, want titles-only", est.Source)
+	}
+
+	uncovered, err := deepsketch.ParseSQL(d, "SELECT COUNT(*) FROM cast_info ci WHERE ci.role_id=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err = chain.Estimate(ctx, uncovered)
+	if err != nil {
+		t.Fatalf("uncovered query must fall through, got error: %v", err)
+	}
+	if est.Source != "PostgreSQL" {
+		t.Errorf("uncovered query answered by %q, want PostgreSQL", est.Source)
 	}
 }
 
@@ -134,7 +256,7 @@ func TestPublicAPITemplate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := s.EstimateTemplate(tpl, deepsketch.GroupDistinct, 0)
+	res, err := s.EstimateTemplate(context.Background(), tpl, deepsketch.GroupDistinct, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,6 +2,7 @@ package deepsketch_test
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 
 	"deepsketch"
@@ -23,12 +24,12 @@ func Example() {
 		fmt.Println("error:", err)
 		return
 	}
-	est, err := sketch.EstimateSQL("SELECT COUNT(*) FROM title t WHERE t.production_year>2000")
+	est, err := sketch.EstimateSQL(context.Background(), "SELECT COUNT(*) FROM title t WHERE t.production_year>2000")
 	if err != nil {
 		fmt.Println("error:", err)
 		return
 	}
-	fmt.Println("got an estimate:", est >= 1)
+	fmt.Println("got an estimate:", est.Cardinality >= 1)
 	// Output: got an estimate: true
 }
 
@@ -74,9 +75,9 @@ func ExampleSketch_Save() {
 		fmt.Println("error:", err)
 		return
 	}
-	a, _ := sketch.EstimateSQL("SELECT COUNT(*) FROM title t WHERE t.kind_id=1")
-	b, _ := loaded.EstimateSQL("SELECT COUNT(*) FROM title t WHERE t.kind_id=1")
-	fmt.Println("loaded sketch matches:", a == b)
+	a, _ := sketch.EstimateSQL(context.Background(), "SELECT COUNT(*) FROM title t WHERE t.kind_id=1")
+	b, _ := loaded.EstimateSQL(context.Background(), "SELECT COUNT(*) FROM title t WHERE t.kind_id=1")
+	fmt.Println("loaded sketch matches:", a.Cardinality == b.Cardinality)
 	// Output: loaded sketch matches: true
 }
 
@@ -85,7 +86,7 @@ func ExampleCompare() {
 	d := deepsketch.NewIMDb(deepsketch.IMDbConfig{Seed: 3, Titles: 500, Keywords: 30, Companies: 15, Persons: 80})
 	qs, _ := deepsketch.GenerateWorkload(d, deepsketch.GenConfig{Seed: 4, Count: 10, MaxJoins: 1, MaxPreds: 1})
 	labeled, _ := deepsketch.LabelWorkload(d, qs, 1)
-	rows, err := deepsketch.Compare(labeled, []deepsketch.System{deepsketch.PostgresSystem(d)})
+	rows, err := deepsketch.Compare(context.Background(), labeled, []deepsketch.Estimator{deepsketch.PostgresEstimator(d)})
 	if err != nil {
 		fmt.Println("error:", err)
 		return

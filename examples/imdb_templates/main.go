@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -47,17 +48,17 @@ func main() {
 
 	// Group the years into buckets (the demo's "group the results by year"
 	// feature, using equally sized buckets over the sampled range).
-	results, err := sketch.EstimateTemplateSQL(templateSQL, deepsketch.GroupBuckets, 14)
+	results, err := sketch.EstimateTemplateSQL(context.Background(), templateSQL, deepsketch.GroupBuckets, 14)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// Overlays: true cardinality plus the two traditional estimators.
-	hyper, err := deepsketch.HyperSystem(d, 512, 7)
+	hyper, err := deepsketch.HyperEstimator(d, 512, 7)
 	if err != nil {
 		log.Fatal(err)
 	}
-	pg := deepsketch.PostgresSystem(d)
+	pg := deepsketch.PostgresEstimator(d)
 
 	fmt.Println("\npopularity of 'artificial-intelligence' over production years")
 	fmt.Printf("%-11s %8s %8s %8s %8s   chart: █ sketch · ∘ true\n",
@@ -74,15 +75,15 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		he, err := hyper.Estimate(r.Query)
+		he, err := hyper.Estimate(context.Background(), r.Query)
 		if err != nil {
 			log.Fatal(err)
 		}
-		pe, err := pg.Estimate(r.Query)
+		pe, err := pg.Estimate(context.Background(), r.Query)
 		if err != nil {
 			log.Fatal(err)
 		}
-		rows = append(rows, row{label: r.Label, est: r.Estimate, truth: truth, hy: he, pg: pe})
+		rows = append(rows, row{label: r.Label, est: r.Estimate, truth: truth, hy: he.Cardinality, pg: pe.Cardinality})
 		if r.Estimate > maxVal {
 			maxVal = r.Estimate
 		}

@@ -18,6 +18,7 @@ import (
 
 	"deepsketch"
 	"deepsketch/internal/db"
+	"deepsketch/internal/estimator"
 	"deepsketch/internal/optimizer"
 	"deepsketch/internal/workload"
 )
@@ -38,11 +39,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	hyper, err := deepsketch.HyperSystem(d, 512, 21)
+	hyper, err := estimator.NewHyper(d, 512, 21)
 	if err != nil {
 		log.Fatal(err)
 	}
-	pg := deepsketch.PostgresSystem(d)
+	pg := estimator.NewPostgres(d, estimator.PostgresOptions{})
 	truth := func(q db.Query) (float64, error) {
 		c, err := d.Count(q)
 		return float64(c), err
@@ -66,9 +67,9 @@ func main() {
 		est  optimizer.CardinalityEstimator
 	}{
 		{"true cardinalities", truth},
-		{"Deep Sketch", sketch.Estimate},
-		{"HyPer", hyper.Estimate},
-		{"PostgreSQL", pg.Estimate},
+		{"Deep Sketch", sketch.Cardinality},
+		{"HyPer", hyper.Cardinality},
+		{"PostgreSQL", pg.Cardinality},
 	} {
 		o, err := optimizer.New(demo, sys.est)
 		if err != nil {
@@ -88,7 +89,7 @@ func main() {
 	// Aggregate plan quality over the multi-join JOB-light queries.
 	fmt.Println("\nplan quality over JOB-light (true cost of chosen plan / optimal):")
 	names := []string{"Deep Sketch", "HyPer", "PostgreSQL"}
-	ests := []optimizer.CardinalityEstimator{sketch.Estimate, hyper.Estimate, pg.Estimate}
+	ests := []optimizer.CardinalityEstimator{sketch.Cardinality, hyper.Cardinality, pg.Cardinality}
 	ratios := make([][]float64, len(ests))
 	for i, est := range ests {
 		for _, q := range qs {

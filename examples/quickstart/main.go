@@ -1,12 +1,14 @@
 // Quickstart: build a Deep Sketch over the synthetic IMDb dataset, estimate
-// a few SQL queries against it, compare with the true cardinalities, and
-// round-trip the sketch through its serialized form.
+// SQL queries through the unified Estimator interface, stand up a serving
+// stack (cache + coalescer + clamp + PostgreSQL fallback), and round-trip
+// the sketch through its serialized form.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log"
 
@@ -14,6 +16,8 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+
 	// 1. Generate the dataset (deterministic in the seed). Real deployments
 	// would point the builder at their own tables instead.
 	fmt.Println("generating synthetic IMDb...")
@@ -42,18 +46,20 @@ func main() {
 	last := sketch.Epochs[len(sketch.Epochs)-1]
 	fmt.Printf("  trained: validation mean q-error %.2f, median %.2f\n\n", last.ValMeanQ, last.ValMedQ)
 
-	// 3. Ask the sketch for estimates. The sketch needs no database access:
-	// it evaluates predicates on its embedded samples and runs one MSCN
-	// forward pass.
+	// 3. Ask the sketch for estimates. A sketch implements the Estimator
+	// interface — context-aware, with an Estimate result carrying the
+	// cardinality, the answering backend and the latency — and needs no
+	// database access: it evaluates predicates on its embedded samples and
+	// runs one MSCN forward pass.
 	queries := []string{
 		"SELECT COUNT(*) FROM title t WHERE t.production_year>2010",
 		"SELECT COUNT(*) FROM title t, movie_keyword mk WHERE mk.movie_id=t.id AND t.production_year>2000",
 		"SELECT COUNT(*) FROM title t, cast_info ci WHERE ci.movie_id=t.id AND ci.role_id=1 AND t.kind_id=1",
 		"SELECT COUNT(*) FROM title t, movie_keyword mk, keyword k WHERE mk.movie_id=t.id AND mk.keyword_id=k.id AND k.keyword='love'",
 	}
-	fmt.Printf("%-11s %12s %8s  query\n", "estimate", "true", "q-error")
+	fmt.Printf("%-11s %12s %8s %10s  query\n", "estimate", "true", "q-error", "latency")
 	for _, sql := range queries {
-		est, err := sketch.EstimateSQL(sql)
+		est, err := sketch.EstimateSQL(ctx, sql)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -65,10 +71,39 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("%-11.1f %12d %8.2f  %s\n", est, truth, deepsketch.QError(est, float64(truth)), sql)
+		fmt.Printf("%-11.1f %12d %8.2f %10v  %s\n",
+			est.Cardinality, truth, deepsketch.QError(est.Cardinality, float64(truth)), est.Latency, sql)
 	}
 
-	// 4. Serialize: a sketch is a self-contained few-hundred-KiB artifact.
+	// 4. Production-shaped serving: stack the middleware onto the sketch.
+	// The coalescer merges concurrent requests into batched forward passes,
+	// Clamp bounds estimates into [1, |DB|], the PostgreSQL fallback answers
+	// anything the sketch cannot, and the LRU cache shortcuts repeats.
+	co := deepsketch.NewCoalescer(sketch, deepsketch.CoalesceOptions{})
+	defer co.Close()
+	serving := deepsketch.WithCache(
+		deepsketch.Fallback(
+			deepsketch.Clamp(co, deepsketch.MaxCardinality(d)),
+			deepsketch.PostgresEstimator(d)),
+		1024)
+	q, err := deepsketch.ParseSQL(d, queries[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	first, err := serving.Estimate(ctx, q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	again, err := serving.Estimate(ctx, q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hits, misses := serving.Stats()
+	fmt.Printf("\nserving stack: first %.1f (%v, source %s), repeat %.1f (cache hit: %v, %v); %d hits / %d misses\n",
+		first.Cardinality, first.Latency, first.Source,
+		again.Cardinality, again.CacheHit, again.Latency, hits, misses)
+
+	// 5. Serialize: a sketch is a self-contained few-hundred-KiB artifact.
 	var buf bytes.Buffer
 	if err := sketch.Save(&buf); err != nil {
 		log.Fatal(err)
@@ -77,7 +112,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	est, err := loaded.EstimateSQL(queries[0])
+	est, err := loaded.EstimateSQL(ctx, queries[0])
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -87,5 +122,5 @@ func main() {
 	}
 	fmt.Printf("\nserialized sketch: %.2f MiB (weights %.2f MiB, samples %.2f MiB)\n",
 		float64(fb.Total)/(1<<20), float64(fb.Weights)/(1<<20), float64(fb.Samples)/(1<<20))
-	fmt.Printf("loaded sketch reproduces estimate: %.1f\n", est)
+	fmt.Printf("loaded sketch reproduces estimate: %.1f\n", est.Cardinality)
 }

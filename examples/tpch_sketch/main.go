@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -40,11 +41,12 @@ func main() {
 		"SELECT COUNT(*) FROM customer c, orders o WHERE o.cust_id=c.id AND c.mktsegment='AUTOMOBILE'",
 		"SELECT COUNT(*) FROM part p, lineitem l WHERE l.part_id=p.id AND p.brand=1 AND l.discount>8",
 	}
-	hyper, err := deepsketch.HyperSystem(d, 256, 11)
+	hyper, err := deepsketch.HyperEstimator(d, 256, 11)
 	if err != nil {
 		log.Fatal(err)
 	}
-	pg := deepsketch.PostgresSystem(d)
+	pg := deepsketch.PostgresEstimator(d)
+	ctx := context.Background()
 
 	fmt.Printf("%-10s %-10s %-10s %-10s  query\n", "sketch", "hyper", "postgres", "true")
 	for _, sql := range queries {
@@ -52,15 +54,15 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		est, err := sketch.Estimate(q)
+		est, err := sketch.Estimate(ctx, q)
 		if err != nil {
 			log.Fatal(err)
 		}
-		he, err := hyper.Estimate(q)
+		he, err := hyper.Estimate(ctx, q)
 		if err != nil {
 			log.Fatal(err)
 		}
-		pe, err := pg.Estimate(q)
+		pe, err := pg.Estimate(ctx, q)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -68,7 +70,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("%-10.1f %-10.1f %-10.1f %-10d  %s\n", est, he, pe, truth, sql)
+		fmt.Printf("%-10.1f %-10.1f %-10.1f %-10d  %s\n", est.Cardinality, he.Cardinality, pe.Cardinality, truth, sql)
 	}
 
 	// Held-out uniform workload comparison (Table-1-style report).
@@ -83,8 +85,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	rows, err := deepsketch.Compare(labeled, []deepsketch.System{
-		deepsketch.SketchSystem(sketch), hyper, pg,
+	rows, err := deepsketch.Compare(ctx, labeled, []deepsketch.Estimator{
+		sketch, hyper, pg,
 	})
 	if err != nil {
 		log.Fatal(err)

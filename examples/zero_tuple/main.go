@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -81,10 +82,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	rows, err := deepsketch.Compare(labeled, []deepsketch.System{
-		deepsketch.SketchSystem(sketch),
-		{Name: "HyPer (sampling)", Estimate: hyper.Estimate},
-		deepsketch.PostgresSystem(d),
+	rows, err := deepsketch.Compare(context.Background(), labeled, []deepsketch.Estimator{
+		sketch,
+		deepsketch.EstimatorFunc("HyPer (sampling)", hyper.Cardinality),
+		deepsketch.PostgresEstimator(d),
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -98,11 +99,11 @@ func main() {
 		if i >= 3 {
 			break
 		}
-		se, err := sketch.Estimate(lq.Query)
+		se, err := sketch.Cardinality(lq.Query)
 		if err != nil {
 			log.Fatal(err)
 		}
-		he, err := hyper.Estimate(lq.Query)
+		he, err := hyper.Cardinality(lq.Query)
 		if err != nil {
 			log.Fatal(err)
 		}

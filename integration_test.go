@@ -2,6 +2,7 @@ package deepsketch_test
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"testing"
 
@@ -28,16 +29,16 @@ func TestIntegrationTPCHPipeline(t *testing.T) {
 	}
 
 	// SQL estimation with a dictionary literal.
-	est, err := sketch.EstimateSQL("SELECT COUNT(*) FROM customer c, orders o WHERE o.cust_id=c.id AND c.mktsegment='BUILDING'")
+	est, err := sketch.EstimateSQL(context.Background(), "SELECT COUNT(*) FROM customer c, orders o WHERE o.cust_id=c.id AND c.mktsegment='BUILDING'")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if est < 1 || math.IsNaN(est) {
-		t.Fatalf("estimate = %v", est)
+	if est.Cardinality < 1 || math.IsNaN(est.Cardinality) {
+		t.Fatalf("estimate = %v", est.Cardinality)
 	}
 
 	// Template over a numeric column with buckets.
-	res, err := sketch.EstimateTemplateSQL(
+	res, err := sketch.EstimateTemplateSQL(context.Background(),
 		"SELECT COUNT(*) FROM orders o, lineitem l WHERE l.order_id=o.id AND l.shipdate=?",
 		deepsketch.GroupBuckets, 6)
 	if err != nil {
@@ -56,12 +57,12 @@ func TestIntegrationTPCHPipeline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	hyper, err := deepsketch.HyperSystem(d, 64, 2)
+	hyper, err := deepsketch.HyperEstimator(d, 64, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rows, err := deepsketch.Compare(labeled, []deepsketch.System{
-		deepsketch.SketchSystem(sketch), hyper, deepsketch.PostgresSystem(d),
+	rows, err := deepsketch.Compare(context.Background(), labeled, []deepsketch.Estimator{
+		sketch, hyper, deepsketch.PostgresEstimator(d),
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -81,8 +82,8 @@ func TestIntegrationTPCHPipeline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a, _ := sketch.Estimate(labeled[0].Query)
-	b, _ := loaded.Estimate(labeled[0].Query)
+	a, _ := sketch.Cardinality(labeled[0].Query)
+	b, _ := loaded.Cardinality(labeled[0].Query)
 	if a != b {
 		t.Errorf("estimates differ after round trip: %v vs %v", a, b)
 	}
@@ -136,10 +137,10 @@ func TestIntegrationCrossSchemaSketchRejectsForeignQueries(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Estimate(q); err == nil {
+	if _, err := s.Cardinality(q); err == nil {
 		t.Error("imdb sketch should reject tpch query")
 	}
-	if _, err := s.EstimateSQL("SELECT COUNT(*) FROM lineitem l WHERE l.quantity>10"); err == nil {
+	if _, err := s.EstimateSQL(context.Background(), "SELECT COUNT(*) FROM lineitem l WHERE l.quantity>10"); err == nil {
 		t.Error("imdb sketch should fail to parse tpch SQL")
 	}
 }

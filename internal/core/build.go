@@ -174,7 +174,6 @@ func BuildFromData(td *TrainingData, mon *trainmon.Monitor) (*Sketch, error) {
 	mon.EndStage(trainmon.StageTrain)
 
 	return &Sketch{
-		Name:        cfg.Name,
 		Cfg:         cfg,
 		Encoder:     enc,
 		Model:       model,

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"testing"
 
@@ -64,8 +65,8 @@ func TestBuildPipelineStages(t *testing.T) {
 	if len(s.Epochs) != 2 {
 		t.Errorf("epochs recorded = %d", len(s.Epochs))
 	}
-	if s.Name != "imdb" {
-		t.Errorf("default name = %q, want db name", s.Name)
+	if s.Name() != "imdb" {
+		t.Errorf("default name = %q, want db name", s.Name())
 	}
 }
 
@@ -97,7 +98,7 @@ func TestSketchEstimateSanity(t *testing.T) {
 	}
 	var qerrs []float64
 	for _, lq := range labeled {
-		est, err := s.Estimate(lq.Query)
+		est, err := s.Cardinality(lq.Query)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -112,16 +113,16 @@ func TestSketchEstimateSanity(t *testing.T) {
 	}
 }
 
-func TestSketchEstimateAllMatchesEstimate(t *testing.T) {
+func TestSketchEstimateBatchMatchesEstimate(t *testing.T) {
 	d, s := getSketch(t)
 	g, _ := workload.NewGenerator(d, workload.GenConfig{Seed: 55, Count: 20, MaxJoins: 2, MaxPreds: 2})
 	qs := g.Generate()
-	batch, err := s.EstimateAll(qs)
+	batch, err := s.BatchCardinalities(context.Background(), qs)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for i, q := range qs {
-		single, err := s.Estimate(q)
+		single, err := s.Cardinality(q)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -133,32 +134,36 @@ func TestSketchEstimateAllMatchesEstimate(t *testing.T) {
 
 func TestSketchEstimateSQL(t *testing.T) {
 	_, s := getSketch(t)
-	est, err := s.EstimateSQL("SELECT COUNT(*) FROM title t WHERE t.production_year>2000")
+	ctx := context.Background()
+	est, err := s.EstimateSQL(ctx, "SELECT COUNT(*) FROM title t WHERE t.production_year>2000")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if est < 1 {
-		t.Errorf("estimate = %v", est)
+	if est.Cardinality < 1 {
+		t.Errorf("estimate = %v", est.Cardinality)
 	}
-	if _, err := s.EstimateSQL("SELECT COUNT(*) FROM title t WHERE t.production_year=?"); err == nil {
+	if est.Source != s.Name() {
+		t.Errorf("source = %q, want %q", est.Source, s.Name())
+	}
+	if _, err := s.EstimateSQL(ctx, "SELECT COUNT(*) FROM title t WHERE t.production_year=?"); err == nil {
 		t.Error("placeholder query should be rejected by EstimateSQL")
 	}
-	if _, err := s.EstimateSQL("garbage"); err == nil {
+	if _, err := s.EstimateSQL(ctx, "garbage"); err == nil {
 		t.Error("garbage SQL should error")
 	}
 	// String literal via the embedded dictionary (no database needed).
-	est2, err := s.EstimateSQL("SELECT COUNT(*) FROM title t, movie_keyword mk, keyword k WHERE mk.movie_id=t.id AND mk.keyword_id=k.id AND k.keyword='love'")
+	est2, err := s.EstimateSQL(ctx, "SELECT COUNT(*) FROM title t, movie_keyword mk, keyword k WHERE mk.movie_id=t.id AND mk.keyword_id=k.id AND k.keyword='love'")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if est2 < 1 {
-		t.Errorf("estimate = %v", est2)
+	if est2.Cardinality < 1 {
+		t.Errorf("estimate = %v", est2.Cardinality)
 	}
 }
 
 func TestSketchTemplateSQL(t *testing.T) {
 	_, s := getSketch(t)
-	res, err := s.EstimateTemplateSQL(
+	res, err := s.EstimateTemplateSQL(context.Background(),
 		"SELECT COUNT(*) FROM title t, movie_keyword mk, keyword k WHERE mk.movie_id=t.id AND mk.keyword_id=k.id AND k.keyword='love' AND t.production_year=?",
 		workload.GroupDistinct, 0)
 	if err != nil {
@@ -178,7 +183,7 @@ func TestSketchTemplateSQL(t *testing.T) {
 		}
 	}
 	// Bucketed grouping.
-	res2, err := s.EstimateTemplateSQL(
+	res2, err := s.EstimateTemplateSQL(context.Background(),
 		"SELECT COUNT(*) FROM title t WHERE t.production_year=?",
 		workload.GroupBuckets, 8)
 	if err != nil {
@@ -199,7 +204,7 @@ func TestSketchSaveLoadRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if loaded.Name != s.Name || loaded.DBName != s.DBName {
+	if loaded.Name() != s.Name() || loaded.DBName != s.DBName {
 		t.Error("metadata lost")
 	}
 	if len(loaded.Epochs) != len(s.Epochs) {
@@ -208,11 +213,11 @@ func TestSketchSaveLoadRoundTrip(t *testing.T) {
 	// Identical estimates without the database.
 	g, _ := workload.NewGenerator(d, workload.GenConfig{Seed: 77, Count: 25, MaxJoins: 2, MaxPreds: 2})
 	for _, q := range g.Generate() {
-		a, err := s.Estimate(q)
+		a, err := s.Cardinality(q)
 		if err != nil {
 			t.Fatal(err)
 		}
-		b, err := loaded.Estimate(q)
+		b, err := loaded.Cardinality(q)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -221,7 +226,7 @@ func TestSketchSaveLoadRoundTrip(t *testing.T) {
 		}
 	}
 	// SQL still parses against the embedded schema.
-	if _, err := loaded.EstimateSQL("SELECT COUNT(*) FROM title t WHERE t.kind_id=1"); err != nil {
+	if _, err := loaded.EstimateSQL(context.Background(), "SELECT COUNT(*) FROM title t WHERE t.kind_id=1"); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -289,8 +294,8 @@ func TestSketchDeterministicBuild(t *testing.T) {
 		Tables: []db.TableRef{{Table: "title", Alias: "t"}},
 		Preds:  []db.Predicate{{Alias: "t", Col: "production_year", Op: db.OpGt, Val: 1990}},
 	}
-	a, _ := s1.Estimate(q)
-	b, _ := s2.Estimate(q)
+	a, _ := s1.Cardinality(q)
+	b, _ := s2.Cardinality(q)
 	if a != b {
 		t.Errorf("same seed builds diverged: %v vs %v", a, b)
 	}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"testing"
 
 	"deepsketch/internal/datagen"
@@ -29,7 +30,7 @@ func TestLoadCorruptedSketchNeverPanics(t *testing.T) {
 			return
 		}
 		// If it loaded, it must still answer estimates without panicking.
-		_, _ = sk.EstimateSQL("SELECT COUNT(*) FROM title t WHERE t.kind_id=1")
+		_, _ = sk.EstimateSQL(context.Background(), "SELECT COUNT(*) FROM title t WHERE t.kind_id=1")
 	}
 
 	// Truncations at assorted boundaries.

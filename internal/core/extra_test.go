@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"sync"
 	"testing"
@@ -52,8 +53,8 @@ func TestPrepareTrainingDataShapes(t *testing.T) {
 		t.Fatal(err)
 	}
 	q := td.Labeled[0].Query
-	a, _ := s1.Estimate(q)
-	b, _ := s2.Estimate(q)
+	a, _ := s1.Cardinality(q)
+	b, _ := s2.Cardinality(q)
 	if a != b {
 		t.Errorf("BuildFromData not deterministic: %v vs %v", a, b)
 	}
@@ -71,14 +72,14 @@ func TestSketchTableSubsetRejectsOutOfScope(t *testing.T) {
 	}
 	// cast_info is not part of the sketch.
 	q := db.Query{Tables: []db.TableRef{{Table: "cast_info", Alias: "ci"}}}
-	if _, err := s.Estimate(q); err == nil {
+	if _, err := s.Cardinality(q); err == nil {
 		t.Error("out-of-scope table should error")
 	}
-	if _, err := s.EstimateSQL("SELECT COUNT(*) FROM cast_info ci"); err == nil {
+	if _, err := s.EstimateSQL(context.Background(), "SELECT COUNT(*) FROM cast_info ci"); err == nil {
 		t.Error("out-of-scope SQL should error (table absent from embedded schema)")
 	}
 	// In-scope queries still work.
-	if _, err := s.EstimateSQL("SELECT COUNT(*) FROM title t WHERE t.kind_id=1"); err != nil {
+	if _, err := s.EstimateSQL(context.Background(), "SELECT COUNT(*) FROM title t WHERE t.kind_id=1"); err != nil {
 		t.Errorf("in-scope SQL failed: %v", err)
 	}
 }
@@ -87,8 +88,8 @@ func TestSketchEstimateAllPropagatesErrors(t *testing.T) {
 	_, s := getSketch(t)
 	good := db.Query{Tables: []db.TableRef{{Table: "title", Alias: "t"}}}
 	bad := db.Query{Tables: []db.TableRef{{Table: "nope", Alias: "n"}}}
-	if _, err := s.EstimateAll([]db.Query{good, bad}); err == nil {
-		t.Error("EstimateAll should propagate errors")
+	if _, err := s.BatchCardinalities(context.Background(), []db.Query{good, bad}); err == nil {
+		t.Error("BatchCardinalities should propagate errors")
 	}
 }
 
@@ -120,7 +121,7 @@ func TestSketchConcurrentEstimates(t *testing.T) {
 	qs := g.Generate()
 	want := make([]float64, len(qs))
 	for i, q := range qs {
-		want[i], err = s.Estimate(q)
+		want[i], err = s.Cardinality(q)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -131,7 +132,7 @@ func TestSketchConcurrentEstimates(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i, q := range qs {
-				got, err := s.Estimate(q)
+				got, err := s.Cardinality(q)
 				if err != nil {
 					t.Error(err)
 					return
@@ -152,12 +153,12 @@ func TestTemplateResultsConsistentWithDirectEstimates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := s.EstimateTemplate(tpl, workload.GroupDistinct, 0)
+	res, err := s.EstimateTemplate(context.Background(), tpl, workload.GroupDistinct, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, r := range res[:3] {
-		direct, err := s.Estimate(r.Query)
+		direct, err := s.Cardinality(r.Query)
 		if err != nil {
 			t.Fatal(err)
 		}

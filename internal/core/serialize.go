@@ -49,7 +49,7 @@ func (s *Sketch) Save(w io.Writer) error {
 		return err
 	}
 	hdr := header{
-		Name: s.Name, DBName: s.DBName, Cfg: s.Cfg, Encoder: s.Encoder,
+		Name: s.Name(), DBName: s.DBName, Cfg: s.Cfg, Encoder: s.Encoder,
 		Epochs: s.Epochs, StageMillis: s.StageMillis, SampleSize: s.Samples.Size,
 	}
 	blob, err := json.Marshal(hdr)
@@ -115,8 +115,12 @@ func Load(r io.Reader) (*Sketch, error) {
 	if err != nil {
 		return nil, err
 	}
+	cfg := hdr.Cfg
+	if cfg.Name == "" {
+		cfg.Name = hdr.Name
+	}
 	return &Sketch{
-		Name: hdr.Name, Cfg: hdr.Cfg, Encoder: hdr.Encoder, Model: model,
+		Cfg: cfg, Encoder: hdr.Encoder, Model: model,
 		Samples: samples, Epochs: hdr.Epochs, StageMillis: hdr.StageMillis,
 		DBName: hdr.DBName,
 	}, nil
@@ -274,7 +278,7 @@ func (s *Sketch) Footprint() (FootprintBreakdown, error) {
 
 	var hdrC countWriter
 	hdr := header{
-		Name: s.Name, DBName: s.DBName, Cfg: s.Cfg, Encoder: s.Encoder,
+		Name: s.Name(), DBName: s.DBName, Cfg: s.Cfg, Encoder: s.Encoder,
 		Epochs: s.Epochs, StageMillis: s.StageMillis, SampleSize: s.Samples.Size,
 	}
 	blob, err := json.Marshal(hdr)

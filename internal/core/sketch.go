@@ -12,11 +12,15 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"deepsketch/internal/db"
+	"deepsketch/internal/estimator"
 	"deepsketch/internal/featurize"
 	"deepsketch/internal/mscn"
 	"deepsketch/internal/sample"
@@ -84,10 +88,12 @@ func (c Config) withDefaults(d *db.DB) Config {
 
 // Sketch is a trained Deep Sketch. It is self-contained: estimation needs no
 // access to the original database. "The interface of a sketch is very
-// simple, it consumes a SQL query and returns a cardinality estimate."
+// simple, it consumes a SQL query and returns a cardinality estimate" —
+// concretely, Sketch implements estimator.Estimator, so it drops into
+// routers, serving stacks and evaluation harnesses next to every other
+// backend.
 type Sketch struct {
-	Name string
-	// Cfg records the creation parameters.
+	// Cfg records the creation parameters (including the sketch name).
 	Cfg Config
 	// Encoder holds the featurization vocabulary and normalizers.
 	Encoder *featurize.Encoder
@@ -106,12 +112,22 @@ type Sketch struct {
 	schema     *db.DB // lazily built from samples, for SQL parsing
 }
 
+var _ estimator.Estimator = (*Sketch)(nil)
+
+// Name implements estimator.Estimator with the sketch's configured name.
+func (s *Sketch) Name() string { return s.Cfg.Name }
+
 // Estimate implements the sketch interface of Figure 1b for an already-
 // parsed query: evaluate base-table selections on the embedded samples,
-// featurize, one MSCN forward pass, denormalize. It satisfies
-// estimator.Estimator so sketches drop into evaluation harnesses next to
-// the traditional estimators.
-func (s *Sketch) Estimate(q db.Query) (float64, error) {
+// featurize, one MSCN forward pass, denormalize. It implements
+// estimator.Estimator.
+func (s *Sketch) Estimate(ctx context.Context, q db.Query) (estimator.Estimate, error) {
+	return estimator.Run(ctx, s.Name(), q, s.Cardinality)
+}
+
+// Cardinality is the bare estimation path of Figure 1b, without the result
+// envelope: bitmaps, featurize, one MSCN forward pass, denormalize.
+func (s *Sketch) Cardinality(q db.Query) (float64, error) {
 	bms, err := s.Samples.Bitmaps(q)
 	if err != nil {
 		return 0, err
@@ -127,47 +143,152 @@ func (s *Sketch) Estimate(q db.Query) (float64, error) {
 	return s.Encoder.Norm.Denormalize(y), nil
 }
 
-// EstimateAll estimates many queries in inference batches (used by the
-// evaluation harness; same results as Estimate query-by-query).
-func (s *Sketch) EstimateAll(qs []db.Query) ([]float64, error) {
-	encs := make([]featurize.Encoded, len(qs))
-	for i, q := range qs {
-		bms, err := s.Samples.Bitmaps(q)
-		if err != nil {
-			return nil, err
-		}
-		enc, err := s.Encoder.EncodeQuery(q, bms)
-		if err != nil {
-			return nil, err
-		}
-		encs[i] = enc
-	}
-	ys, err := s.Model.PredictAll(encs)
+// EstimateBatch implements estimator.Estimator with batched MSCN inference:
+// all queries are featurized, then predicted in mini-batch-sized forward
+// passes. Results match Estimate query-by-query; ctx is checked between
+// featurizations and between inference chunks, so a cancellation mid-batch
+// aborts promptly. Per-query Latency is the amortized batch time.
+func (s *Sketch) EstimateBatch(ctx context.Context, qs []db.Query) ([]estimator.Estimate, error) {
+	start := time.Now()
+	cards, err := s.BatchCardinalities(ctx, qs)
 	if err != nil {
 		return nil, err
 	}
-	out := make([]float64, len(ys))
-	for i, y := range ys {
-		out[i] = s.Encoder.Norm.Denormalize(y)
+	per := time.Duration(0)
+	if len(qs) > 0 {
+		per = time.Since(start) / time.Duration(len(qs))
+	}
+	out := make([]estimator.Estimate, len(cards))
+	for i, c := range cards {
+		out[i] = estimator.Estimate{Cardinality: c, Source: s.Name(), Latency: per}
 	}
 	return out, nil
 }
 
-// Name implements estimator.Estimator.
-func (s *Sketch) EstimatorName() string { return "Deep Sketch" }
+// BatchCardinalities is the bare batched estimation path: it returns one
+// cardinality per query, computed in MSCN forward passes that amortize
+// per-call overhead across the batch. Featurization fans out across cores,
+// and queries are grouped by shape (table/join/predicate counts) before
+// inference so the set matrices carry no padding waste — a mixed batch is
+// as cheap as homogeneous ones. Results match Cardinality query-by-query
+// (padding is masked out of the pooling either way).
+func (s *Sketch) BatchCardinalities(ctx context.Context, qs []db.Query) ([]float64, error) {
+	encs, err := s.encodeAll(ctx, qs)
+	if err != nil {
+		return nil, err
+	}
+	bs := s.Model.Cfg.BatchSize
+	if bs <= 0 {
+		bs = 64
+	}
+	// Group same-shaped queries so no forward pass pads one query's sets to
+	// another's sizes.
+	type shape struct{ t, j, p int }
+	groups := make(map[shape][]int)
+	for i, q := range qs {
+		k := shape{len(q.Tables), len(q.Joins), len(q.Preds)}
+		groups[k] = append(groups[k], i)
+	}
+	out := make([]float64, len(qs))
+	sub := make([]featurize.Encoded, 0, bs)
+	for _, idxs := range groups {
+		for lo := 0; lo < len(idxs); lo += bs {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			hi := lo + bs
+			if hi > len(idxs) {
+				hi = len(idxs)
+			}
+			sub = sub[:0]
+			for _, i := range idxs[lo:hi] {
+				sub = append(sub, encs[i])
+			}
+			ys, err := s.Model.PredictAll(sub)
+			if err != nil {
+				return nil, err
+			}
+			for j, y := range ys {
+				out[idxs[lo+j]] = s.Encoder.Norm.Denormalize(y)
+			}
+		}
+	}
+	return out, nil
+}
+
+// encodeAll featurizes every query (bitmaps + encoding), fanning out across
+// GOMAXPROCS workers for larger batches. ctx is checked per query.
+func (s *Sketch) encodeAll(ctx context.Context, qs []db.Query) ([]featurize.Encoded, error) {
+	encs := make([]featurize.Encoded, len(qs))
+	encodeOne := func(i int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		bms, err := s.Samples.Bitmaps(qs[i])
+		if err != nil {
+			return fmt.Errorf("core: query %d (%s): %w", i, qs[i].SQL(nil), err)
+		}
+		enc, err := s.Encoder.EncodeQuery(qs[i], bms)
+		if err != nil {
+			return fmt.Errorf("core: query %d (%s): %w", i, qs[i].SQL(nil), err)
+		}
+		encs[i] = enc
+		return nil
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if len(qs) < 2*workers {
+		for i := range qs {
+			if err := encodeOne(i); err != nil {
+				return nil, err
+			}
+		}
+		return encs, nil
+	}
+	var (
+		next   atomic.Int64
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		encErr error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(qs) {
+					return
+				}
+				if err := encodeOne(i); err != nil {
+					mu.Lock()
+					if encErr == nil {
+						encErr = err
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if encErr != nil {
+		return nil, encErr
+	}
+	return encs, nil
+}
 
 // EstimateSQL parses a SQL string against the sketch's embedded schema (the
 // sample tables carry column types and dictionaries) and estimates it. SQL
 // strings with a placeholder are rejected here; use Template instead.
-func (s *Sketch) EstimateSQL(sql string) (float64, error) {
+func (s *Sketch) EstimateSQL(ctx context.Context, sql string) (estimator.Estimate, error) {
 	res, err := sqlparse.Parse(s.SchemaDB(), sql)
 	if err != nil {
-		return 0, err
+		return estimator.Estimate{}, err
 	}
 	if res.Placeholder != nil {
-		return 0, fmt.Errorf("core: query has a placeholder; use Template estimation")
+		return estimator.Estimate{}, fmt.Errorf("core: query has a placeholder; use Template estimation")
 	}
-	return s.Estimate(res.Query)
+	return s.Estimate(ctx, res.Query)
 }
 
 // TemplateResult is one instantiated template estimate (a point of the
@@ -181,8 +302,8 @@ type TemplateResult struct {
 
 // EstimateTemplate expands a template using the sketch's samples ("to create
 // such an instance, we draw a value from the column sample that is part of
-// the sketch") and estimates every instance.
-func (s *Sketch) EstimateTemplate(tpl workload.Template, g workload.Grouping, buckets int) ([]TemplateResult, error) {
+// the sketch") and estimates every instance in one batched pass.
+func (s *Sketch) EstimateTemplate(ctx context.Context, tpl workload.Template, g workload.Grouping, buckets int) ([]TemplateResult, error) {
 	insts, err := tpl.Instantiate(s.Samples, g, buckets)
 	if err != nil {
 		return nil, err
@@ -191,7 +312,7 @@ func (s *Sketch) EstimateTemplate(tpl workload.Template, g workload.Grouping, bu
 	for i, inst := range insts {
 		qs[i] = inst.Query
 	}
-	ests, err := s.EstimateAll(qs)
+	ests, err := s.BatchCardinalities(ctx, qs)
 	if err != nil {
 		return nil, err
 	}
@@ -204,7 +325,7 @@ func (s *Sketch) EstimateTemplate(tpl workload.Template, g workload.Grouping, bu
 
 // EstimateTemplateSQL parses a placeholder SQL statement and estimates its
 // instantiations.
-func (s *Sketch) EstimateTemplateSQL(sql string, g workload.Grouping, buckets int) ([]TemplateResult, error) {
+func (s *Sketch) EstimateTemplateSQL(ctx context.Context, sql string, g workload.Grouping, buckets int) ([]TemplateResult, error) {
 	res, err := sqlparse.Parse(s.SchemaDB(), sql)
 	if err != nil {
 		return nil, err
@@ -213,7 +334,7 @@ func (s *Sketch) EstimateTemplateSQL(sql string, g workload.Grouping, buckets in
 	if err != nil {
 		return nil, err
 	}
-	return s.EstimateTemplate(tpl, g, buckets)
+	return s.EstimateTemplate(ctx, tpl, g, buckets)
 }
 
 // SchemaDB returns a schema shim built from the embedded samples: same
@@ -242,7 +363,7 @@ func (s *Sketch) Latency(qs []db.Query) (time.Duration, error) {
 	}
 	start := time.Now()
 	for _, q := range qs {
-		if _, err := s.Estimate(q); err != nil {
+		if _, err := s.Cardinality(q); err != nil {
 			return 0, err
 		}
 	}

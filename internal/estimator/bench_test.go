@@ -41,7 +41,7 @@ func BenchmarkPostgresEstimate(b *testing.B) {
 	p := NewPostgres(d, PostgresOptions{})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := p.Estimate(q); err != nil {
+		if _, err := p.Cardinality(q); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -55,7 +55,7 @@ func BenchmarkHyperEstimate(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := h.Estimate(q); err != nil {
+		if _, err := h.Cardinality(q); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -66,7 +66,7 @@ func BenchmarkTruthExact(b *testing.B) {
 	tr := &Truth{DB: d}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := tr.Estimate(q); err != nil {
+		if _, err := tr.Cardinality(q); err != nil {
 			b.Fatal(err)
 		}
 	}

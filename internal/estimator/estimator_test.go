@@ -1,6 +1,7 @@
 package estimator
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -106,7 +107,7 @@ func TestTruthMatchesCount(t *testing.T) {
 		Preds:  []db.Predicate{{Alias: "t", Col: "production_year", Op: db.OpGt, Val: 2000}},
 	}
 	want, _ := d.Count(q)
-	got, err := tr.Estimate(q)
+	got, err := tr.Cardinality(q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +131,7 @@ func TestPostgresSingleTableAccuracy(t *testing.T) {
 	}
 	for _, q := range queries {
 		truth, _ := d.Count(q)
-		est, err := p.Estimate(q)
+		est, err := p.Cardinality(q)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -150,7 +151,7 @@ func TestPostgresPKFKJoinExact(t *testing.T) {
 		Joins:  []db.JoinPred{{LeftAlias: "mk", LeftCol: "movie_id", RightAlias: "t", RightCol: "id"}},
 	}
 	truth, _ := d.Count(q)
-	est, err := p.Estimate(q)
+	est, err := p.Cardinality(q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,7 +170,7 @@ func TestPostgresAtLeastOne(t *testing.T) {
 			{Alias: "t", Col: "kind_id", Op: db.OpEq, Val: 99},
 		},
 	}
-	est, err := p.Estimate(q)
+	est, err := p.Cardinality(q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -181,7 +182,7 @@ func TestPostgresAtLeastOne(t *testing.T) {
 func TestPostgresInvalidQuery(t *testing.T) {
 	d := estDB(t)
 	p := NewPostgres(d, PostgresOptions{})
-	if _, err := p.Estimate(db.Query{}); err == nil {
+	if _, err := p.Cardinality(db.Query{}); err == nil {
 		t.Error("invalid query should error")
 	}
 }
@@ -200,7 +201,7 @@ func TestHyperSingleTableAccuracy(t *testing.T) {
 		},
 	}
 	truth, _ := d.Count(q)
-	est, err := h.Estimate(q)
+	est, err := h.Cardinality(q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -245,7 +246,7 @@ func TestHyperZeroTupleFallback(t *testing.T) {
 	if !zt {
 		t.Skip("rare person happened to be sampled")
 	}
-	est, err := h.Estimate(q)
+	est, err := h.Cardinality(q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -264,7 +265,7 @@ func TestHyperJoinEstimate(t *testing.T) {
 		Joins:  []db.JoinPred{{LeftAlias: "ci", LeftCol: "movie_id", RightAlias: "t", RightCol: "id"}},
 	}
 	truth, _ := d.Count(q)
-	est, err := h.Estimate(q)
+	est, err := h.Cardinality(q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -280,12 +281,16 @@ func TestEstimatorsOnWorkloadProduceFiniteEstimates(t *testing.T) {
 	g, _ := workload.NewGenerator(d, workload.GenConfig{Seed: 77, Count: 100, MaxJoins: 3, MaxPreds: 3})
 	for _, q := range g.Generate() {
 		for _, est := range []Estimator{p, h} {
-			v, err := est.Estimate(q)
+			res, err := est.Estimate(context.Background(), q)
 			if err != nil {
 				t.Fatalf("%s failed on %s: %v", est.Name(), q.SQL(nil), err)
 			}
+			v := res.Cardinality
 			if v < 1 || math.IsNaN(v) || math.IsInf(v, 0) {
 				t.Fatalf("%s produced %v on %s", est.Name(), v, q.SQL(nil))
+			}
+			if res.Source != est.Name() {
+				t.Fatalf("%s reported source %q", est.Name(), res.Source)
 			}
 		}
 	}
@@ -323,7 +328,7 @@ func TestCorrelationBlindness(t *testing.T) {
 	if truth == 0 {
 		t.Skip("keyword unused at this scale")
 	}
-	pgEst, err := p.Estimate(q)
+	pgEst, err := p.Cardinality(q)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package estimator
 
 import (
+	"context"
 	"fmt"
 
 	"deepsketch/internal/db"
@@ -63,6 +64,16 @@ func NewHyperWithSamples(d *db.DB, set *sample.Set) (*Hyper, error) {
 // Name implements Estimator.
 func (h *Hyper) Name() string { return "HyPer" }
 
+// Estimate implements Estimator.
+func (h *Hyper) Estimate(ctx context.Context, q db.Query) (Estimate, error) {
+	return Run(ctx, h.Name(), q, h.Cardinality)
+}
+
+// EstimateBatch implements Estimator sequentially.
+func (h *Hyper) EstimateBatch(ctx context.Context, qs []db.Query) ([]Estimate, error) {
+	return SequentialBatch(ctx, h, qs)
+}
+
 // ZeroTuple reports whether the query hits a 0-tuple situation: some table
 // with predicates has no qualifying sample tuples. These are the queries the
 // paper's §2 robustness claim is about.
@@ -87,8 +98,8 @@ func (h *Hyper) ZeroTuple(q db.Query) (bool, error) {
 	return false, nil
 }
 
-// Estimate implements Estimator.
-func (h *Hyper) Estimate(q db.Query) (float64, error) {
+// Cardinality estimates one query from the samples.
+func (h *Hyper) Cardinality(q db.Query) (float64, error) {
 	if err := h.d.ValidateQuery(q); err != nil {
 		return 0, err
 	}

@@ -1,6 +1,7 @@
 package estimator
 
 import (
+	"context"
 	"fmt"
 
 	"deepsketch/internal/db"
@@ -48,8 +49,19 @@ func NewPostgres(d *db.DB, opts PostgresOptions) *Postgres {
 // Name implements Estimator.
 func (p *Postgres) Name() string { return "PostgreSQL" }
 
-// Estimate implements Estimator: rows = Π|T| · Πsel(pred) · Πsel(join).
-func (p *Postgres) Estimate(q db.Query) (float64, error) {
+// Estimate implements Estimator.
+func (p *Postgres) Estimate(ctx context.Context, q db.Query) (Estimate, error) {
+	return Run(ctx, p.Name(), q, p.Cardinality)
+}
+
+// EstimateBatch implements Estimator sequentially — the formula-based
+// estimator has no batched inference path to amortize.
+func (p *Postgres) EstimateBatch(ctx context.Context, qs []db.Query) ([]Estimate, error) {
+	return SequentialBatch(ctx, p, qs)
+}
+
+// Cardinality estimates one query: rows = Π|T| · Πsel(pred) · Πsel(join).
+func (p *Postgres) Cardinality(q db.Query) (float64, error) {
 	if err := p.d.ValidateQuery(q); err != nil {
 		return 0, err
 	}

@@ -1,6 +1,7 @@
 package estimator
 
 import (
+	"context"
 	"testing"
 
 	"deepsketch/internal/datagen"
@@ -35,10 +36,11 @@ func TestEstimatorsOnTPCH(t *testing.T) {
 			t.Fatal(err)
 		}
 		for _, est := range []Estimator{p, h} {
-			v, err := est.Estimate(q)
+			res, err := est.Estimate(context.Background(), q)
 			if err != nil {
 				t.Fatalf("%s: %v", est.Name(), err)
 			}
+			v := res.Cardinality
 			if qe := metrics.QError(v, float64(truth)); qe > 2.5 {
 				t.Errorf("%s q-error %v on uniform TPC-H query %s (est %v true %d)",
 					est.Name(), qe, q.SQL(nil), v, truth)
@@ -68,7 +70,7 @@ func TestCorrelatedDatePredicatesBreakIndependence(t *testing.T) {
 	if truth != 0 {
 		t.Fatalf("contradictory ranges should be empty, got %d", truth)
 	}
-	est, err := p.Estimate(q)
+	est, err := p.Cardinality(q)
 	if err != nil {
 		t.Fatal(err)
 	}

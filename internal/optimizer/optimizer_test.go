@@ -186,7 +186,7 @@ func TestPlanQualityAtLeastOne(t *testing.T) {
 		if len(q.Tables) < 2 {
 			continue
 		}
-		ratio, _, _, err := PlanQuality(q, pg.Estimate, truth)
+		ratio, _, _, err := PlanQuality(q, pg.Cardinality, truth)
 		if err != nil {
 			t.Fatalf("%s: %v", q.SQL(nil), err)
 		}

@@ -8,20 +8,25 @@
 package router
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
 
 	"deepsketch/internal/core"
 	"deepsketch/internal/db"
+	"deepsketch/internal/estimator"
 )
 
 // Router is a concurrency-safe registry of sketches with coverage-based
-// dispatch.
+// dispatch. It implements estimator.Estimator, so a whole fleet of sketches
+// serves through the same interface as a single one.
 type Router struct {
 	mu       sync.RWMutex
 	sketches []*core.Sketch
 }
+
+var _ estimator.Estimator = (*Router)(nil)
 
 // New returns an empty router.
 func New() *Router { return &Router{} }
@@ -47,10 +52,14 @@ func (r *Router) Names() []string {
 	defer r.mu.RUnlock()
 	names := make([]string, len(r.sketches))
 	for i, s := range r.sketches {
-		names[i] = s.Name
+		names[i] = s.Name()
 	}
 	return names
 }
+
+// Name implements estimator.Estimator. Estimates carry the name of the
+// sketch that answered in their Source field, not this name.
+func (r *Router) Name() string { return "Sketch Router" }
 
 // Route returns the sketch that will answer the query, or an error when no
 // registered sketch covers every referenced table.
@@ -80,13 +89,45 @@ func (r *Router) Route(q db.Query) (*core.Sketch, error) {
 	return cands[0].s, nil
 }
 
-// Estimate routes and estimates in one step.
-func (r *Router) Estimate(q db.Query) (float64, error) {
+// Estimate implements estimator.Estimator: route, then ask the covering
+// sketch. The returned estimate's Source is the answering sketch's name.
+func (r *Router) Estimate(ctx context.Context, q db.Query) (estimator.Estimate, error) {
 	s, err := r.Route(q)
 	if err != nil {
-		return 0, err
+		return estimator.Estimate{}, err
 	}
-	return s.Estimate(q)
+	return s.Estimate(ctx, q)
+}
+
+// EstimateBatch implements estimator.Estimator: queries are grouped by the
+// sketch that covers them and each group runs as one batched MSCN inference
+// pass, so a mixed batch stays as fast as per-sketch batching allows.
+// Results are positional; if any query is uncovered the whole batch fails,
+// like Estimate would for that query.
+func (r *Router) EstimateBatch(ctx context.Context, qs []db.Query) ([]estimator.Estimate, error) {
+	groups := make(map[*core.Sketch][]int)
+	for i, q := range qs {
+		s, err := r.Route(q)
+		if err != nil {
+			return nil, fmt.Errorf("router: query %d: %w", i, err)
+		}
+		groups[s] = append(groups[s], i)
+	}
+	out := make([]estimator.Estimate, len(qs))
+	for s, idxs := range groups {
+		sub := make([]db.Query, len(idxs))
+		for j, i := range idxs {
+			sub[j] = qs[i]
+		}
+		ests, err := s.EstimateBatch(ctx, sub)
+		if err != nil {
+			return nil, err
+		}
+		for j, i := range idxs {
+			out[i] = ests[j]
+		}
+	}
+	return out, nil
 }
 
 func covers(s *core.Sketch, q db.Query) bool {

@@ -1,6 +1,7 @@
 package router
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -46,8 +47,8 @@ func TestRouterPrefersSmallestCover(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if s.Name != "keywords" {
-		t.Errorf("routed to %s, want keywords", s.Name)
+	if s.Name() != "keywords" {
+		t.Errorf("routed to %s, want keywords", s.Name())
 	}
 
 	// A cast_info query only fits the full sketch.
@@ -56,13 +57,16 @@ func TestRouterPrefersSmallestCover(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if s2.Name != "full" {
-		t.Errorf("routed to %s, want full", s2.Name)
+	if s2.Name() != "full" {
+		t.Errorf("routed to %s, want full", s2.Name())
 	}
 
-	// Estimation through the router works end to end.
-	if est, err := r.Estimate(q); err != nil || est < 1 {
-		t.Errorf("router estimate = %v, %v", est, err)
+	// Estimation through the router works end to end, and the estimate
+	// reports which sketch answered.
+	if est, err := r.Estimate(context.Background(), q); err != nil || est.Cardinality < 1 {
+		t.Errorf("router estimate = %+v, %v", est, err)
+	} else if est.Source != "keywords" {
+		t.Errorf("estimate source = %q, want keywords", est.Source)
 	}
 }
 
@@ -75,7 +79,7 @@ func TestRouterNoCover(t *testing.T) {
 	if _, err := r.Route(q); err == nil {
 		t.Error("uncovered query should error")
 	}
-	if _, err := r.Estimate(q); err == nil {
+	if _, err := r.Estimate(context.Background(), q); err == nil {
 		t.Error("uncovered estimate should error")
 	}
 }
@@ -95,7 +99,7 @@ func TestRouterEmptyAndConcurrent(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			r.Register(s)
-			if _, err := r.Estimate(q); err != nil {
+			if _, err := r.Estimate(context.Background(), q); err != nil {
 				t.Error(err)
 			}
 		}()
@@ -118,7 +122,54 @@ func TestRouterTieBreakByRegistrationOrder(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if s.Name != "first" {
-		t.Errorf("tie should go to first registered, got %s", s.Name)
+	if s.Name() != "first" {
+		t.Errorf("tie should go to first registered, got %s", s.Name())
+	}
+}
+
+func TestRouterEstimateBatchMatchesEstimate(t *testing.T) {
+	d := datagen.IMDb(datagen.IMDbConfig{Seed: 55, Titles: 300, Keywords: 20, Companies: 10, Persons: 50})
+	kw := buildSub(t, d, "keywords", []string{"title", "movie_keyword", "keyword"})
+	full := buildSub(t, d, "full", nil)
+	r := New()
+	r.Register(kw)
+	r.Register(full)
+	ctx := context.Background()
+
+	// A mixed batch: some queries covered by the specialist, some only by
+	// the generalist.
+	qs := []db.Query{
+		{Tables: []db.TableRef{{Table: "title", Alias: "t"}},
+			Preds: []db.Predicate{{Alias: "t", Col: "production_year", Op: db.OpGt, Val: 2000}}},
+		{Tables: []db.TableRef{{Table: "cast_info", Alias: "ci"}}},
+		{Tables: []db.TableRef{{Table: "movie_keyword", Alias: "mk"}}},
+	}
+	batch, err := r.EstimateBatch(ctx, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != len(qs) {
+		t.Fatalf("batch size = %d", len(batch))
+	}
+	wantSrc := []string{"keywords", "full", "keywords"}
+	for i, q := range qs {
+		single, err := r.Estimate(ctx, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if batch[i].Source != single.Source || batch[i].Source != wantSrc[i] {
+			t.Errorf("query %d routed to %q (batch) / %q (single), want %q",
+				i, batch[i].Source, single.Source, wantSrc[i])
+		}
+		if diff := batch[i].Cardinality - single.Cardinality; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("query %d: batch %v vs single %v", i, batch[i].Cardinality, single.Cardinality)
+		}
+	}
+
+	// One uncovered query fails the batch, like Estimate would.
+	r2 := New()
+	r2.Register(kw)
+	if _, err := r2.EstimateBatch(ctx, qs); err == nil {
+		t.Error("batch with uncovered query should error")
 	}
 }

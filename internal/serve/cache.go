@@ -1,0 +1,184 @@
+package serve
+
+import (
+	"container/list"
+	"context"
+	"sync"
+	"time"
+
+	"deepsketch/internal/db"
+	"deepsketch/internal/estimator"
+)
+
+// Cache is an LRU estimate cache in front of any backend. Keys are the
+// canonical query fingerprint (db.Query.Signature), so two queries that are
+// equal as sets — same tables, joins and predicates in any clause order —
+// share one entry. A sketch is immutable once trained, so cached estimates
+// never go stale; capacity is the only eviction pressure.
+type Cache struct {
+	inner estimator.Estimator
+	cap   int
+
+	mu      sync.Mutex
+	entries map[string]*list.Element
+	lru     *list.List // front = most recently used
+	// gen is bumped by Reset; an insert whose result was computed under an
+	// older generation is dropped, so a Reset cannot be undone by an
+	// in-flight computation racing it.
+	gen uint64
+
+	hits, misses uint64
+}
+
+type cacheEntry struct {
+	key  string
+	card float64
+	src  string
+}
+
+// NewCache wraps inner with an LRU of the given capacity (entries).
+// Capacity <= 0 defaults to 1024.
+func NewCache(inner estimator.Estimator, capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	return &Cache{
+		inner:   inner,
+		cap:     capacity,
+		entries: make(map[string]*list.Element, capacity),
+		lru:     list.New(),
+	}
+}
+
+// Name implements estimator.Estimator.
+func (c *Cache) Name() string { return c.inner.Name() }
+
+// Stats returns cumulative hit/miss counters.
+func (c *Cache) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// Reset drops every cached entry. Needed when the backend's answers can
+// change — e.g. a router cache after a new sketch registers and alters
+// which backend covers which queries. Computations already in flight when
+// Reset is called will not be inserted.
+func (c *Cache) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[string]*list.Element, c.cap)
+	c.lru.Init()
+	c.gen++
+}
+
+// generation snapshots the Reset generation before a computation starts.
+func (c *Cache) generation() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.gen
+}
+
+// lookup returns the cached estimate for key, marking it recently used.
+func (c *Cache) lookup(key string, start time.Time) (estimator.Estimate, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return estimator.Estimate{}, false
+	}
+	c.hits++
+	c.lru.MoveToFront(el)
+	ent := el.Value.(*cacheEntry)
+	return estimator.Estimate{
+		Cardinality: ent.card,
+		Source:      ent.src,
+		Latency:     time.Since(start),
+		CacheHit:    true,
+	}, true
+}
+
+// insert stores an estimate under key, evicting the LRU entry when full.
+// Results computed before a Reset (gen mismatch) are dropped as stale.
+func (c *Cache) insert(key string, e estimator.Estimate, gen uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if gen != c.gen {
+		return
+	}
+	if el, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.lru.PushFront(&cacheEntry{key: key, card: e.Cardinality, src: e.Source})
+	for c.lru.Len() > c.cap {
+		oldest := c.lru.Back()
+		c.lru.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// Estimate implements estimator.Estimator: serve from the cache when
+// possible, otherwise compute through the backend and remember the answer.
+func (c *Cache) Estimate(ctx context.Context, q db.Query) (estimator.Estimate, error) {
+	if err := ctx.Err(); err != nil {
+		return estimator.Estimate{}, err
+	}
+	start := time.Now()
+	key := q.Signature()
+	if est, ok := c.lookup(key, start); ok {
+		return est, nil
+	}
+	gen := c.generation()
+	est, err := c.inner.Estimate(ctx, q)
+	if err != nil {
+		return estimator.Estimate{}, err
+	}
+	c.insert(key, est, gen)
+	return est, nil
+}
+
+// EstimateBatch implements estimator.Estimator: hits are answered from the
+// cache and only the misses travel to the backend, as one batch.
+func (c *Cache) EstimateBatch(ctx context.Context, qs []db.Query) ([]estimator.Estimate, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	out := make([]estimator.Estimate, len(qs))
+	keys := make([]string, len(qs))
+	var missIdx []int
+	for i, q := range qs {
+		keys[i] = q.Signature()
+		if est, ok := c.lookup(keys[i], start); ok {
+			out[i] = est
+		} else {
+			missIdx = append(missIdx, i)
+		}
+	}
+	if len(missIdx) == 0 {
+		return out, nil
+	}
+	missQs := make([]db.Query, len(missIdx))
+	for j, i := range missIdx {
+		missQs[j] = qs[i]
+	}
+	gen := c.generation()
+	ests, err := c.inner.EstimateBatch(ctx, missQs)
+	if err != nil {
+		return nil, err
+	}
+	for j, i := range missIdx {
+		out[i] = ests[j]
+		c.insert(keys[i], ests[j], gen)
+	}
+	return out, nil
+}

@@ -1,0 +1,168 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"deepsketch/internal/db"
+	"deepsketch/internal/estimator"
+)
+
+// CoalesceOptions tune the micro-batching coalescer.
+type CoalesceOptions struct {
+	// MaxBatch is the largest coalesced batch (default 64, matching the
+	// MSCN inference batch size so one flush is one forward pass).
+	MaxBatch int
+}
+
+func (o CoalesceOptions) withDefaults() CoalesceOptions {
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 64
+	}
+	return o
+}
+
+// Coalescer merges concurrent single-query Estimate calls into one batched
+// EstimateBatch call on the backend — the daemon's hot path under heavy
+// traffic, where per-query MSCN forward passes waste most of their time on
+// per-call overhead. Batches form naturally: while one flush is in flight,
+// arriving requests queue on the rendezvous channel and the next flush
+// absorbs all of them at once, so an idle server serves a lone request
+// immediately (no artificial wait) and a loaded server batches as deep as
+// its arrival rate. Results are the backend's batched results, which for
+// sketches match the sequential path query-by-query.
+//
+// A Coalescer owns a background flush goroutine; call Close when done.
+type Coalescer struct {
+	inner estimator.Estimator
+	opts  CoalesceOptions
+	reqs  chan coalesceReq
+	stop  chan struct{}
+	done  chan struct{}
+	once  sync.Once
+}
+
+type coalesceReq struct {
+	// ctx is the caller's context. Multi-request flushes ignore it (no
+	// single caller may cancel its batch-mates' work), but a singleton
+	// flush has exactly one caller and honors it.
+	ctx  context.Context
+	q    db.Query
+	resp chan coalesceResp
+}
+
+type coalesceResp struct {
+	est estimator.Estimate
+	err error
+}
+
+// NewCoalescer starts a coalescer over the backend.
+func NewCoalescer(inner estimator.Estimator, opts CoalesceOptions) *Coalescer {
+	c := &Coalescer{
+		inner: inner,
+		opts:  opts.withDefaults(),
+		reqs:  make(chan coalesceReq),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	go c.loop()
+	return c
+}
+
+// Name implements estimator.Estimator.
+func (c *Coalescer) Name() string { return c.inner.Name() }
+
+// Close stops the flush goroutine. Pending requests are answered first;
+// Estimate calls after Close fail.
+func (c *Coalescer) Close() {
+	c.once.Do(func() { close(c.stop) })
+	<-c.done
+}
+
+func (c *Coalescer) loop() {
+	defer close(c.done)
+	for {
+		var first coalesceReq
+		select {
+		case <-c.stop:
+			return
+		case first = <-c.reqs:
+		}
+		batch := []coalesceReq{first}
+		// Greedily absorb every request already waiting at the rendezvous
+		// (senders that queued while the previous flush ran), without
+		// waiting for stragglers — a lone request flushes immediately.
+	collect:
+		for len(batch) < c.opts.MaxBatch {
+			select {
+			case r := <-c.reqs:
+				batch = append(batch, r)
+			default:
+				break collect
+			}
+		}
+		c.flush(batch)
+	}
+}
+
+// flush answers one coalesced batch. The batch runs under a background
+// context: it serves multiple independent callers, so no single caller's
+// cancellation may abort it — a caller whose ctx dies stops waiting in
+// Estimate instead. If the batched call fails, each request retries
+// individually so one poisoned query cannot sink its batch-mates.
+func (c *Coalescer) flush(batch []coalesceReq) {
+	if len(batch) == 1 {
+		// Singleton fast path: skip the batch plumbing, and honor the one
+		// caller's context — a disconnected client's lone request should
+		// not consume a forward pass.
+		est, err := c.inner.Estimate(batch[0].ctx, batch[0].q)
+		batch[0].resp <- coalesceResp{est: est, err: err}
+		return
+	}
+	start := time.Now()
+	qs := make([]db.Query, len(batch))
+	for i, r := range batch {
+		qs[i] = r.q
+	}
+	ests, err := c.inner.EstimateBatch(context.Background(), qs)
+	if err != nil || len(ests) != len(batch) {
+		for _, r := range batch {
+			est, rerr := c.inner.Estimate(context.Background(), r.q)
+			r.resp <- coalesceResp{est: est, err: rerr}
+		}
+		return
+	}
+	elapsed := time.Since(start)
+	for i, r := range batch {
+		est := ests[i]
+		est.Latency = elapsed
+		r.resp <- coalesceResp{est: est}
+	}
+}
+
+// Estimate implements estimator.Estimator by enqueueing the query for the
+// next coalesced flush and waiting for its result (or ctx cancellation).
+func (c *Coalescer) Estimate(ctx context.Context, q db.Query) (estimator.Estimate, error) {
+	resp := make(chan coalesceResp, 1)
+	select {
+	case c.reqs <- coalesceReq{ctx: ctx, q: q, resp: resp}:
+	case <-ctx.Done():
+		return estimator.Estimate{}, ctx.Err()
+	case <-c.stop:
+		return estimator.Estimate{}, fmt.Errorf("serve: coalescer closed")
+	}
+	select {
+	case r := <-resp:
+		return r.est, r.err
+	case <-ctx.Done():
+		return estimator.Estimate{}, ctx.Err()
+	}
+}
+
+// EstimateBatch implements estimator.Estimator by passing the already-
+// batched call straight to the backend.
+func (c *Coalescer) EstimateBatch(ctx context.Context, qs []db.Query) ([]estimator.Estimate, error) {
+	return c.inner.EstimateBatch(ctx, qs)
+}
