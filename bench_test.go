@@ -209,6 +209,7 @@ func BenchmarkTrainingQueryScaling(b *testing.B) {
 // so caching cannot flatter the number.
 func BenchmarkEstimateLatency(b *testing.B) {
 	f := fixtureB(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		lq := f.joblight[i%len(f.joblight)]
@@ -222,6 +223,7 @@ func BenchmarkEstimateLatency(b *testing.B) {
 func BenchmarkEstimateSQL(b *testing.B) {
 	f := fixtureB(b)
 	sql := "SELECT COUNT(*) FROM title t, movie_keyword mk WHERE mk.movie_id=t.id AND t.production_year>2000"
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := f.sketch.EstimateSQL(context.Background(), sql); err != nil {
@@ -527,12 +529,12 @@ func itoa(v int) string {
 // BenchmarkServeConcurrent measures serving throughput at 64 concurrent
 // clients cycling the JOB-light workload. Three modes: naive per-request
 // Estimate (one MSCN forward pass per request), the bare coalescer
-// (concurrent requests merged into shape-grouped batched forward passes —
-// its parallel batched inference pays off with GOMAXPROCS > 1), and the
-// serve stack as deepsketchd deploys it (LRU cache over the coalescer),
-// where the cache absorbs the hot-query repeats that dominate serving
-// traffic. One benchmark iteration = one served request; compare ns/op
-// (≈ inverse throughput).
+// (concurrent requests of any shapes merged into one packed ragged-batch
+// forward pass on the inference engine — no shape grouping, no padding, so
+// batching wins even on a single core), and the serve stack as deepsketchd
+// deploys it (LRU cache over the coalescer), where the cache absorbs the
+// hot-query repeats that dominate serving traffic. One benchmark iteration
+// = one served request; compare ns/op (≈ inverse throughput).
 func BenchmarkServeConcurrent(b *testing.B) {
 	f := fixtureB(b)
 	const clients = 64
@@ -542,6 +544,7 @@ func BenchmarkServeConcurrent(b *testing.B) {
 	}
 	bench := func(est deepsketch.Estimator) func(b *testing.B) {
 		return func(b *testing.B) {
+			b.ReportAllocs()
 			var wg sync.WaitGroup
 			reqs := make(chan int)
 			failed := make(chan error, 1)

@@ -14,9 +14,7 @@ package core
 import (
 	"context"
 	"fmt"
-	"runtime"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"deepsketch/internal/db"
@@ -126,7 +124,9 @@ func (s *Sketch) Estimate(ctx context.Context, q db.Query) (estimator.Estimate, 
 }
 
 // Cardinality is the bare estimation path of Figure 1b, without the result
-// envelope: bitmaps, featurize, one MSCN forward pass, denormalize.
+// envelope: bitmaps, featurize, one packed MSCN forward pass on the
+// inference engine (pooled workspace, no padding, no steady-state
+// allocations in the forward), denormalize.
 func (s *Sketch) Cardinality(q db.Query) (float64, error) {
 	bms, err := s.Samples.Bitmaps(q)
 	if err != nil {
@@ -136,7 +136,7 @@ func (s *Sketch) Cardinality(q db.Query) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	y, err := s.Model.Predict(enc)
+	y, err := s.Model.Engine().Predict(enc)
 	if err != nil {
 		return 0, err
 	}
@@ -144,10 +144,11 @@ func (s *Sketch) Cardinality(q db.Query) (float64, error) {
 }
 
 // EstimateBatch implements estimator.Estimator with batched MSCN inference:
-// all queries are featurized, then predicted in mini-batch-sized forward
-// passes. Results match Estimate query-by-query; ctx is checked between
-// featurizations and between inference chunks, so a cancellation mid-batch
-// aborts promptly. Per-query Latency is the amortized batch time.
+// queries featurize directly into packed inference batches and predict in
+// chunked forward passes. Results match Estimate query-by-query; ctx is
+// checked before each chunk, so a cancellation mid-batch aborts within one
+// chunk's featurize+forward work. Per-query Latency is the amortized batch
+// time.
 func (s *Sketch) EstimateBatch(ctx context.Context, qs []db.Query) ([]estimator.Estimate, error) {
 	start := time.Now()
 	cards, err := s.BatchCardinalities(ctx, qs)
@@ -166,115 +167,48 @@ func (s *Sketch) EstimateBatch(ctx context.Context, qs []db.Query) ([]estimator.
 }
 
 // BatchCardinalities is the bare batched estimation path: it returns one
-// cardinality per query, computed in MSCN forward passes that amortize
-// per-call overhead across the batch. Featurization fans out across cores,
-// and queries are grouped by shape (table/join/predicate counts) before
-// inference so the set matrices carry no padding waste — a mixed batch is
-// as cheap as homogeneous ones. Results match Cardinality query-by-query
-// (padding is masked out of the pooling either way).
+// cardinality per query, computed in packed MSCN forward passes that
+// amortize per-call overhead across the batch. Queries featurize *directly
+// into* the engine's pooled packed batches — no intermediate per-query
+// feature vectors — and any mix of shapes shares one ragged forward pass
+// that costs exactly its valid set elements: no shape grouping, no padding
+// waste. Work proceeds in inference-batch chunks that fan out across cores
+// (featurization included), with ctx checked between chunks. Results match
+// Cardinality query-by-query (the same engine answers both).
 func (s *Sketch) BatchCardinalities(ctx context.Context, qs []db.Query) ([]float64, error) {
-	encs, err := s.encodeAll(ctx, qs)
-	if err != nil {
+	out := make([]float64, len(qs))
+	src := &querySource{s: s, qs: qs}
+	if err := s.Model.Engine().PredictSourceInto(ctx, src, len(qs), out); err != nil {
 		return nil, err
 	}
-	bs := s.Model.Cfg.BatchSize
-	if bs <= 0 {
-		bs = 64
-	}
-	// Group same-shaped queries so no forward pass pads one query's sets to
-	// another's sizes.
-	type shape struct{ t, j, p int }
-	groups := make(map[shape][]int)
-	for i, q := range qs {
-		k := shape{len(q.Tables), len(q.Joins), len(q.Preds)}
-		groups[k] = append(groups[k], i)
-	}
-	out := make([]float64, len(qs))
-	sub := make([]featurize.Encoded, 0, bs)
-	for _, idxs := range groups {
-		for lo := 0; lo < len(idxs); lo += bs {
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
-			hi := lo + bs
-			if hi > len(idxs) {
-				hi = len(idxs)
-			}
-			sub = sub[:0]
-			for _, i := range idxs[lo:hi] {
-				sub = append(sub, encs[i])
-			}
-			ys, err := s.Model.PredictAll(sub)
-			if err != nil {
-				return nil, err
-			}
-			for j, y := range ys {
-				out[idxs[lo+j]] = s.Encoder.Norm.Denormalize(y)
-			}
-		}
+	for i, y := range out {
+		out[i] = s.Encoder.Norm.Denormalize(y)
 	}
 	return out, nil
 }
 
-// encodeAll featurizes every query (bitmaps + encoding), fanning out across
-// GOMAXPROCS workers for larger batches. ctx is checked per query.
-func (s *Sketch) encodeAll(ctx context.Context, qs []db.Query) ([]featurize.Encoded, error) {
-	encs := make([]featurize.Encoded, len(qs))
-	encodeOne := func(i int) error {
-		if err := ctx.Err(); err != nil {
-			return err
-		}
-		bms, err := s.Samples.Bitmaps(qs[i])
-		if err != nil {
-			return fmt.Errorf("core: query %d (%s): %w", i, qs[i].SQL(nil), err)
-		}
-		enc, err := s.Encoder.EncodeQuery(qs[i], bms)
-		if err != nil {
-			return fmt.Errorf("core: query %d (%s): %w", i, qs[i].SQL(nil), err)
-		}
-		encs[i] = enc
-		return nil
+// querySource adapts a query slice to the engine's direct featurization
+// interface: bitmaps and feature rows are produced on demand, written
+// straight into the packed batch.
+type querySource struct {
+	s  *Sketch
+	qs []db.Query
+}
+
+func (src *querySource) RowCounts(i int) (t, j, p int) {
+	return src.s.Encoder.RowCounts(src.qs[i])
+}
+
+func (src *querySource) EncodeTo(i int, nextT, nextJ, nextP func() []float64) error {
+	q := src.qs[i]
+	bms, err := src.s.Samples.Bitmaps(q)
+	if err != nil {
+		return fmt.Errorf("core: query %d (%s): %w", i, q.SQL(nil), err)
 	}
-	workers := runtime.GOMAXPROCS(0)
-	if len(qs) < 2*workers {
-		for i := range qs {
-			if err := encodeOne(i); err != nil {
-				return nil, err
-			}
-		}
-		return encs, nil
+	if err := src.s.Encoder.EncodeQueryTo(q, bms, nextT, nextJ, nextP); err != nil {
+		return fmt.Errorf("core: query %d (%s): %w", i, q.SQL(nil), err)
 	}
-	var (
-		next   atomic.Int64
-		wg     sync.WaitGroup
-		mu     sync.Mutex
-		encErr error
-	)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(qs) {
-					return
-				}
-				if err := encodeOne(i); err != nil {
-					mu.Lock()
-					if encErr == nil {
-						encErr = err
-					}
-					mu.Unlock()
-					return
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	if encErr != nil {
-		return nil, encErr
-	}
-	return encs, nil
+	return nil
 }
 
 // EstimateSQL parses a SQL string against the sketch's embedded schema (the

@@ -165,26 +165,79 @@ type Encoded struct {
 	PredVecs  [][]float64
 }
 
+// RowCounts returns the number of feature rows EncodeQuery/EncodeQueryTo
+// emit per set for q: one per table, and one per join/predicate with a
+// minimum of one (empty sets are represented by a single zero row).
+func (e *Encoder) RowCounts(q db.Query) (t, j, p int) {
+	t = len(q.Tables)
+	j = len(q.Joins)
+	if j == 0 {
+		j = 1
+	}
+	p = len(q.Preds)
+	if p == 0 {
+		p = 1
+	}
+	return t, j, p
+}
+
 // EncodeQuery featurizes a query given its per-alias sample bitmaps (as
 // produced by sample.Set.Bitmaps). A missing bitmap is an error unless the
 // encoder was built with SampleSize 0 (bitmap ablation), in which case
 // bitmaps are ignored entirely.
 func (e *Encoder) EncodeQuery(q db.Query, bitmaps map[string]sample.Bitmap) (Encoded, error) {
-	var enc Encoded
+	nt, nj, np := e.RowCounts(q)
+	enc := Encoded{
+		TableVecs: make([][]float64, 0, nt),
+		JoinVecs:  make([][]float64, 0, nj),
+		PredVecs:  make([][]float64, 0, np),
+	}
+	nextT := func() []float64 {
+		v := make([]float64, e.TableDim())
+		enc.TableVecs = append(enc.TableVecs, v)
+		return v
+	}
+	nextJ := func() []float64 {
+		v := make([]float64, e.JoinDim())
+		enc.JoinVecs = append(enc.JoinVecs, v)
+		return v
+	}
+	nextP := func() []float64 {
+		v := make([]float64, e.PredDim())
+		enc.PredVecs = append(enc.PredVecs, v)
+		return v
+	}
+	if err := e.EncodeQueryTo(q, bitmaps, nextT, nextJ, nextP); err != nil {
+		return Encoded{}, err
+	}
+	return enc, nil
+}
 
-	aliasTable := make(map[string]string, len(q.Tables))
+// EncodeQueryTo featurizes a query directly into caller-provided rows: each
+// next function must return the next *zeroed* destination row for its set
+// (width TableDim/JoinDim/PredDim); exactly the counts reported by RowCounts
+// are consumed, in order. This is the packed inference engine's path — it
+// featurizes straight into a PackedBatch with no intermediate per-query
+// vector allocations. On error some rows may already have been consumed.
+func (e *Encoder) EncodeQueryTo(q db.Query, bitmaps map[string]sample.Bitmap, nextT, nextJ, nextP func() []float64) error {
+	// Queries reference at most a handful of tables: RefByAlias's linear
+	// scan beats building a map and allocates nothing.
+	tableOf := func(alias string) (string, bool) {
+		tr, ok := q.RefByAlias(alias)
+		return tr.Table, ok
+	}
+
 	for _, tr := range q.Tables {
-		aliasTable[tr.Alias] = tr.Table
 		ti, ok := e.tableIdx[tr.Table]
 		if !ok {
-			return enc, fmt.Errorf("featurize: table %s not in sketch vocabulary", tr.Table)
+			return fmt.Errorf("featurize: table %s not in sketch vocabulary", tr.Table)
 		}
-		vec := make([]float64, e.TableDim())
+		vec := nextT()
 		vec[ti] = 1
 		if e.SampleSize > 0 {
 			bm, ok := bitmaps[tr.Alias]
 			if !ok {
-				return enc, fmt.Errorf("featurize: missing bitmap for alias %s", tr.Alias)
+				return fmt.Errorf("featurize: missing bitmap for alias %s", tr.Alias)
 			}
 			n := bm.N
 			if n > e.SampleSize {
@@ -196,51 +249,47 @@ func (e *Encoder) EncodeQuery(q db.Query, bitmaps map[string]sample.Bitmap) (Enc
 				}
 			}
 		}
-		enc.TableVecs = append(enc.TableVecs, vec)
 	}
 
 	for _, j := range q.Joins {
-		lt, ok := aliasTable[j.LeftAlias]
+		lt, ok := tableOf(j.LeftAlias)
 		if !ok {
-			return enc, fmt.Errorf("featurize: join references unknown alias %s", j.LeftAlias)
+			return fmt.Errorf("featurize: join references unknown alias %s", j.LeftAlias)
 		}
-		rt, ok := aliasTable[j.RightAlias]
+		rt, ok := tableOf(j.RightAlias)
 		if !ok {
-			return enc, fmt.Errorf("featurize: join references unknown alias %s", j.RightAlias)
+			return fmt.Errorf("featurize: join references unknown alias %s", j.RightAlias)
 		}
 		key := canonicalJoin(lt, j.LeftCol, rt, j.RightCol)
 		ji, ok := e.joinIdx[key]
 		if !ok {
-			return enc, fmt.Errorf("featurize: join %s not in sketch vocabulary", key)
+			return fmt.Errorf("featurize: join %s not in sketch vocabulary", key)
 		}
-		vec := make([]float64, e.JoinDim())
-		vec[ji] = 1
-		enc.JoinVecs = append(enc.JoinVecs, vec)
+		nextJ()[ji] = 1
 	}
-	if len(enc.JoinVecs) == 0 {
-		enc.JoinVecs = append(enc.JoinVecs, make([]float64, e.JoinDim()))
+	if len(q.Joins) == 0 {
+		nextJ() // empty set: one zero row
 	}
 
 	for _, p := range q.Preds {
-		tbl, ok := aliasTable[p.Alias]
+		tbl, ok := tableOf(p.Alias)
 		if !ok {
-			return enc, fmt.Errorf("featurize: predicate references unknown alias %s", p.Alias)
+			return fmt.Errorf("featurize: predicate references unknown alias %s", p.Alias)
 		}
 		key := tbl + "." + p.Col
 		ci, ok := e.colIdx[key]
 		if !ok {
-			return enc, fmt.Errorf("featurize: column %s not in sketch vocabulary", key)
+			return fmt.Errorf("featurize: column %s not in sketch vocabulary", key)
 		}
-		vec := make([]float64, e.PredDim())
+		vec := nextP()
 		vec[ci] = 1
 		vec[len(e.Columns)+int(p.Op)] = 1
 		vec[len(e.Columns)+db.NumOps] = e.normalizeLiteral(key, p.Val)
-		enc.PredVecs = append(enc.PredVecs, vec)
 	}
-	if len(enc.PredVecs) == 0 {
-		enc.PredVecs = append(enc.PredVecs, make([]float64, e.PredDim()))
+	if len(q.Preds) == 0 {
+		nextP() // empty set: one zero row
 	}
-	return enc, nil
+	return nil
 }
 
 func (e *Encoder) normalizeLiteral(colKey string, val int64) float64 {

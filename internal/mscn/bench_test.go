@@ -1,6 +1,7 @@
 package mscn
 
 import (
+	"context"
 	"testing"
 
 	"deepsketch/internal/featurize"
@@ -52,6 +53,7 @@ func BenchmarkForwardBatch(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m.Forward(batch)
@@ -61,9 +63,62 @@ func BenchmarkForwardBatch(b *testing.B) {
 func BenchmarkPredictSingle(b *testing.B) {
 	examples, tdim, jdim, pdim, _ := benchExamples(b, 8)
 	m := New(Config{HiddenUnits: 64, Seed: 1}, tdim, jdim, pdim)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := m.Predict(examples[i%len(examples)].Enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkForwardPacked measures the packed engine's steady-state forward
+// pass on a prebuilt batch and workspace — the number that must stay at
+// 0 allocs/op. "single" is one query; "mixed64" is a 64-query ragged batch
+// of mixed shapes (the coalescer's flush shape under load).
+func BenchmarkForwardPacked(b *testing.B) {
+	run := func(n int) func(b *testing.B) {
+		return func(b *testing.B) {
+			examples, tdim, jdim, pdim, _ := benchExamples(b, n)
+			m := New(Config{HiddenUnits: 64, Seed: 1}, tdim, jdim, pdim)
+			e := m.Engine()
+			encs := make([]featurize.Encoded, len(examples))
+			for i, ex := range examples {
+				encs[i] = ex.Enc
+			}
+			pb, err := BuildPackedBatch(encs, tdim, jdim, pdim)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var ws nn.Workspace
+			out := make([]float64, len(encs))
+			e.Forward(pb, &ws, out) // warm the workspace
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.Forward(pb, &ws, out)
+			}
+		}
+	}
+	b.Run("single", run(1))
+	b.Run("mixed64", run(64))
+}
+
+// BenchmarkPredictAllPacked is the end-to-end batched inference path as the
+// serve coalescer drives it: pack (pooled buffers) + forward per call.
+func BenchmarkPredictAllPacked(b *testing.B) {
+	examples, tdim, jdim, pdim, _ := benchExamples(b, 64)
+	m := New(Config{HiddenUnits: 64, BatchSize: 64, Seed: 1}, tdim, jdim, pdim)
+	e := m.Engine()
+	encs := make([]featurize.Encoded, len(examples))
+	for i, ex := range examples {
+		encs[i] = ex.Enc
+	}
+	out := make([]float64, len(encs))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.PredictAllInto(context.Background(), encs, out); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -328,9 +328,10 @@ func TestMSCNGradCheck(t *testing.T) {
 	for _, p := range m.Params() {
 		p.ZeroGrad()
 	}
-	preds, tp := m.forward(batch)
+	var tp tape
+	preds := m.forward(batch, &tp)
 	_, grad := nn.Loss(nn.LossQError, norm, preds, batch.Y, 0)
-	m.backward(tp, grad)
+	m.backward(&tp, grad)
 
 	const eps = 1e-6
 	for _, p := range m.Params() {

@@ -76,6 +76,15 @@ func (m *Model) Train(examples []Example, norm nn.LabelNorm, mon *trainmon.Monit
 		}
 	}
 
+	// The batch, tape and staging slices live across every step of every
+	// epoch: steady-state training performs no per-step allocations beyond
+	// what shape growth demands.
+	var (
+		batch   Batch
+		tp      tape
+		encs    []featurize.Encoded
+		targets []float64
+	)
 	for epoch := 1; epoch <= m.Cfg.Epochs; epoch++ {
 		start := time.Now()
 		order := shuffle(rng, len(train))
@@ -86,19 +95,18 @@ func (m *Model) Train(examples []Example, norm nn.LabelNorm, mon *trainmon.Monit
 			if hi > len(order) {
 				hi = len(order)
 			}
-			encs := make([]featurize.Encoded, hi-lo)
-			targets := make([]float64, hi-lo)
-			for i, idx := range order[lo:hi] {
-				encs[i] = train[idx].Enc
-				targets[i] = ys[idx]
+			encs = encs[:0]
+			targets = targets[:0]
+			for _, idx := range order[lo:hi] {
+				encs = append(encs, train[idx].Enc)
+				targets = append(targets, ys[idx])
 			}
-			batch, err := BuildBatch(encs, targets, m.TDim, m.JDim, m.PDim)
-			if err != nil {
+			if err := batch.build(encs, targets, m.TDim, m.JDim, m.PDim); err != nil {
 				return stats, err
 			}
-			preds, tp := m.forward(batch)
+			preds := m.forward(&batch, &tp)
 			loss, grad := nn.Loss(m.Cfg.Loss, norm, preds, batch.Y, m.Cfg.GradCap)
-			m.backward(tp, grad)
+			m.backward(&tp, grad)
 			opt.Step(params)
 			lossSum += loss
 			batches++
@@ -144,35 +152,17 @@ func (m *Model) evalQErrors(val []Example, norm nn.LabelNorm) ([]float64, error)
 	return qs, nil
 }
 
-// Predict returns the normalized prediction for one featurized query.
+// Predict returns the normalized prediction for one featurized query via
+// the packed inference engine.
 func (m *Model) Predict(enc featurize.Encoded) (float64, error) {
-	batch, err := BuildBatch([]featurize.Encoded{enc}, nil, m.TDim, m.JDim, m.PDim)
-	if err != nil {
-		return 0, err
-	}
-	return m.Forward(batch)[0], nil
+	return m.Engine().Predict(enc)
 }
 
-// PredictAll returns normalized predictions for many featurized queries,
-// processed in inference batches.
+// PredictAll returns normalized predictions for many featurized queries via
+// the packed inference engine (chunked into inference batches; mixed shapes
+// carry no padding).
 func (m *Model) PredictAll(encs []featurize.Encoded) ([]float64, error) {
-	out := make([]float64, 0, len(encs))
-	bs := m.Cfg.BatchSize
-	if bs <= 0 {
-		bs = 64
-	}
-	for lo := 0; lo < len(encs); lo += bs {
-		hi := lo + bs
-		if hi > len(encs) {
-			hi = len(encs)
-		}
-		batch, err := BuildBatch(encs[lo:hi], nil, m.TDim, m.JDim, m.PDim)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, m.Forward(batch)...)
-	}
-	return out, nil
+	return m.Engine().PredictAll(encs)
 }
 
 // trainRand derives the training RNG (shuffles, validation split) from the

@@ -28,9 +28,45 @@ func benchLinear(b *testing.B) (*Linear, Matrix) {
 func BenchmarkLinearForward(b *testing.B) {
 	l, x := benchLinear(b)
 	b.SetBytes(int64(benchBatch * benchIn * 8))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		l.Forward(x)
+	}
+}
+
+// BenchmarkLinearForwardFused measures the serial register-tiled inference
+// kernel against BenchmarkLinearForward (parallel per-row dot loop) on the
+// same shape. Zero allocs/op expected.
+func BenchmarkLinearForwardFused(b *testing.B) {
+	l, x := benchLinear(b)
+	y := NewMatrix(benchBatch, benchOut)
+	b.SetBytes(int64(benchBatch * benchIn * 8))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.ForwardFused(x, y, true)
+	}
+}
+
+// BenchmarkSegmentAvgPool mirrors BenchmarkMaskedAvgPool on the packed
+// representation: same 64 sets of 2 valid elements, no padding rows.
+func BenchmarkSegmentAvgPool(b *testing.B) {
+	rng := datagen.NewRand(2)
+	const sets, valid, width = 64, 2, 64
+	x := NewMatrix(sets*valid, width)
+	for i := range x.Data {
+		x.Data[i] = rng.Float64()
+	}
+	offsets := make([]int, sets+1)
+	for i := 1; i <= sets; i++ {
+		offsets[i] = i * valid
+	}
+	out := NewMatrix(sets, width)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SegmentAvgPool(x, offsets, out)
 	}
 }
 

@@ -1,0 +1,252 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"deepsketch/internal/datagen"
+)
+
+// TestForwardFusedMatchesForward: the tiled fused kernel must match the
+// reference dot-product forward across shapes that hit every tile-remainder
+// path (rows and outputs not divisible by 4).
+func TestForwardFusedMatchesForward(t *testing.T) {
+	rng := datagen.NewRand(7)
+	for _, shape := range [][3]int{
+		{1, 3, 1}, {2, 5, 4}, {3, 8, 5}, {4, 16, 4}, {5, 7, 9},
+		{8, 33, 12}, {17, 10, 6}, {64, 21, 13},
+	} {
+		rows, in, out := shape[0], shape[1], shape[2]
+		l := NewLinear("t", in, out, rng)
+		x := NewMatrix(rows, in)
+		for i := range x.Data {
+			x.Data[i] = rng.Float64()*2 - 1
+		}
+		for _, relu := range []bool{false, true} {
+			want := l.Forward(x)
+			if relu {
+				want = ReLU(want)
+			}
+			got := NewMatrix(rows, out)
+			// Dirty the output to prove full overwrite.
+			for i := range got.Data {
+				got.Data[i] = 999
+			}
+			l.ForwardFused(x, got, relu)
+			for i := range want.Data {
+				if d := math.Abs(got.Data[i] - want.Data[i]); d > 1e-12 {
+					t.Fatalf("shape %v relu=%v: fused[%d]=%v want %v (|Δ|=%g)",
+						shape, relu, i, got.Data[i], want.Data[i], d)
+				}
+			}
+		}
+	}
+}
+
+// TestSegmentAvgPoolMatchesMasked: CSR segment pooling must agree with the
+// padded masked pooling on equivalent inputs, including empty segments.
+func TestSegmentAvgPoolMatchesMasked(t *testing.T) {
+	rng := datagen.NewRand(8)
+	const b, maxS, h = 5, 4, 3
+	lens := []int{2, 0, 4, 1, 3}
+
+	// Packed layout.
+	total := 0
+	for _, n := range lens {
+		total += n
+	}
+	packed := NewMatrix(total, h)
+	for i := range packed.Data {
+		packed.Data[i] = rng.Float64()
+	}
+	offsets := make([]int, b+1)
+	for i, n := range lens {
+		offsets[i+1] = offsets[i] + n
+	}
+
+	// Equivalent padded layout.
+	padded := NewMatrix(b*maxS, h)
+	mask := make([]float64, b*maxS)
+	for bi, n := range lens {
+		for si := 0; si < n; si++ {
+			copy(padded.Row(bi*maxS+si), packed.Row(offsets[bi]+si))
+			mask[bi*maxS+si] = 1
+		}
+	}
+
+	want := MaskedAvgPool(padded, mask, b, maxS)
+	got := NewMatrix(b, h)
+	for i := range got.Data {
+		got.Data[i] = 999 // prove full overwrite, incl. empty segments
+	}
+	SegmentAvgPool(packed, offsets, got)
+	for i := range want.Data {
+		if d := math.Abs(got.Data[i] - want.Data[i]); d > 1e-12 {
+			t.Fatalf("pool[%d] = %v, want %v", i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+// TestWorkspaceReuse: Reserve/Alloc must reuse the arena (zero allocations
+// at steady state) and growth must leave earlier matrices intact.
+func TestWorkspaceReuse(t *testing.T) {
+	var ws Workspace
+	ws.Reserve(12)
+	a := ws.Alloc(2, 3)
+	for i := range a.Data {
+		a.Data[i] = float64(i)
+	}
+	// Force growth: earlier matrix keeps its (old) backing storage.
+	b := ws.Alloc(10, 10)
+	b.Data[0] = 7
+	for i := range a.Data {
+		if a.Data[i] != float64(i) {
+			t.Fatalf("growth corrupted earlier matrix at %d", i)
+		}
+	}
+
+	ws2 := &Workspace{}
+	ws2.Reserve(64)
+	ws2.Alloc(4, 8) // warm
+	allocs := testing.AllocsPerRun(20, func() {
+		ws2.Reserve(64)
+		m := ws2.Alloc(4, 8)
+		m.Data[0] = 1
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Reserve/Alloc allocates %.1f times, want 0", allocs)
+	}
+}
+
+// TestBackwardIntoMatchesBackward: the reusable-buffer backward (including
+// the nil-dx params-only mode) must accumulate identical gradients.
+func TestBackwardIntoMatchesBackward(t *testing.T) {
+	rng := datagen.NewRand(9)
+	const rows, in, out = 6, 7, 5
+	mk := func() (*Linear, Matrix, Matrix) {
+		l := NewLinear("t", in, out, datagen.NewRand(9))
+		x := NewMatrix(rows, in)
+		dy := NewMatrix(rows, out)
+		r2 := datagen.NewRand(10)
+		for i := range x.Data {
+			x.Data[i] = r2.Float64()
+		}
+		for i := range dy.Data {
+			dy.Data[i] = r2.Float64() - 0.5
+		}
+		return l, x, dy
+	}
+	_ = rng
+
+	lRef, x, dy := mk()
+	dxRef := lRef.Backward(x, dy)
+
+	lInto, _, _ := mk()
+	dx := NewMatrix(rows, in)
+	for i := range dx.Data {
+		dx.Data[i] = 999 // dirty: BackwardInto must fully overwrite
+	}
+	lInto.BackwardInto(x, dy, &dx)
+	for i := range dxRef.Data {
+		if math.Abs(dx.Data[i]-dxRef.Data[i]) > 1e-12 {
+			t.Fatalf("dx[%d] = %v, want %v", i, dx.Data[i], dxRef.Data[i])
+		}
+	}
+	lNil, _, _ := mk()
+	lNil.BackwardInto(x, dy, nil)
+	for p := 0; p < 2; p++ {
+		ref, got := lRef.Params()[p], lNil.Params()[p]
+		for i := range ref.Grad {
+			if math.Abs(got.Grad[i]-ref.Grad[i]) > 1e-12 {
+				t.Fatalf("params-only %s grad[%d] = %v, want %v", ref.Name, i, got.Grad[i], ref.Grad[i])
+			}
+		}
+		got2 := lInto.Params()[p]
+		for i := range ref.Grad {
+			if math.Abs(got2.Grad[i]-ref.Grad[i]) > 1e-12 {
+				t.Fatalf("into %s grad[%d] = %v, want %v", ref.Name, i, got2.Grad[i], ref.Grad[i])
+			}
+		}
+	}
+}
+
+// TestInPlaceActivations: the in-place variants must match their allocating
+// counterparts.
+func TestInPlaceActivations(t *testing.T) {
+	rng := datagen.NewRand(11)
+	x := NewMatrix(3, 4)
+	for i := range x.Data {
+		x.Data[i] = rng.Float64()*4 - 2
+	}
+	s := Sigmoid(x)
+	sip := x.Clone()
+	SigmoidInPlace(sip)
+	for i := range s.Data {
+		if s.Data[i] != sip.Data[i] {
+			t.Fatalf("SigmoidInPlace[%d] = %v, want %v", i, sip.Data[i], s.Data[i])
+		}
+	}
+
+	y := ReLU(x)
+	dy := NewMatrix(3, 4)
+	for i := range dy.Data {
+		dy.Data[i] = rng.Float64() - 0.5
+	}
+	want := ReLUBackward(y, dy)
+	dyIP := dy.Clone()
+	ReLUBackwardInPlace(y, dyIP)
+	for i := range want.Data {
+		if want.Data[i] != dyIP.Data[i] {
+			t.Fatalf("ReLUBackwardInPlace[%d] = %v, want %v", i, dyIP.Data[i], want.Data[i])
+		}
+	}
+
+	sw := Sigmoid(x)
+	wantS := SigmoidBackward(sw, dy)
+	dyS := dy.Clone()
+	SigmoidBackwardInPlace(sw, dyS)
+	for i := range wantS.Data {
+		if wantS.Data[i] != dyS.Data[i] {
+			t.Fatalf("SigmoidBackwardInPlace[%d] = %v, want %v", i, dyS.Data[i], wantS.Data[i])
+		}
+	}
+}
+
+// TestMaskedAvgPoolIntoDirtyBuffers: the Into pooling variants must fully
+// overwrite dirty reused buffers, including masked-out and empty rows.
+func TestMaskedAvgPoolIntoDirtyBuffers(t *testing.T) {
+	rng := datagen.NewRand(12)
+	const b, s, h = 3, 2, 4
+	x := NewMatrix(b*s, h)
+	for i := range x.Data {
+		x.Data[i] = rng.Float64()
+	}
+	mask := []float64{1, 0, 0, 0, 1, 1} // set 1 is empty
+	want := MaskedAvgPool(x, mask, b, s)
+	got := NewMatrix(b, h)
+	for i := range got.Data {
+		got.Data[i] = 999
+	}
+	MaskedAvgPoolInto(x, mask, b, s, got)
+	for i := range want.Data {
+		if want.Data[i] != got.Data[i] {
+			t.Fatalf("pool into[%d] = %v, want %v", i, got.Data[i], want.Data[i])
+		}
+	}
+
+	dOut := NewMatrix(b, h)
+	for i := range dOut.Data {
+		dOut.Data[i] = rng.Float64()
+	}
+	wantB := MaskedAvgPoolBackward(dOut, mask, b, s)
+	gotB := NewMatrix(b*s, h)
+	for i := range gotB.Data {
+		gotB.Data[i] = 999
+	}
+	MaskedAvgPoolBackwardInto(dOut, mask, b, s, gotB)
+	for i := range wantB.Data {
+		if wantB.Data[i] != gotB.Data[i] {
+			t.Fatalf("pool backward into[%d] = %v, want %v", i, gotB.Data[i], wantB.Data[i])
+		}
+	}
+}

@@ -89,44 +89,75 @@ func axpy(alpha float64, x, y []float64) {
 
 // Forward computes y = x·Wᵀ + b for a batch of rows.
 func (l *Linear) Forward(x Matrix) Matrix {
-	if x.Cols != l.In {
-		panic("nn: Linear.Forward dimension mismatch")
-	}
 	y := NewMatrix(x.Rows, l.Out)
+	l.ForwardInto(x, y, false)
+	return y
+}
+
+// ForwardInto computes y = x·Wᵀ + b into the preallocated y, optionally
+// fusing ReLU, parallelized over row blocks. It is the reusable-buffer
+// variant of Forward for the training loop; the serial allocation-free
+// inference kernel is ForwardFused.
+func (l *Linear) ForwardInto(x, y Matrix, relu bool) {
+	if x.Cols != l.In || y.Rows != x.Rows || y.Cols != l.Out {
+		panic("nn: Linear.ForwardInto dimension mismatch")
+	}
 	w, b := l.W.Data, l.B.Data
 	parallelRows(x.Rows, func(lo, hi int) {
 		for r := lo; r < hi; r++ {
 			xr := x.Row(r)
 			yr := y.Row(r)
 			for o := 0; o < l.Out; o++ {
-				yr[o] = dot(xr, w[o*l.In:(o+1)*l.In]) + b[o]
+				v := dot(xr, w[o*l.In:(o+1)*l.In]) + b[o]
+				if relu && v < 0 {
+					v = 0
+				}
+				yr[o] = v
 			}
 		}
 	})
-	return y
 }
 
 // Backward computes dx from dy and accumulates parameter gradients, given
 // the forward input x.
 func (l *Linear) Backward(x, dy Matrix) Matrix {
-	if dy.Cols != l.Out || x.Rows != dy.Rows {
+	dx := NewMatrix(x.Rows, l.In)
+	l.BackwardInto(x, dy, &dx)
+	return dx
+}
+
+// BackwardInto accumulates parameter gradients and, when dx is non-nil,
+// writes the input gradient into *dx (preallocated x.Rows×l.In, fully
+// overwritten). Passing nil dx skips the input-gradient GEMM entirely —
+// the first layer of each set module never needs gradients with respect to
+// its features, and at bitmap-sized input widths that pass dominates.
+func (l *Linear) BackwardInto(x, dy Matrix, dx *Matrix) {
+	if dy.Cols != l.Out || x.Rows != dy.Rows || x.Cols != l.In {
 		panic("nn: Linear.Backward dimension mismatch")
 	}
-	dx := NewMatrix(x.Rows, l.In)
 	w := l.W.Data
 
 	// dx[r] = Σ_o dy[r,o] * W[o,:] — parallel over batch rows.
-	parallelRows(x.Rows, func(lo, hi int) {
-		for r := lo; r < hi; r++ {
-			dyr := dy.Row(r)
-			dxr := dx.Row(r)
-			for o := 0; o < l.Out; o++ {
-				if g := dyr[o]; g != 0 {
-					axpy(g, w[o*l.In:(o+1)*l.In], dxr)
+	if dx != nil {
+		if dx.Rows != x.Rows || dx.Cols != l.In {
+			panic("nn: Linear.BackwardInto dx dimension mismatch")
+		}
+		d := *dx
+		parallelRows(x.Rows, func(lo, hi int) {
+			for r := lo; r < hi; r++ {
+				dyr := dy.Row(r)
+				dxr := d.Row(r)
+				for i := range dxr {
+					dxr[i] = 0
+				}
+				for o := 0; o < l.Out; o++ {
+					if g := dyr[o]; g != 0 {
+						axpy(g, w[o*l.In:(o+1)*l.In], dxr)
+					}
 				}
 			}
-		}
-	})
+		})
+	}
 
 	// dW[o,:] += Σ_r dy[r,o] * x[r,:]; db[o] += Σ_r dy[r,o] — parallel over
 	// output units so accumulators never race.
@@ -145,7 +176,6 @@ func (l *Linear) Backward(x, dy Matrix) Matrix {
 			}
 		}
 	})
-	return dx
 }
 
 // ReLU applies max(0, x) element-wise, returning a new matrix.
@@ -190,51 +220,30 @@ func SigmoidBackward(y, dy Matrix) Matrix {
 	return dx
 }
 
-// Concat horizontally concatenates matrices with equal row counts.
-func Concat(ms ...Matrix) Matrix {
-	if len(ms) == 0 {
-		return Matrix{}
+// SigmoidInPlace applies 1/(1+e^-x) element-wise, overwriting x.
+func SigmoidInPlace(x Matrix) {
+	for i, v := range x.Data {
+		x.Data[i] = 1.0 / (1.0 + math.Exp(-v))
 	}
-	rows := ms[0].Rows
-	cols := 0
-	for _, m := range ms {
-		if m.Rows != rows {
-			panic("nn: Concat row mismatch")
-		}
-		cols += m.Cols
-	}
-	out := NewMatrix(rows, cols)
-	for r := 0; r < rows; r++ {
-		dst := out.Row(r)
-		off := 0
-		for _, m := range ms {
-			copy(dst[off:off+m.Cols], m.Row(r))
-			off += m.Cols
-		}
-	}
-	return out
 }
 
-// SplitCols splits a matrix horizontally into widths, the inverse of Concat.
-func SplitCols(m Matrix, widths ...int) []Matrix {
-	total := 0
-	for _, w := range widths {
-		total += w
-	}
-	if total != m.Cols {
-		panic("nn: SplitCols width mismatch")
-	}
-	out := make([]Matrix, len(widths))
-	off := 0
-	for i, w := range widths {
-		part := NewMatrix(m.Rows, w)
-		for r := 0; r < m.Rows; r++ {
-			copy(part.Row(r), m.Row(r)[off:off+w])
+// ReLUBackwardInPlace masks dy in place given the forward output y: the
+// gradient survives only where the output was positive. Legal whenever the
+// tape no longer needs the unmasked dy (always true in this model).
+func ReLUBackwardInPlace(y, dy Matrix) {
+	for i, v := range y.Data {
+		if v <= 0 {
+			dy.Data[i] = 0
 		}
-		out[i] = part
-		off += w
 	}
-	return out
+}
+
+// SigmoidBackwardInPlace scales dy in place by σ'(x) = y·(1−y). Evaluation
+// order matches SigmoidBackward bit-for-bit.
+func SigmoidBackwardInPlace(y, dy Matrix) {
+	for i, v := range y.Data {
+		dy.Data[i] = dy.Data[i] * v * (1 - v)
+	}
 }
 
 // MaskedAvgPool averages set-element representations into one vector per
@@ -243,12 +252,22 @@ func SplitCols(m Matrix, widths ...int) []Matrix {
 // (division guarded), though callers are expected to pad empty sets with a
 // single zero element instead.
 func MaskedAvgPool(x Matrix, mask []float64, b, s int) Matrix {
-	if x.Rows != b*s || len(mask) != b*s {
+	out := NewMatrix(b, x.Cols)
+	MaskedAvgPoolInto(x, mask, b, s, out)
+	return out
+}
+
+// MaskedAvgPoolInto is MaskedAvgPool writing into a preallocated b×x.Cols
+// matrix (fully overwritten).
+func MaskedAvgPoolInto(x Matrix, mask []float64, b, s int, out Matrix) {
+	if x.Rows != b*s || len(mask) != b*s || out.Rows != b || out.Cols != x.Cols {
 		panic("nn: MaskedAvgPool shape mismatch")
 	}
-	out := NewMatrix(b, x.Cols)
 	for bi := 0; bi < b; bi++ {
 		dst := out.Row(bi)
+		for c := range dst {
+			dst[c] = 0
+		}
 		var n float64
 		for si := 0; si < s; si++ {
 			r := bi*s + si
@@ -268,12 +287,21 @@ func MaskedAvgPool(x Matrix, mask []float64, b, s int) Matrix {
 			}
 		}
 	}
-	return out
 }
 
 // MaskedAvgPoolBackward distributes dOut (B×H) back to the set elements.
 func MaskedAvgPoolBackward(dOut Matrix, mask []float64, b, s int) Matrix {
 	dx := NewMatrix(b*s, dOut.Cols)
+	MaskedAvgPoolBackwardInto(dOut, mask, b, s, dx)
+	return dx
+}
+
+// MaskedAvgPoolBackwardInto is MaskedAvgPoolBackward writing into a
+// preallocated (b·s)×dOut.Cols matrix (fully overwritten).
+func MaskedAvgPoolBackwardInto(dOut Matrix, mask []float64, b, s int, dx Matrix) {
+	if dx.Rows != b*s || dx.Cols != dOut.Cols {
+		panic("nn: MaskedAvgPoolBackward shape mismatch")
+	}
 	for bi := 0; bi < b; bi++ {
 		var n float64
 		for si := 0; si < s; si++ {
@@ -281,21 +309,23 @@ func MaskedAvgPoolBackward(dOut Matrix, mask []float64, b, s int) Matrix {
 				n++
 			}
 		}
-		if n == 0 {
-			continue
+		inv := 0.0
+		if n > 0 {
+			inv = 1.0 / n
 		}
-		inv := 1.0 / n
 		src := dOut.Row(bi)
 		for si := 0; si < s; si++ {
 			r := bi*s + si
-			if mask[r] == 0 {
+			dst := dx.Row(r)
+			if mask[r] == 0 || n == 0 {
+				for c := range dst {
+					dst[c] = 0
+				}
 				continue
 			}
-			dst := dx.Row(r)
 			for c, v := range src {
 				dst[c] = v * inv
 			}
 		}
 	}
-	return dx
 }

@@ -5,6 +5,15 @@
 // optimizer with global-norm gradient clipping, the paper's mean q-error
 // training objective, and deterministic weight initialization. Everything is
 // float64 and CPU-only; hot loops are parallelized across row blocks.
+//
+// Two forward paths coexist. The training path (Forward/ForwardInto,
+// Backward/BackwardInto, MaskedAvgPool) keeps tape-friendly semantics and
+// fans out across cores; its Into variants let the trainer reuse buffers
+// between mini-batches. The inference path (ForwardFused, SegmentAvgPool,
+// Workspace in infer.go) is serial, padding-free and allocation-free:
+// packed ragged batches, a register-tiled fused Linear+ReLU GEMM, and
+// bump-allocated scratch. A Workspace serves one forward pass at a time —
+// concurrency comes from one Workspace per goroutine, never from sharing.
 package nn
 
 import (
@@ -38,6 +47,19 @@ func (m Matrix) Zero() {
 	for i := range m.Data {
 		m.Data[i] = 0
 	}
+}
+
+// Reshape resizes m to rows×cols in place, reusing the backing slice when
+// its capacity allows and reallocating otherwise. Contents are unspecified
+// afterwards; callers must fully overwrite (or Zero) the matrix.
+func (m *Matrix) Reshape(rows, cols int) {
+	n := rows * cols
+	if cap(m.Data) < n {
+		m.Data = make([]float64, n)
+	} else {
+		m.Data = m.Data[:n]
+	}
+	m.Rows, m.Cols = rows, cols
 }
 
 // Clone returns a deep copy.

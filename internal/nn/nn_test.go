@@ -78,28 +78,6 @@ func TestReLUAndSigmoid(t *testing.T) {
 	}
 }
 
-func TestConcatSplitRoundTrip(t *testing.T) {
-	a := NewMatrix(2, 2)
-	copy(a.Data, []float64{1, 2, 3, 4})
-	b := NewMatrix(2, 1)
-	copy(b.Data, []float64{5, 6})
-	cat := Concat(a, b)
-	if cat.Cols != 3 || cat.At(0, 2) != 5 || cat.At(1, 0) != 3 {
-		t.Fatalf("concat wrong: %v", cat.Data)
-	}
-	parts := SplitCols(cat, 2, 1)
-	for i, v := range a.Data {
-		if parts[0].Data[i] != v {
-			t.Fatal("split part 0 mismatch")
-		}
-	}
-	for i, v := range b.Data {
-		if parts[1].Data[i] != v {
-			t.Fatal("split part 1 mismatch")
-		}
-	}
-}
-
 func TestMaskedAvgPool(t *testing.T) {
 	// B=2 sets, S=3 elements, H=2.
 	x := NewMatrix(6, 2)

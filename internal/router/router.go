@@ -100,10 +100,11 @@ func (r *Router) Estimate(ctx context.Context, q db.Query) (estimator.Estimate, 
 }
 
 // EstimateBatch implements estimator.Estimator: queries are grouped by the
-// sketch that covers them and each group runs as one batched MSCN inference
-// pass, so a mixed batch stays as fast as per-sketch batching allows.
-// Results are positional; if any query is uncovered the whole batch fails,
-// like Estimate would for that query.
+// sketch that covers them — the only grouping that still exists on the
+// batched path; within a sketch, the packed inference engine takes queries
+// of any shapes in one ragged forward pass. Results are positional; if any
+// query is uncovered the whole batch fails, like Estimate would for that
+// query.
 func (r *Router) EstimateBatch(ctx context.Context, qs []db.Query) ([]estimator.Estimate, error) {
 	groups := make(map[*core.Sketch][]int)
 	for i, q := range qs {

@@ -3,6 +3,7 @@ package serve
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sync"
 	"time"
 
@@ -27,12 +28,15 @@ func (o CoalesceOptions) withDefaults() CoalesceOptions {
 // Coalescer merges concurrent single-query Estimate calls into one batched
 // EstimateBatch call on the backend — the daemon's hot path under heavy
 // traffic, where per-query MSCN forward passes waste most of their time on
-// per-call overhead. Batches form naturally: while one flush is in flight,
-// arriving requests queue on the rendezvous channel and the next flush
-// absorbs all of them at once, so an idle server serves a lone request
-// immediately (no artificial wait) and a loaded server batches as deep as
-// its arrival rate. Results are the backend's batched results, which for
-// sketches match the sequential path query-by-query.
+// per-call overhead. Batches form naturally: requests enqueue on a buffered
+// channel while a flush is in flight, and the next flush absorbs everything
+// queued at once, so an idle server serves a lone request immediately (no
+// artificial wait) and a loaded server batches as deep as its arrival rate.
+// Any mix of query shapes coalesces into one packed ragged-batch forward
+// pass — the sketch's inference engine stores only valid set elements, so a
+// mixed batch costs exactly its rows and needs no shape grouping. Results
+// are the backend's batched results, which for sketches match the
+// sequential path query-by-query.
 //
 // A Coalescer owns a background flush goroutine; call Close when done.
 type Coalescer struct {
@@ -42,6 +46,16 @@ type Coalescer struct {
 	stop  chan struct{}
 	done  chan struct{}
 	once  sync.Once
+
+	// respPool recycles the per-request response channels. A channel is
+	// returned to the pool only by the caller that received its response —
+	// an abandoned (cancelled) request's channel is left for the GC, since
+	// the flusher may still send into it.
+	respPool sync.Pool
+
+	// Flush-goroutine-local scratch, reused across flushes.
+	batch []coalesceReq
+	qs    []db.Query
 }
 
 type coalesceReq struct {
@@ -60,10 +74,11 @@ type coalesceResp struct {
 
 // NewCoalescer starts a coalescer over the backend.
 func NewCoalescer(inner estimator.Estimator, opts CoalesceOptions) *Coalescer {
+	opts = opts.withDefaults()
 	c := &Coalescer{
 		inner: inner,
-		opts:  opts.withDefaults(),
-		reqs:  make(chan coalesceReq),
+		opts:  opts,
+		reqs:  make(chan coalesceReq, opts.MaxBatch),
 		stop:  make(chan struct{}),
 		done:  make(chan struct{}),
 	}
@@ -87,23 +102,63 @@ func (c *Coalescer) loop() {
 		var first coalesceReq
 		select {
 		case <-c.stop:
+			c.drain()
 			return
 		case first = <-c.reqs:
 		}
-		batch := []coalesceReq{first}
-		// Greedily absorb every request already waiting at the rendezvous
-		// (senders that queued while the previous flush ran), without
-		// waiting for stragglers — a lone request flushes immediately.
-	collect:
+		batch := append(c.batch[:0], first)
+		yielded := false
 		for len(batch) < c.opts.MaxBatch {
 			select {
 			case r := <-c.reqs:
 				batch = append(batch, r)
+				continue
 			default:
-				break collect
 			}
+			if yielded {
+				break
+			}
+			// The queue is momentarily empty, but concurrent callers may be
+			// one scheduler pass away from enqueueing (the forward pass is
+			// now fast enough that flushes outrun arrivals). Yield exactly
+			// once: under load this deepens the batch dramatically; on an
+			// idle server it costs one no-op scheduler call, so a lone
+			// request still flushes immediately.
+			runtime.Gosched()
+			yielded = true
 		}
 		c.flush(batch)
+		// Keep the (possibly grown) scratch but drop its contents: stale
+		// entries would pin request contexts, queries and response channels
+		// until the next equally deep batch overwrote them.
+		for i := range batch {
+			batch[i] = coalesceReq{}
+		}
+		c.batch = batch
+		c.qs = clearQueries(c.qs)
+	}
+}
+
+func clearQueries(qs []db.Query) []db.Query {
+	for i := range qs {
+		qs[i] = db.Query{}
+	}
+	return qs[:0]
+}
+
+// drain answers requests that were already queued when Close fired. A
+// request racing past the final empty check here is not hung: its caller
+// gets the closed-coalescer error from Estimate's <-c.done branch (the one
+// stranded entry stays buffered until the Coalescer itself is collected).
+func (c *Coalescer) drain() {
+	for {
+		select {
+		case r := <-c.reqs:
+			est, err := c.inner.Estimate(r.ctx, r.q)
+			r.resp <- coalesceResp{est: est, err: err}
+		default:
+			return
+		}
 	}
 }
 
@@ -122,10 +177,11 @@ func (c *Coalescer) flush(batch []coalesceReq) {
 		return
 	}
 	start := time.Now()
-	qs := make([]db.Query, len(batch))
-	for i, r := range batch {
-		qs[i] = r.q
+	qs := c.qs[:0]
+	for _, r := range batch {
+		qs = append(qs, r.q)
 	}
+	c.qs = qs
 	ests, err := c.inner.EstimateBatch(context.Background(), qs)
 	if err != nil || len(ests) != len(batch) {
 		for _, r := range batch {
@@ -145,19 +201,42 @@ func (c *Coalescer) flush(batch []coalesceReq) {
 // Estimate implements estimator.Estimator by enqueueing the query for the
 // next coalesced flush and waiting for its result (or ctx cancellation).
 func (c *Coalescer) Estimate(ctx context.Context, q db.Query) (estimator.Estimate, error) {
-	resp := make(chan coalesceResp, 1)
+	// Refuse early once closed — narrows (but cannot eliminate) the window
+	// in which a request is enqueued after the final drain; see drain.
+	select {
+	case <-c.stop:
+		return estimator.Estimate{}, fmt.Errorf("serve: coalescer closed")
+	default:
+	}
+	resp, _ := c.respPool.Get().(chan coalesceResp)
+	if resp == nil {
+		resp = make(chan coalesceResp, 1)
+	}
 	select {
 	case c.reqs <- coalesceReq{ctx: ctx, q: q, resp: resp}:
 	case <-ctx.Done():
+		c.respPool.Put(resp)
 		return estimator.Estimate{}, ctx.Err()
 	case <-c.stop:
+		c.respPool.Put(resp)
 		return estimator.Estimate{}, fmt.Errorf("serve: coalescer closed")
 	}
 	select {
 	case r := <-resp:
+		c.respPool.Put(resp)
 		return r.est, r.err
 	case <-ctx.Done():
 		return estimator.Estimate{}, ctx.Err()
+	case <-c.done:
+		// The flush loop exited. Our request either made it into the final
+		// drain (its response is already buffered) or raced past it.
+		select {
+		case r := <-resp:
+			c.respPool.Put(resp)
+			return r.est, r.err
+		default:
+			return estimator.Estimate{}, fmt.Errorf("serve: coalescer closed")
+		}
 	}
 }
 
