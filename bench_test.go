@@ -204,6 +204,30 @@ func BenchmarkTrainingQueryScaling(b *testing.B) {
 	}
 }
 
+// BenchmarkTrainEpoch measures one epoch of packed data-parallel MSCN
+// training on the fixture's prepared training data (the JOB-light-class
+// workload the sketch trains on), serial vs sharded across 4 workers —
+// step 4b of Figure 1a, the stage the paper's minutes-scale creation claim
+// hinges on. On a single-core box p=4 measures sharding overhead only; the
+// cross-core speedup needs GOMAXPROCS ≥ 4.
+func BenchmarkTrainEpoch(b *testing.B) {
+	f := fixtureB(b)
+	enc := f.td.Encoder
+	cfg := f.td.Cfg.Model
+	cfg.Epochs = 1
+	for _, p := range []int{1, 4} {
+		b.Run(benchName("p", p), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m := mscn.New(cfg, enc.TableDim(), enc.JoinDim(), enc.PredDim())
+				if _, err := m.TrainWithOptions(f.td.Examples, enc.Norm, nil,
+					mscn.TrainOptions{Parallelism: p}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkEstimateLatency measures a single ad-hoc estimate (Figure 1b:
 // "fast to query (within milliseconds)"). The loop cycles through JOB-light
 // so caching cannot flatter the number.

@@ -392,6 +392,11 @@ func runEpochs(c *ctx) error {
 	td2 := *td
 	td2.Cfg = cfg
 	mon := trainmon.New()
+	mon.AddSink(func(e trainmon.Event) {
+		if e.Kind == trainmon.KindTrainStart {
+			fmt.Printf("  %s\n", e.Msg)
+		}
+	})
 	sk, err := core.BuildFromData(&td2, mon)
 	if err != nil {
 		return err

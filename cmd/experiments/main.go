@@ -48,10 +48,11 @@ func main() {
 	epochs := flag.Int("epochs", 0, "override training epochs")
 	hidden := flag.Int("hidden", 0, "override MSCN hidden units")
 	samples := flag.Int("samples", 0, "override sample tuples per table")
+	workers := flag.Int("workers", 0, "parallel workers for labeling and data-parallel training (0 = GOMAXPROCS)")
 	seed := flag.Int64("seed", 1, "experiment seed")
 	flag.Parse()
 
-	c := newCtx(*fast, *titles, *queries, *epochs, *hidden, *samples, *seed)
+	c := newCtx(*fast, *titles, *queries, *epochs, *hidden, *samples, *workers, *seed)
 
 	all := []struct {
 		name string
@@ -135,8 +136,9 @@ func defaultScale(fast bool) scale {
 // database, the main sketch, its training data, and the labeled JOB-light
 // workload.
 type ctx struct {
-	sc   scale
-	seed int64
+	sc      scale
+	seed    int64
+	workers int
 
 	imdb     *db.DB
 	td       *core.TrainingData
@@ -145,7 +147,7 @@ type ctx struct {
 	joblight []workload.LabeledQuery
 }
 
-func newCtx(fast bool, titles, queries, epochs, hidden, samples int, seed int64) *ctx {
+func newCtx(fast bool, titles, queries, epochs, hidden, samples, workers int, seed int64) *ctx {
 	sc := defaultScale(fast)
 	if titles > 0 {
 		sc.titles = titles
@@ -162,7 +164,7 @@ func newCtx(fast bool, titles, queries, epochs, hidden, samples int, seed int64)
 	if samples > 0 {
 		sc.samples = samples
 	}
-	return &ctx{sc: sc, seed: seed}
+	return &ctx{sc: sc, seed: seed, workers: workers}
 }
 
 func (c *ctx) db() *db.DB {
@@ -181,6 +183,7 @@ func (c *ctx) sketchCfg() core.Config {
 		SampleSize:   c.sc.samples,
 		TrainQueries: c.sc.queries,
 		MaxJoins:     4, // JOB-light's query class
+		Workers:      c.workers,
 		Seed:         c.seed,
 		Model: mscn.Config{
 			HiddenUnits: c.sc.hidden,
@@ -220,7 +223,10 @@ func (c *ctx) mainSketch() (*core.Sketch, error) {
 	fmt.Printf("training main sketch (%d epochs, hidden %d)...\n", c.sc.epochs, c.sc.hidden)
 	mon := trainmon.New()
 	mon.AddSink(func(e trainmon.Event) {
-		if e.Kind == trainmon.KindEpoch && (e.Epoch%5 == 0 || e.Epoch == 1) {
+		switch {
+		case e.Kind == trainmon.KindTrainStart:
+			fmt.Printf("  %s\n", e.Msg)
+		case e.Kind == trainmon.KindEpoch && (e.Epoch%5 == 0 || e.Epoch == 1):
 			fmt.Printf("  epoch %3d: val mean-q %8.2f median-q %6.2f\n", e.Epoch, e.ValMeanQ, e.ValMedQ)
 		}
 	})

@@ -46,8 +46,10 @@ type Config struct {
 	MaxJoins int `json:"max_joins"`
 	// MaxPreds caps selections per training query (default 3).
 	MaxPreds int `json:"max_preds"`
-	// Workers bounds the parallel training-query execution (the paper's
-	// "multiple HyPer instances"); 0 uses GOMAXPROCS.
+	// Workers bounds the parallel stages of sketch creation: training-query
+	// execution (the paper's "multiple HyPer instances") and the
+	// data-parallel minibatch sharding of MSCN training
+	// (mscn.TrainOptions.Parallelism); 0 uses GOMAXPROCS.
 	Workers int `json:"workers"`
 	// Seed drives query generation, sampling and training determinism.
 	Seed int64 `json:"seed"`

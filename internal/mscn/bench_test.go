@@ -2,6 +2,7 @@ package mscn
 
 import (
 	"context"
+	"strconv"
 	"testing"
 
 	"deepsketch/internal/featurize"
@@ -124,14 +125,21 @@ func BenchmarkPredictAllPacked(b *testing.B) {
 	}
 }
 
+// BenchmarkTrainEpoch measures one epoch of packed data-parallel training:
+// serial (P=1) vs sharded across 2 and 4 workers. On a single-core box the
+// parallel variants measure sharding overhead only; the speedup needs
+// GOMAXPROCS ≥ P.
 func BenchmarkTrainEpoch(b *testing.B) {
 	examples, tdim, jdim, pdim, norm := benchExamples(b, 1024)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		m := New(Config{HiddenUnits: 64, Epochs: 1, BatchSize: 128, Seed: 1}, tdim, jdim, pdim)
-		if _, err := m.Train(examples, norm, nil); err != nil {
-			b.Fatal(err)
-		}
+	for _, p := range []int{1, 2, 4} {
+		b.Run("p="+strconv.Itoa(p), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m := New(Config{HiddenUnits: 64, Epochs: 1, BatchSize: 128, Seed: 1}, tdim, jdim, pdim)
+				if _, err := m.TrainWithOptions(examples, norm, nil, TrainOptions{Parallelism: p}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

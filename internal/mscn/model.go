@@ -7,14 +7,21 @@
 // them into a final output MLP, which captures correlations between sets
 // and outputs a cardinality estimate."
 //
-// Two execution paths share the weights. Training uses the padded, masked
-// Batch with a reusable tape (forward/backward). Serving uses the packed
-// ragged-batch Engine: PackedBatch stores only valid set elements with
-// CSR-style offsets, the forward pass runs fused Linear+ReLU kernels and
-// segment pooling on pooled workspaces, and mixed-shape batches cost exactly
-// their valid rows — so any concurrent queries can share one forward pass
-// with zero steady-state allocations. The Engine is concurrency-safe;
-// workspaces are per-pass and never shared.
+// Both training and serving run on the packed ragged-batch representation:
+// PackedBatch stores only valid set elements with CSR-style offsets, so a
+// mixed-shape batch costs exactly its valid rows. Serving uses the Engine
+// (fused Linear+ReLU kernels, segment pooling, pooled workspace arenas,
+// zero steady-state allocations; concurrency-safe — workspaces are per-pass
+// and never shared). Training is data-parallel over the same kernels: each
+// minibatch is sharded contiguously across TrainOptions.Parallelism
+// workers, every worker packs and backpropagates its shard with a private
+// workspace arena and private gradient buffers (nn.BackwardFused,
+// nn.SegmentAvgPoolBackward), per-step gradients reduce in fixed worker
+// order, and one Adam step applies per minibatch — a fixed (seed,
+// parallelism) pair therefore reproduces bitwise-identical weights. The
+// padded, masked Batch with its tape-based forward/backward survives only
+// as the reference implementation the packed-equivalence tests compare
+// against.
 package mscn
 
 import (
@@ -103,9 +110,10 @@ func (c Config) withDefaults() Config {
 
 // Model is the MSCN network: three two-layer set modules with shared
 // per-element parameters, average pooling over each set, and a two-layer
-// output network ending in a sigmoid. Training runs on the padded,
-// tape-based path (Batch, forward/backward); inference runs on the packed
-// ragged-batch Engine.
+// output network ending in a sigmoid. Training runs data-parallel on the
+// packed representation (TrainWithOptions); inference runs on the packed
+// ragged-batch Engine. The padded tape path (Batch, forward/backward) is
+// kept as the test reference only.
 type Model struct {
 	Cfg  Config
 	TDim int
@@ -175,7 +183,9 @@ func (m *Model) WriteWeights(w io.Writer) error { return nn.WriteParams(w, m.Par
 // architecture; dimensions must match.
 func (m *Model) ReadWeights(r io.Reader) error { return nn.ReadParams(r, m.Params()) }
 
-// Batch is a padded, masked mini-batch of featurized queries.
+// Batch is a padded, masked mini-batch of featurized queries — the
+// reference representation for the packed-equivalence tests; production
+// training and serving both run on PackedBatch.
 type Batch struct {
 	B                int
 	MaxT, MaxJ, MaxP int

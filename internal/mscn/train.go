@@ -2,6 +2,7 @@ package mscn
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 	"time"
@@ -29,12 +30,24 @@ type EpochStats struct {
 	Duration  time.Duration
 }
 
-// Train fits the model on examples using the encoder's label normalization.
+// Train fits the model on examples using the encoder's label normalization
+// with default TrainOptions (data-parallel across GOMAXPROCS workers).
 // A validation split (Cfg.ValFrac, taken deterministically from the shuffled
 // tail) is evaluated after every epoch; per-epoch metrics stream to mon and
 // are returned. The encoder must already have its label norm fitted
 // (Encoder.FitLabels) on the training cardinalities.
 func (m *Model) Train(examples []Example, norm nn.LabelNorm, mon *trainmon.Monitor) ([]EpochStats, error) {
+	return m.TrainWithOptions(examples, norm, mon, TrainOptions{})
+}
+
+// TrainWithOptions is Train with explicit execution options. Training runs
+// on the packed representation: each minibatch is sharded contiguously
+// across opts.Parallelism workers, every worker packs and backpropagates
+// its shard with private scratch and gradient buffers, gradients reduce in
+// fixed worker order, and one Adam step applies per minibatch — so a fixed
+// (seed, parallelism) pair reproduces bitwise-identical weights, and any
+// parallelism matches the serial path up to float summation order.
+func (m *Model) TrainWithOptions(examples []Example, norm nn.LabelNorm, mon *trainmon.Monitor, opts TrainOptions) ([]EpochStats, error) {
 	if len(examples) == 0 {
 		return nil, fmt.Errorf("mscn: no training examples")
 	}
@@ -60,9 +73,11 @@ func (m *Model) Train(examples []Example, norm nn.LabelNorm, mon *trainmon.Monit
 
 	opt := nn.NewAdam(m.Cfg.LearningRate, m.Cfg.ClipNorm)
 	params := m.Params()
+	tr := newPackedTrainer(m, params, opts.workers())
+	mon.TrainStart(tr.parallelism(), len(train), len(val))
 	stats := make([]EpochStats, 0, m.Cfg.Epochs)
 
-	var bestVal float64
+	bestVal := math.NaN()
 	var bestWeights [][]float64
 	snapshot := func() {
 		if bestWeights == nil {
@@ -76,12 +91,11 @@ func (m *Model) Train(examples []Example, norm nn.LabelNorm, mon *trainmon.Monit
 		}
 	}
 
-	// The batch, tape and staging slices live across every step of every
-	// epoch: steady-state training performs no per-step allocations beyond
-	// what shape growth demands.
+	// The trainer state (packed batches, workspaces, gradient buffers) and
+	// the staging slices live across every step of every epoch: steady-state
+	// training allocates nothing per step beyond what shape growth and, at
+	// P>1, the per-step fork/join demand.
 	var (
-		batch   Batch
-		tp      tape
 		encs    []featurize.Encoded
 		targets []float64
 	)
@@ -101,12 +115,10 @@ func (m *Model) Train(examples []Example, norm nn.LabelNorm, mon *trainmon.Monit
 				encs = append(encs, train[idx].Enc)
 				targets = append(targets, ys[idx])
 			}
-			if err := batch.build(encs, targets, m.TDim, m.JDim, m.PDim); err != nil {
+			loss, err := tr.step(encs, targets, norm)
+			if err != nil {
 				return stats, err
 			}
-			preds := m.forward(&batch, &tp)
-			loss, grad := nn.Loss(m.Cfg.Loss, norm, preds, batch.Y, m.Cfg.GradCap)
-			m.backward(&tp, grad)
 			opt.Step(params)
 			lossSum += loss
 			batches++
@@ -122,7 +134,7 @@ func (m *Model) Train(examples []Example, norm nn.LabelNorm, mon *trainmon.Monit
 		}
 		stats = append(stats, st)
 		mon.Epoch(epoch, st.TrainLoss, st.ValMeanQ, st.ValMedQ)
-		if m.Cfg.KeepBest && len(val) > 0 && (bestWeights == nil || st.ValMeanQ < bestVal) {
+		if m.Cfg.KeepBest && len(val) > 0 && qBetter(st.ValMeanQ, bestVal) {
 			bestVal = st.ValMeanQ
 			snapshot()
 		}
@@ -133,6 +145,17 @@ func (m *Model) Train(examples []Example, norm nn.LabelNorm, mon *trainmon.Monit
 		}
 	}
 	return stats, nil
+}
+
+// qBetter reports whether cur is a strictly better validation mean q-error
+// than best. NaN is strictly worse than any real value: a NaN cur never
+// wins (so KeepBest cannot snapshot diverged weights), and a NaN best —
+// the before-first-snapshot sentinel — loses to any real cur.
+func qBetter(cur, best float64) bool {
+	if math.IsNaN(cur) {
+		return false
+	}
+	return math.IsNaN(best) || cur < best
 }
 
 // evalQErrors predicts the validation examples and returns their q-errors.

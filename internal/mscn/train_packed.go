@@ -1,0 +1,286 @@
+package mscn
+
+import (
+	"runtime"
+	"sync"
+
+	"deepsketch/internal/featurize"
+	"deepsketch/internal/nn"
+)
+
+// TrainOptions tunes how Model.Train executes; Config decides *what* is
+// computed, TrainOptions only how it is scheduled, so any option combination
+// converges to the same model family.
+type TrainOptions struct {
+	// Parallelism is the number of data-parallel workers each minibatch is
+	// sharded across. Every worker packs and backpropagates its own
+	// contiguous shard with a private workspace arena and private gradient
+	// buffers; per-step gradients reduce in fixed worker order into the
+	// shared parameters before one Adam step, so a fixed (seed, parallelism)
+	// pair reproduces bitwise-identical weights on any machine. 0 uses
+	// GOMAXPROCS; 1 is fully serial (and the reference the padded-path
+	// equivalence tests compare against).
+	Parallelism int
+}
+
+func (o TrainOptions) workers() int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Indices into Model.Params() / trainWorker.grads, fixed by the Params()
+// serialization contract: layer li contributes W at 2·li and b at 2·li+1 in
+// the order table1, table2, join1, join2, pred1, pred2, out1, out2.
+const (
+	gradOut1W = 12
+	gradOut1B = 13
+	gradOut2W = 14
+	gradOut2B = 15
+)
+
+// setLayers returns the set-module layer pairs in fixed module order
+// (tables, joins, predicates) — the order of Params() and of every packed
+// training loop. Module k's layers sit at Params indices 4k..4k+3.
+func (m *Model) setLayers() [3][2]*nn.Linear {
+	return [3][2]*nn.Linear{{m.table1, m.table2}, {m.join1, m.join2}, {m.pred1, m.pred2}}
+}
+
+// packedTape records the forward intermediates of one worker's packed shard
+// so the backward pass can consume them. All matrices alias the worker's
+// workspace arena and live exactly one step.
+type packedTape struct {
+	h1, h2, pool [3]nn.Matrix // per set module, post-ReLU / pooled
+	concat       nn.Matrix
+	oA1          nn.Matrix
+	out          nn.Matrix // sigmoid output, shard×1
+}
+
+// trainWorker is the private state of one data-parallel worker: a packed
+// sub-batch, a workspace arena for the step's intermediates, and gradient
+// buffers mirroring Model.Params(). Nothing here is ever shared between
+// workers, which is what keeps the parallel path race-free and the
+// reduction deterministic.
+type trainWorker struct {
+	pb      PackedBatch
+	ws      nn.Workspace
+	tp      packedTape
+	grads   [][]float64 // parallel to Model.Params()
+	lossSum float64     // per-shard loss sum of the current step
+}
+
+func newTrainWorker(params []*nn.Param) *trainWorker {
+	w := &trainWorker{grads: make([][]float64, len(params))}
+	for i, p := range params {
+		w.grads[i] = make([]float64, len(p.Data))
+	}
+	return w
+}
+
+// zeroGrads clears the private gradient accumulators for the next step.
+func (wk *trainWorker) zeroGrads() {
+	for _, g := range wk.grads {
+		for i := range g {
+			g[i] = 0
+		}
+	}
+}
+
+// forward packs encs and runs the fused forward pass, recording
+// intermediates on the tape and writing normalized predictions into preds
+// (len(encs)). The workspace is reserved for the whole step — forward and
+// backward — so the backward Allocs continue the same arena.
+func (wk *trainWorker) forward(m *Model, encs []featurize.Encoded, preds []float64) error {
+	if err := wk.pb.Build(encs, m.TDim, m.JDim, m.PDim); err != nil {
+		return err
+	}
+	b := wk.pb.B
+	h := m.Cfg.HiddenUnits
+	nt, nj, np := wk.pb.Rows()
+	// Forward: 2 hidden activations per set row, 3 pools + concat (3bh) +
+	// oA1 + out. Backward: dOut + dOA1 + dConcat (3bh) + dPool + 2 hidden
+	// gradients per set row. One Reserve covers both phases.
+	wk.ws.Reserve(4*(nt+nj+np)*h + 12*b*h + 2*b)
+
+	tp := &wk.tp
+	xs := [3]nn.Matrix{wk.pb.TX, wk.pb.JX, wk.pb.PX}
+	offs := [3][]int{wk.pb.TOff, wk.pb.JOff, wk.pb.POff}
+	layers := m.setLayers()
+	for k := 0; k < 3; k++ {
+		rows := xs[k].Rows
+		tp.h1[k] = wk.ws.Alloc(rows, h)
+		layers[k][0].ForwardFused(xs[k], tp.h1[k], true)
+		tp.h2[k] = wk.ws.Alloc(rows, h)
+		layers[k][1].ForwardFused(tp.h1[k], tp.h2[k], true)
+		tp.pool[k] = wk.ws.Alloc(b, h)
+		nn.SegmentAvgPool(tp.h2[k], offs[k], tp.pool[k])
+	}
+	tp.concat = wk.ws.Alloc(b, 3*h)
+	for bi := 0; bi < b; bi++ {
+		dst := tp.concat.Row(bi)
+		copy(dst[:h], tp.pool[0].Row(bi))
+		copy(dst[h:2*h], tp.pool[1].Row(bi))
+		copy(dst[2*h:], tp.pool[2].Row(bi))
+	}
+	tp.oA1 = wk.ws.Alloc(b, h)
+	m.out1.ForwardFused(tp.concat, tp.oA1, true)
+	tp.out = wk.ws.Alloc(b, 1)
+	m.out2.ForwardFused(tp.oA1, tp.out, false)
+	nn.SigmoidInPlace(tp.out)
+	copy(preds, tp.out.Data)
+	return nil
+}
+
+// backward backpropagates the shard's loss gradient dPreds through the tape
+// into the worker's private gradient buffers (which it first zeroes).
+func (wk *trainWorker) backward(m *Model, dPreds []float64) {
+	wk.zeroGrads()
+	b := wk.pb.B
+	h := m.Cfg.HiddenUnits
+	tp := &wk.tp
+
+	dOut := wk.ws.Alloc(b, 1)
+	copy(dOut.Data, dPreds)
+	nn.SigmoidBackwardInPlace(tp.out, dOut)
+	dOA1 := wk.ws.Alloc(b, h)
+	m.out2.BackwardFused(tp.oA1, dOut, &dOA1, wk.grads[gradOut2W], wk.grads[gradOut2B])
+	nn.ReLUBackwardInPlace(tp.oA1, dOA1)
+	dConcat := wk.ws.Alloc(b, 3*h)
+	m.out1.BackwardFused(tp.concat, dOA1, &dConcat, wk.grads[gradOut1W], wk.grads[gradOut1B])
+
+	dPool := wk.ws.Alloc(b, h)
+	xs := [3]nn.Matrix{wk.pb.TX, wk.pb.JX, wk.pb.PX}
+	offs := [3][]int{wk.pb.TOff, wk.pb.JOff, wk.pb.POff}
+	layers := m.setLayers()
+	for k := 0; k < 3; k++ {
+		off := k * h
+		for bi := 0; bi < b; bi++ {
+			copy(dPool.Row(bi), dConcat.Row(bi)[off:off+h])
+		}
+		rows := xs[k].Rows
+		if rows == 0 {
+			// Every query's set is empty: the pool emitted zeros, no
+			// elements exist to receive gradient, and the module's layers
+			// saw no input this step.
+			continue
+		}
+		dH2 := wk.ws.Alloc(rows, h)
+		nn.SegmentAvgPoolBackward(dPool, offs[k], dH2)
+		nn.ReLUBackwardInPlace(tp.h2[k], dH2)
+		dH1 := wk.ws.Alloc(rows, h)
+		layers[k][1].BackwardFused(tp.h1[k], dH2, &dH1, wk.grads[4*k+2], wk.grads[4*k+3])
+		nn.ReLUBackwardInPlace(tp.h1[k], dH1)
+		layers[k][0].BackwardFused(xs[k], dH1, nil, wk.grads[4*k], wk.grads[4*k+1])
+	}
+}
+
+// packedTrainer drives the data-parallel packed training steps: shard the
+// minibatch contiguously across workers, run forward+loss+backward per
+// shard (one fork/join per step — per-sample loss gradients depend only on
+// their own prediction, so no barrier is needed between phases), then
+// reduce the private gradients into the shared parameters in fixed worker
+// order and let the caller take one Adam step.
+type packedTrainer struct {
+	m       *Model
+	params  []*nn.Param
+	workers []*trainWorker
+	errs    []error // per-worker step errors, reused across steps
+	preds   []float64
+	grad    []float64
+}
+
+func newPackedTrainer(m *Model, params []*nn.Param, parallelism int) *packedTrainer {
+	t := &packedTrainer{m: m, params: params}
+	t.workers = make([]*trainWorker, parallelism)
+	for i := range t.workers {
+		t.workers[i] = newTrainWorker(params)
+	}
+	t.errs = make([]error, parallelism)
+	return t
+}
+
+// parallelism reports the configured worker count.
+func (t *packedTrainer) parallelism() int { return len(t.workers) }
+
+// step runs one minibatch: returns the mean loss with parameter gradients
+// accumulated (the caller applies the optimizer step). encs and targets are
+// staged by the caller in shuffled order.
+func (t *packedTrainer) step(encs []featurize.Encoded, targets []float64, norm nn.LabelNorm) (float64, error) {
+	n := len(encs)
+	p := len(t.workers)
+	if p > n {
+		p = n
+	}
+	if cap(t.preds) < n {
+		t.preds = make([]float64, n)
+		t.grad = make([]float64, n)
+	}
+	preds := t.preds[:n]
+	grad := t.grad[:n]
+	invN := 1.0 / float64(n)
+
+	// Contiguous shard bounds: worker w takes [lo(w), lo(w+1)).
+	base, rem := n/p, n%p
+	bounds := func(w int) (int, int) {
+		lo := w*base + min(w, rem)
+		size := base
+		if w < rem {
+			size++
+		}
+		return lo, lo + size
+	}
+	run := func(w int) error {
+		wk := t.workers[w]
+		lo, hi := bounds(w)
+		if err := wk.forward(t.m, encs[lo:hi], preds[lo:hi]); err != nil {
+			return err
+		}
+		wk.lossSum = nn.LossSumInto(t.m.Cfg.Loss, norm, preds[lo:hi], targets[lo:hi],
+			grad[lo:hi], t.m.Cfg.GradCap, invN)
+		wk.backward(t.m, grad[lo:hi])
+		return nil
+	}
+
+	var stepErr error
+	if p == 1 {
+		stepErr = run(0)
+	} else {
+		errs := t.errs[:p]
+		var wg sync.WaitGroup
+		for w := 0; w < p; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				errs[w] = run(w)
+			}(w)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				stepErr = err
+				break
+			}
+		}
+	}
+	if stepErr != nil {
+		return 0, stepErr
+	}
+
+	// Deterministic reduction: loss sums and every gradient element combine
+	// in worker order, so a fixed parallelism fixes the summation tree.
+	var lossSum float64
+	for w := 0; w < p; w++ {
+		lossSum += t.workers[w].lossSum
+	}
+	for i, param := range t.params {
+		dst := param.Grad
+		for w := 0; w < p; w++ {
+			src := t.workers[w].grads[i]
+			for j, g := range src {
+				dst[j] += g
+			}
+		}
+	}
+	return lossSum * invN, nil
+}

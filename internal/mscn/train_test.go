@@ -1,0 +1,197 @@
+package mscn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"deepsketch/internal/featurize"
+	"deepsketch/internal/nn"
+)
+
+// trainExamples builds randomized ragged training examples (mixed set
+// shapes, including empty joins/predicates) with matching label norm.
+func trainExamples(rng *rand.Rand, n, tdim, jdim, pdim int) ([]Example, nn.LabelNorm) {
+	examples := make([]Example, n)
+	cards := make([]int64, n)
+	for i := range examples {
+		enc := randEnc(rng, 1+rng.Intn(4), rng.Intn(4), rng.Intn(4), tdim, jdim, pdim)
+		card := int64(1 + rng.Intn(1_000_000))
+		examples[i] = Example{Enc: enc, Card: card}
+		cards[i] = card
+	}
+	return examples, nn.NewLabelNorm(cards)
+}
+
+// paddedReferenceTrain replicates the training schedule of TrainWithOptions
+// on the padded, masked tape path — the deleted production loop, preserved
+// here as the numerical reference the packed path is validated against.
+// It must consume the model RNG exactly like TrainWithOptions does.
+func paddedReferenceTrain(m *Model, examples []Example, norm nn.LabelNorm) error {
+	rng := trainRand(m.Cfg.Seed)
+	perm := shuffle(rng, len(examples))
+	shuffled := make([]Example, len(examples))
+	for i, p := range perm {
+		shuffled[i] = examples[p]
+	}
+	nVal := int(float64(len(shuffled)) * m.Cfg.ValFrac)
+	if nVal >= len(shuffled) {
+		nVal = len(shuffled) - 1
+	}
+	train := shuffled[:len(shuffled)-nVal]
+	ys := make([]float64, len(train))
+	for i, ex := range train {
+		ys[i] = norm.Normalize(ex.Card)
+	}
+	opt := nn.NewAdam(m.Cfg.LearningRate, m.Cfg.ClipNorm)
+	params := m.Params()
+	var (
+		batch   Batch
+		tp      tape
+		encs    []featurize.Encoded
+		targets []float64
+	)
+	for epoch := 1; epoch <= m.Cfg.Epochs; epoch++ {
+		order := shuffle(rng, len(train))
+		for lo := 0; lo < len(order); lo += m.Cfg.BatchSize {
+			hi := lo + m.Cfg.BatchSize
+			if hi > len(order) {
+				hi = len(order)
+			}
+			encs = encs[:0]
+			targets = targets[:0]
+			for _, idx := range order[lo:hi] {
+				encs = append(encs, train[idx].Enc)
+				targets = append(targets, ys[idx])
+			}
+			if err := batch.build(encs, targets, m.TDim, m.JDim, m.PDim); err != nil {
+				return err
+			}
+			preds := m.forward(&batch, &tp)
+			_, grad := nn.Loss(m.Cfg.Loss, norm, preds, batch.Y, m.Cfg.GradCap)
+			m.backward(&tp, grad)
+			opt.Step(params)
+		}
+	}
+	return nil
+}
+
+func weightsOf(m *Model) [][]float64 {
+	params := m.Params()
+	out := make([][]float64, len(params))
+	for i, p := range params {
+		out[i] = append([]float64(nil), p.Data...)
+	}
+	return out
+}
+
+func maxWeightDiff(a, b [][]float64) float64 {
+	var worst float64
+	for i := range a {
+		for j := range a[i] {
+			if d := math.Abs(a[i][j] - b[i][j]); d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst
+}
+
+// TestPackedTrainingMatchesPaddedReference: serial (P=1) packed training
+// must match the padded tape reference to 1e-10 on randomized ragged
+// batches — same schedule, same loss, same optimizer, different kernels.
+func TestPackedTrainingMatchesPaddedReference(t *testing.T) {
+	const tdim, jdim, pdim = 29, 5, 9
+	rng := rand.New(rand.NewSource(71))
+	examples, norm := trainExamples(rng, 90, tdim, jdim, pdim)
+	cfg := Config{HiddenUnits: 16, Epochs: 3, BatchSize: 32, Seed: 5}
+
+	packed := New(cfg, tdim, jdim, pdim)
+	if _, err := packed.TrainWithOptions(examples, norm, nil, TrainOptions{Parallelism: 1}); err != nil {
+		t.Fatal(err)
+	}
+	padded := New(cfg, tdim, jdim, pdim)
+	if err := paddedReferenceTrain(padded, examples, norm); err != nil {
+		t.Fatal(err)
+	}
+
+	if d := maxWeightDiff(weightsOf(packed), weightsOf(padded)); d > 1e-10 {
+		t.Fatalf("packed P=1 vs padded reference: max weight diff %g > 1e-10", d)
+	}
+}
+
+// TestTrainParallelReproducible: a fixed (seed, parallelism) pair must
+// reproduce bitwise-identical weights — the worker-ordered gradient
+// reduction leaves nothing to scheduling.
+func TestTrainParallelReproducible(t *testing.T) {
+	const tdim, jdim, pdim = 23, 4, 7
+	rng := rand.New(rand.NewSource(72))
+	examples, norm := trainExamples(rng, 70, tdim, jdim, pdim)
+	cfg := Config{HiddenUnits: 12, Epochs: 2, BatchSize: 16, Seed: 9}
+
+	train := func(p int) [][]float64 {
+		m := New(cfg, tdim, jdim, pdim)
+		if _, err := m.TrainWithOptions(examples, norm, nil, TrainOptions{Parallelism: p}); err != nil {
+			t.Fatal(err)
+		}
+		return weightsOf(m)
+	}
+	a, b := train(3), train(3)
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatalf("param %d[%d]: %v vs %v — same seed+parallelism must be bitwise identical",
+					i, j, a[i][j], b[i][j])
+			}
+		}
+	}
+
+	// Parallel shards only change float summation order, so any
+	// parallelism stays numerically close to serial.
+	if d := maxWeightDiff(a, train(1)); d > 1e-8 {
+		t.Errorf("P=3 vs P=1: max weight diff %g > 1e-8", d)
+	}
+}
+
+// TestTrainParallelismExceedsBatch: more workers than examples (and a batch
+// smaller than the worker count) must still train correctly.
+func TestTrainParallelismExceedsBatch(t *testing.T) {
+	const tdim, jdim, pdim = 11, 3, 5
+	rng := rand.New(rand.NewSource(73))
+	examples, norm := trainExamples(rng, 9, tdim, jdim, pdim)
+	cfg := Config{HiddenUnits: 8, Epochs: 2, BatchSize: 4, Seed: 2}
+	m := New(cfg, tdim, jdim, pdim)
+	if _, err := m.TrainWithOptions(examples, norm, nil, TrainOptions{Parallelism: 8}); err != nil {
+		t.Fatal(err)
+	}
+	ref := New(cfg, tdim, jdim, pdim)
+	if _, err := ref.TrainWithOptions(examples, norm, nil, TrainOptions{Parallelism: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if d := maxWeightDiff(weightsOf(m), weightsOf(ref)); d > 1e-8 {
+		t.Errorf("P=8 on 4-query batches vs serial: max weight diff %g", d)
+	}
+}
+
+// TestQBetterNaN: a NaN validation mean q-error is strictly worse than any
+// real value — KeepBest must never snapshot a NaN epoch (the epoch-1
+// silent-NaN-snapshot regression) and a real epoch must beat a NaN best.
+func TestQBetterNaN(t *testing.T) {
+	nan := math.NaN()
+	cases := []struct {
+		cur, best float64
+		want      bool
+	}{
+		{1.5, nan, true},    // first real epoch beats the no-best sentinel
+		{nan, nan, false},   // NaN epoch 1 must not become the snapshot
+		{nan, 2.0, false},   // NaN never beats a real best
+		{1.0, 2.0, true},
+		{2.0, 1.0, false},
+		{1.0, 1.0, false}, // strictly better only
+	}
+	for _, c := range cases {
+		if got := qBetter(c.cur, c.best); got != c.want {
+			t.Errorf("qBetter(%v, %v) = %v, want %v", c.cur, c.best, got, c.want)
+		}
+	}
+}

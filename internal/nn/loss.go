@@ -93,15 +93,30 @@ func (n LabelNorm) QErrorOf(y, t float64) float64 {
 // itself and is capped per-sample at gradCap (the optimizer additionally
 // clips the global norm); gradCap <= 0 means no cap.
 func Loss(kind LossKind, norm LabelNorm, preds, targets []float64, gradCap float64) (loss float64, grad []float64) {
-	if len(preds) != len(targets) {
-		panic("nn: Loss length mismatch")
-	}
 	grad = make([]float64, len(preds))
 	if len(preds) == 0 {
+		if len(targets) != 0 {
+			panic("nn: Loss length mismatch")
+		}
 		return 0, grad
 	}
-	scale := norm.Scale()
 	invN := 1.0 / float64(len(preds))
+	return LossSumInto(kind, norm, preds, targets, grad, gradCap, invN) * invN, grad
+}
+
+// LossSumInto computes per-sample loss gradients into grad (scaled by invN,
+// the reciprocal of the full batch size) and returns the *sum* of per-sample
+// losses, unscaled. It is the shard-friendly core of Loss: per-sample
+// gradients depend only on their own prediction, so data-parallel workers
+// each run LossSumInto on their contiguous shard with the full-batch invN
+// and the caller combines the returned sums in worker order — reproducing
+// Loss over the whole batch exactly. No allocations.
+func LossSumInto(kind LossKind, norm LabelNorm, preds, targets, grad []float64, gradCap, invN float64) float64 {
+	if len(preds) != len(targets) || len(grad) != len(preds) {
+		panic("nn: Loss length mismatch")
+	}
+	scale := norm.Scale()
+	var loss float64
 	for i, y := range preds {
 		t := targets[i]
 		diff := y - t
@@ -127,6 +142,5 @@ func Loss(kind LossKind, norm LabelNorm, preds, targets []float64, gradCap float
 			grad[i] = sign * scale * invN
 		}
 	}
-	loss *= invN
-	return loss, grad
+	return loss
 }

@@ -10,7 +10,6 @@ package router
 import (
 	"context"
 	"fmt"
-	"sort"
 	"sync"
 
 	"deepsketch/internal/core"
@@ -18,12 +17,30 @@ import (
 	"deepsketch/internal/estimator"
 )
 
+// entry is one registered sketch with its coverage precomputed: the table
+// set is materialized once at Register time, so the covers test on the
+// dispatch hot path is pure map lookups — no per-query allocation.
+type entry struct {
+	s      *core.Sketch
+	tables map[string]bool
+	size   int // len(s.Cfg.Tables): dispatch prefers the smallest cover
+}
+
+func (e *entry) covers(q db.Query) bool {
+	for _, tr := range q.Tables {
+		if !e.tables[tr.Table] {
+			return false
+		}
+	}
+	return true
+}
+
 // Router is a concurrency-safe registry of sketches with coverage-based
 // dispatch. It implements estimator.Estimator, so a whole fleet of sketches
 // serves through the same interface as a single one.
 type Router struct {
-	mu       sync.RWMutex
-	sketches []*core.Sketch
+	mu      sync.RWMutex
+	entries []*entry
 }
 
 var _ estimator.Estimator = (*Router)(nil)
@@ -34,25 +51,33 @@ func New() *Router { return &Router{} }
 // Register adds a sketch. Sketches may overlap; dispatch prefers the
 // smallest covering table set, breaking ties by registration order.
 func (r *Router) Register(s *core.Sketch) {
+	e := &entry{s: s, tables: make(map[string]bool, len(s.Cfg.Tables)), size: len(s.Cfg.Tables)}
+	for _, t := range s.Cfg.Tables {
+		e.tables[t] = true
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.sketches = append(r.sketches, s)
+	r.entries = append(r.entries, e)
+}
+
+// snapshot returns the current entry list under one brief RLock. Register
+// only appends, so the returned prefix is immutable — a whole batch can
+// route against one consistent snapshot without holding the lock.
+func (r *Router) snapshot() []*entry {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.entries
 }
 
 // Len returns the number of registered sketches.
-func (r *Router) Len() int {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	return len(r.sketches)
-}
+func (r *Router) Len() int { return len(r.snapshot()) }
 
 // Names lists registered sketch names in registration order.
 func (r *Router) Names() []string {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	names := make([]string, len(r.sketches))
-	for i, s := range r.sketches {
-		names[i] = s.Name()
+	entries := r.snapshot()
+	names := make([]string, len(entries))
+	for i, e := range entries {
+		names[i] = e.s.Name()
 	}
 	return names
 }
@@ -61,32 +86,26 @@ func (r *Router) Names() []string {
 // sketch that answered in their Source field, not this name.
 func (r *Router) Name() string { return "Sketch Router" }
 
+// routeIn picks the covering sketch from one snapshot: smallest table set
+// wins, ties go to the earliest registered (a linear min scan — no
+// allocation, no sort).
+func routeIn(entries []*entry, q db.Query) (*core.Sketch, error) {
+	var best *entry
+	for _, e := range entries {
+		if (best == nil || e.size < best.size) && e.covers(q) {
+			best = e
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("router: no sketch covers tables of %s", q.SQL(nil))
+	}
+	return best.s, nil
+}
+
 // Route returns the sketch that will answer the query, or an error when no
 // registered sketch covers every referenced table.
 func (r *Router) Route(q db.Query) (*core.Sketch, error) {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	type cand struct {
-		s    *core.Sketch
-		size int
-		ord  int
-	}
-	var cands []cand
-	for ord, s := range r.sketches {
-		if covers(s, q) {
-			cands = append(cands, cand{s: s, size: len(s.Cfg.Tables), ord: ord})
-		}
-	}
-	if len(cands) == 0 {
-		return nil, fmt.Errorf("router: no sketch covers tables of %s", q.SQL(nil))
-	}
-	sort.Slice(cands, func(i, j int) bool {
-		if cands[i].size != cands[j].size {
-			return cands[i].size < cands[j].size
-		}
-		return cands[i].ord < cands[j].ord
-	})
-	return cands[0].s, nil
+	return routeIn(r.snapshot(), q)
 }
 
 // Estimate implements estimator.Estimator: route, then ask the covering
@@ -102,20 +121,29 @@ func (r *Router) Estimate(ctx context.Context, q db.Query) (estimator.Estimate, 
 // EstimateBatch implements estimator.Estimator: queries are grouped by the
 // sketch that covers them — the only grouping that still exists on the
 // batched path; within a sketch, the packed inference engine takes queries
-// of any shapes in one ragged forward pass. Results are positional; if any
-// query is uncovered the whole batch fails, like Estimate would for that
-// query.
+// of any shapes in one ragged forward pass. The whole batch routes against
+// one registry snapshot taken under a single RLock (not one per query), so
+// a concurrent Register cannot split a batch across two registry views,
+// and groups evaluate in first-appearance order — deterministic for a
+// given batch. Results are positional; if any query is uncovered the whole
+// batch fails, like Estimate would for that query.
 func (r *Router) EstimateBatch(ctx context.Context, qs []db.Query) ([]estimator.Estimate, error) {
+	entries := r.snapshot()
 	groups := make(map[*core.Sketch][]int)
+	var order []*core.Sketch // deterministic iteration: first appearance
 	for i, q := range qs {
-		s, err := r.Route(q)
+		s, err := routeIn(entries, q)
 		if err != nil {
 			return nil, fmt.Errorf("router: query %d: %w", i, err)
+		}
+		if _, ok := groups[s]; !ok {
+			order = append(order, s)
 		}
 		groups[s] = append(groups[s], i)
 	}
 	out := make([]estimator.Estimate, len(qs))
-	for s, idxs := range groups {
+	for _, s := range order {
+		idxs := groups[s]
 		sub := make([]db.Query, len(idxs))
 		for j, i := range idxs {
 			sub[j] = qs[i]
@@ -129,17 +157,4 @@ func (r *Router) EstimateBatch(ctx context.Context, qs []db.Query) ([]estimator.
 		}
 	}
 	return out, nil
-}
-
-func covers(s *core.Sketch, q db.Query) bool {
-	set := make(map[string]bool, len(s.Cfg.Tables))
-	for _, t := range s.Cfg.Tables {
-		set[t] = true
-	}
-	for _, tr := range q.Tables {
-		if !set[tr.Table] {
-			return false
-		}
-	}
-	return true
 }

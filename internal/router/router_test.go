@@ -173,3 +173,88 @@ func TestRouterEstimateBatchMatchesEstimate(t *testing.T) {
 		t.Error("batch with uncovered query should error")
 	}
 }
+
+func TestRouterBatchDeterministicUnderConcurrentRegister(t *testing.T) {
+	// A batch must route against one consistent registry snapshot (one
+	// RLock per batch, groups in first-appearance order): while sketches
+	// register concurrently, every EstimateBatch result must be internally
+	// consistent, and with the registry frozen repeated batches must be
+	// identical.
+	d := datagen.IMDb(datagen.IMDbConfig{Seed: 56, Titles: 300, Keywords: 20, Companies: 10, Persons: 50})
+	full := buildSub(t, d, "full", nil)
+	kw := buildSub(t, d, "kw", []string{"title", "movie_keyword", "keyword"})
+
+	r := New()
+	r.Register(full)
+
+	qs := []db.Query{
+		{Tables: []db.TableRef{{Table: "title", Alias: "t"}}},
+		{Tables: []db.TableRef{{Table: "cast_info", Alias: "ci"}}},
+		{Tables: []db.TableRef{{Table: "movie_keyword", Alias: "mk"}}},
+		{Tables: []db.TableRef{{Table: "keyword", Alias: "k"}}},
+	}
+	ctx := context.Background()
+
+	// Registrations race with batches (run with -race). The specialist
+	// covers queries 0, 2 and 3; inside any single batch each query must be
+	// answered by a sketch that covers it, with the covered trio agreeing
+	// on the snapshot (all-specialist or all-generalist, never a mix in one
+	// direction per query count).
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ests, err := r.EstimateBatch(ctx, qs)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if ests[1].Source != "full" {
+					t.Errorf("cast_info answered by %q, want full", ests[1].Source)
+					return
+				}
+				src := ests[0].Source
+				if ests[2].Source != src || ests[3].Source != src {
+					t.Errorf("one batch split across registry views: %q/%q/%q",
+						ests[0].Source, ests[2].Source, ests[3].Source)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		r.Register(kw)
+	}
+	close(stop)
+	wg.Wait()
+
+	// Registry frozen: repeated batches must be byte-for-byte deterministic
+	// in routing and cardinalities.
+	a, err := r.EstimateBatch(ctx, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rep := 0; rep < 5; rep++ {
+		b, err := r.EstimateBatch(ctx, qs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range a {
+			if a[i].Source != b[i].Source || a[i].Cardinality != b[i].Cardinality {
+				t.Fatalf("rep %d query %d: %q/%v vs %q/%v — batch routing must be deterministic",
+					rep, i, a[i].Source, a[i].Cardinality, b[i].Source, b[i].Cardinality)
+			}
+		}
+	}
+	if got := a[0].Source; got != "kw" {
+		t.Errorf("title routed to %q, want the smaller kw cover after registration", got)
+	}
+}

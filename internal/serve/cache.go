@@ -107,7 +107,12 @@ func (c *Cache) lookup(key string, start time.Time) (estimator.Estimate, bool) {
 }
 
 // insert stores an estimate under key, evicting the LRU entry when full.
-// Results computed before a Reset (gen mismatch) are dropped as stale.
+// Results computed before a Reset (gen mismatch) are dropped as stale. An
+// existing entry is overwritten, not merely refreshed: when concurrent
+// misses race — e.g. one answered by a Fallback chain's secondary during a
+// transient primary failure, the other by the recovered primary — the
+// later, fresher computation must win, or the fallback's answer would be
+// pinned until eviction.
 func (c *Cache) insert(key string, e estimator.Estimate, gen uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -115,6 +120,8 @@ func (c *Cache) insert(key string, e estimator.Estimate, gen uint64) {
 		return
 	}
 	if el, ok := c.entries[key]; ok {
+		ent := el.Value.(*cacheEntry)
+		ent.card, ent.src = e.Cardinality, e.Source
 		c.lru.MoveToFront(el)
 		return
 	}

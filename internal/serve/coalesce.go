@@ -166,7 +166,10 @@ func (c *Coalescer) drain() {
 // context: it serves multiple independent callers, so no single caller's
 // cancellation may abort it — a caller whose ctx dies stops waiting in
 // Estimate instead. If the batched call fails, each request retries
-// individually so one poisoned query cannot sink its batch-mates.
+// individually so one poisoned query cannot sink its batch-mates; the
+// retries run under their own caller's context — a cancelled caller's
+// query is answered with its ctx error instead of burning a forward pass,
+// and a live caller can still cancel its retry mid-flight.
 func (c *Coalescer) flush(batch []coalesceReq) {
 	if len(batch) == 1 {
 		// Singleton fast path: skip the batch plumbing, and honor the one
@@ -185,7 +188,11 @@ func (c *Coalescer) flush(batch []coalesceReq) {
 	ests, err := c.inner.EstimateBatch(context.Background(), qs)
 	if err != nil || len(ests) != len(batch) {
 		for _, r := range batch {
-			est, rerr := c.inner.Estimate(context.Background(), r.q)
+			if cerr := r.ctx.Err(); cerr != nil {
+				r.resp <- coalesceResp{err: cerr}
+				continue
+			}
+			est, rerr := c.inner.Estimate(r.ctx, r.q)
 			r.resp <- coalesceResp{est: est, err: rerr}
 		}
 		return

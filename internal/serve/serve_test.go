@@ -501,3 +501,177 @@ func TestCacheReset(t *testing.T) {
 		t.Error("entry must be recomputed after Reset")
 	}
 }
+
+func TestCacheInsertReplacesExistingEntry(t *testing.T) {
+	// Two concurrent misses for the same query race through Estimate: both
+	// snapshot the generation before computing, the fallback chain's
+	// secondary answers the first (transient primary failure), the
+	// recovered primary answers the second. The second insert must replace
+	// the cached entry — before the fix it only MoveToFront'd, pinning the
+	// fallback's answer until eviction.
+	c := NewCache(newFake("primary"), 8)
+	q := query(42)
+	key := q.Signature()
+	gen := c.generation()
+	c.insert(key, estimator.Estimate{Cardinality: 7, Source: "fallback"}, gen)
+	c.insert(key, estimator.Estimate{Cardinality: 42, Source: "primary"}, gen)
+
+	got, err := c.Estimate(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.CacheHit {
+		t.Error("expected a cache hit")
+	}
+	if got.Cardinality != 42 || got.Source != "primary" {
+		t.Errorf("cached entry = %v from %q, want 42 from primary (later insert must win)",
+			got.Cardinality, got.Source)
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len = %d, want 1 (update must not duplicate the entry)", c.Len())
+	}
+}
+
+func TestCacheStaleFallbackAnswerReplacedEndToEnd(t *testing.T) {
+	// The same race end to end through the public API: request A computes
+	// through the fallback (primary down), request B through the recovered
+	// primary; B's result lands last and must be what the cache serves.
+	primaryUp := false
+	var mu sync.Mutex
+	primary := newFake("primary")
+	primary.fn = func(q db.Query) (float64, error) {
+		mu.Lock()
+		up := primaryUp
+		mu.Unlock()
+		if !up {
+			return 0, fmt.Errorf("primary down")
+		}
+		return float64(q.Preds[0].Val), nil
+	}
+	secondary := newFake("secondary")
+	c := NewCache(Fallback(primary, secondary), 8)
+	ctx := context.Background()
+	q := query(9)
+
+	// A: miss, primary down, fallback answers and is cached.
+	a, err := c.Estimate(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Source != "secondary" {
+		t.Fatalf("first answer from %q, want secondary", a.Source)
+	}
+	// B raced A: it passed the lookup before A's insert and computes after
+	// the primary recovered. Replay its insert path.
+	mu.Lock()
+	primaryUp = true
+	mu.Unlock()
+	gen := c.generation()
+	b, err := Fallback(primary, secondary).Estimate(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.insert(q.Signature(), b, gen)
+
+	got, err := c.Estimate(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.CacheHit || got.Source != "primary" {
+		t.Errorf("cache serves %q (hit=%v), want the primary's refreshed answer", got.Source, got.CacheHit)
+	}
+}
+
+// ctxBackend always fails EstimateBatch (forcing the coalescer's sequential
+// fallback) and records which query values reach single Estimate.
+type ctxBackend struct {
+	mu      sync.Mutex
+	singles []int64
+	gate    chan struct{} // blocks the val-0 singleton flush
+	started chan struct{}
+}
+
+func (b *ctxBackend) Name() string { return "ctx" }
+
+func (b *ctxBackend) Estimate(ctx context.Context, q db.Query) (estimator.Estimate, error) {
+	val := q.Preds[0].Val
+	if val == 0 {
+		close(b.started)
+		<-b.gate
+	}
+	b.mu.Lock()
+	b.singles = append(b.singles, val)
+	b.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return estimator.Estimate{}, err
+	}
+	return estimator.Estimate{Cardinality: float64(val), Source: "ctx"}, nil
+}
+
+func (b *ctxBackend) EstimateBatch(ctx context.Context, qs []db.Query) ([]estimator.Estimate, error) {
+	return nil, fmt.Errorf("batch failed")
+}
+
+func TestCoalescerFallbackHonorsCallerContext(t *testing.T) {
+	// A failed batched flush falls back to sequential retries. A caller
+	// whose context is already cancelled must get its ctx error without the
+	// backend ever seeing the query — before the fix the retry ran under
+	// context.Background() and burned a forward pass for a caller that had
+	// already hung up.
+	b := &ctxBackend{gate: make(chan struct{}), started: make(chan struct{})}
+	co := NewCoalescer(b, CoalesceOptions{MaxBatch: 8})
+	defer co.Close()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := co.Estimate(context.Background(), query(0)); err != nil {
+			t.Error(err)
+		}
+	}()
+	<-b.started // the flush goroutine is stuck on the val-0 singleton
+
+	ctx12, cancel12 := context.WithCancel(context.Background())
+	errs := make([]error, 2)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, errs[0] = co.Estimate(ctx12, query(12))
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, errs[1] = co.Estimate(context.Background(), query(14))
+	}()
+	time.Sleep(250 * time.Millisecond) // both park in the queue
+	cancel12()                         // caller 12 hangs up before the flush
+	close(b.gate)
+	wg.Wait()
+
+	if errs[0] != context.Canceled {
+		t.Errorf("cancelled caller got %v, want context.Canceled", errs[0])
+	}
+	if errs[1] != nil {
+		t.Errorf("live caller failed: %v", errs[1])
+	}
+	b.mu.Lock()
+	seen := append([]int64(nil), b.singles...)
+	b.mu.Unlock()
+	for _, v := range seen {
+		if v == 12 {
+			t.Errorf("backend saw query 12 (%v) — cancelled caller's retry must be skipped", seen)
+		}
+	}
+	want := map[int64]bool{0: false, 14: false}
+	for _, v := range seen {
+		if _, ok := want[v]; ok {
+			want[v] = true
+		}
+	}
+	for v, ok := range want {
+		if !ok {
+			t.Errorf("backend never saw query %d (saw %v)", v, seen)
+		}
+	}
+}

@@ -34,6 +34,7 @@ const (
 	KindStageStart Kind = "stage_start"
 	KindStageEnd   Kind = "stage_end"
 	KindProgress   Kind = "progress"
+	KindTrainStart Kind = "train_start"
 	KindEpoch      Kind = "epoch"
 )
 
@@ -50,6 +51,8 @@ type Event struct {
 	TrainLoss float64 `json:"train_loss,omitempty"`
 	ValMeanQ  float64 `json:"val_mean_q,omitempty"`
 	ValMedQ   float64 `json:"val_median_q,omitempty"`
+	// Workers is the data-parallel training worker count (KindTrainStart).
+	Workers int `json:"workers,omitempty"`
 	// Elapsed is the stage duration, set on KindStageEnd.
 	Elapsed time.Duration `json:"elapsed,omitempty"`
 	Msg     string        `json:"msg,omitempty"`
@@ -123,6 +126,14 @@ func (m *Monitor) Progress(s Stage, done, total int) {
 	m.emit(Event{Kind: KindProgress, Stage: s, Done: done, Total: total})
 }
 
+// TrainStart records the training execution shape: the number of
+// data-parallel workers and the train/validation split sizes.
+func (m *Monitor) TrainStart(workers, train, val int) {
+	m.emit(Event{Kind: KindTrainStart, Stage: StageTrain, Workers: workers,
+		Total: train + val,
+		Msg:   fmt.Sprintf("training on %d examples (%d held out) with %d workers", train, val, workers)})
+}
+
 // Epoch records per-epoch training metrics.
 func (m *Monitor) Epoch(epoch int, trainLoss, valMeanQ, valMedQ float64) {
 	m.emit(Event{Kind: KindEpoch, Stage: StageTrain, Epoch: epoch,
@@ -149,6 +160,7 @@ type Snapshot struct {
 	Epoch      int           `json:"epoch"`
 	ValMeanQ   float64       `json:"val_mean_q"`
 	ValMedQ    float64       `json:"val_median_q"`
+	Workers    int           `json:"workers,omitempty"`
 	StageTimes map[Stage]int `json:"stage_ms"`
 	Finished   bool          `json:"finished"`
 }
@@ -164,6 +176,9 @@ func (m *Monitor) Snapshot() Snapshot {
 		case KindProgress:
 			snap.Stage = e.Stage
 			snap.Done, snap.Total = e.Done, e.Total
+		case KindTrainStart:
+			snap.Stage = StageTrain
+			snap.Workers = e.Workers
 		case KindEpoch:
 			snap.Stage = StageTrain
 			snap.Epoch = e.Epoch
