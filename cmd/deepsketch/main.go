@@ -6,6 +6,7 @@
 //	deepsketch query    -sketch imdb.dsk -sql "SELECT COUNT(*) FROM title t WHERE t.production_year>2010" -truth
 //	deepsketch template -sketch imdb.dsk -sql "... AND t.production_year=?" -group distinct
 //	deepsketch eval     -sketch imdb.dsk -workload joblight
+//	deepsketch refresh  -sketch imdb.dsk -out imdb-v2.dsk -queries 2000 -epochs 5
 //
 // Datasets are generated deterministically from -seed, so "the database"
 // referenced by -truth/-eval is reproducible without storing it.
@@ -41,6 +42,8 @@ func main() {
 		err = cmdTemplate(os.Args[2:])
 	case "eval":
 		err = cmdEval(os.Args[2:])
+	case "refresh":
+		err = cmdRefresh(os.Args[2:])
 	case "workload":
 		err = cmdWorkload(os.Args[2:])
 	case "-h", "--help", "help":
@@ -65,6 +68,7 @@ commands:
   query     estimate a SQL query with a sketch (optionally vs. baselines)
   template  estimate a template query (SQL with one ? placeholder)
   eval      evaluate a sketch against baselines on a workload
+  refresh   warm-start retrain a sketch on a drift-delta workload
   workload  generate + execute a labeled workload file (artifact CSV format)
 
 run "deepsketch <command> -h" for command flags`)
@@ -350,6 +354,97 @@ func cmdTemplate(args []string) error {
 		}
 		fmt.Printf("  %s\n", bar)
 	}
+	return nil
+}
+
+// cmdRefresh is the offline half of the sketch lifecycle: load a sketch,
+// fine-tune it on a drift-delta workload with a warm-started optimizer
+// (the Adam state persisted in v2 sketch files), and write the refreshed
+// sketch — ready to upload-and-swap into a running deepsketchd.
+func cmdRefresh(args []string) error {
+	fs := flag.NewFlagSet("refresh", flag.ExitOnError)
+	dbf := addDBFlags(fs)
+	path := fs.String("sketch", "sketch.dsk", "sketch file to refresh")
+	out := fs.String("out", "", "output file (default: overwrite -sketch)")
+	queries := fs.Int("queries", 2000, "delta workload size (generated fresh)")
+	seed := fs.Int64("seed", 99, "delta workload generation seed")
+	epochs := fs.Int("epochs", 0, "fine-tune epoch cap (0 = the sketch's build epochs)")
+	stopq := fs.Float64("stopq", 0, "stop early at this validation mean q-error (0 = off)")
+	workers := fs.Int("workers", 0, "labeling/training workers (0 = GOMAXPROCS)")
+	fromWorkload := fs.String("fromworkload", "", "labeled delta workload file instead of generating one")
+	quiet := fs.Bool("q", false, "suppress progress output")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *out == "" {
+		*out = *path
+	}
+	s, err := deepsketch.LoadFile(*path)
+	if err != nil {
+		return err
+	}
+	d, err := dbf.make()
+	if err != nil {
+		return err
+	}
+	if d.Name != s.DBName {
+		return fmt.Errorf("sketch was built on dataset %q, -db is %q", s.DBName, *dbf.kind)
+	}
+	var labeled []deepsketch.LabeledQuery
+	if *fromWorkload != "" {
+		labeled, err = deepsketch.ReadWorkloadFile(d, *fromWorkload)
+		if err != nil {
+			return err
+		}
+	} else {
+		qs, err := deepsketch.GenerateWorkload(d, deepsketch.GenConfig{
+			Seed: *seed, Count: *queries, Tables: s.Cfg.Tables,
+			MaxJoins: s.Cfg.MaxJoins, MaxPreds: s.Cfg.MaxPreds, Dedup: true,
+		})
+		if err != nil {
+			return err
+		}
+		labeled, err = deepsketch.LabelWorkload(d, qs, *workers)
+		if err != nil {
+			return err
+		}
+	}
+	mon := deepsketch.NewMonitor()
+	if !*quiet {
+		mon.AddSink(func(e trainmon.Event) {
+			switch e.Kind {
+			case trainmon.KindStageStart:
+				fmt.Printf("stage %-10s %s\n", e.Stage, e.Msg)
+			case trainmon.KindStageEnd:
+				fmt.Printf("stage %-10s done in %v\n", e.Stage, e.Elapsed)
+			case trainmon.KindEpoch:
+				fmt.Printf("  epoch %3d  train-loss %10.3f  val mean-q %8.2f  median-q %6.2f\n",
+					e.Epoch, e.TrainLoss, e.ValMeanQ, e.ValMedQ)
+			}
+		})
+	}
+	baseEpochs := len(s.Epochs)
+	ns, err := deepsketch.Refresh(context.Background(), s, labeled, deepsketch.RefreshOptions{
+		Epochs: *epochs, StopAtValQ: *stopq, Workers: *workers,
+	}, mon)
+	if err != nil {
+		return err
+	}
+	// Write-temp-then-rename: the default -out overwrites the input sketch,
+	// and a crash mid-save must not destroy the only copy.
+	tmp := *out + ".tmp"
+	if err := deepsketch.SaveFile(ns, tmp); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, *out); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	tuned := len(ns.Epochs) - baseEpochs
+	last := ns.Epochs[len(ns.Epochs)-1]
+	fmt.Printf("sketch %q refreshed on %d delta queries in %d epochs (val mean-q %.2f), written to %s\n",
+		ns.Name(), len(labeled), tuned, last.ValMeanQ, *out)
 	return nil
 }
 

@@ -51,6 +51,28 @@ func TestCLIEndToEnd(t *testing.T) {
 	if err := cmdEval(eval); err != nil {
 		t.Fatalf("eval: %v", err)
 	}
+
+	// Refresh: warm-start fine-tune on a generated delta workload, written
+	// to a second file; both the original and the refreshed sketch must
+	// remain loadable and queryable.
+	refreshedPath := filepath.Join(dir, "t2.dsk")
+	refresh := append([]string{
+		"-sketch", sketchPath, "-out", refreshedPath,
+		"-queries", "80", "-epochs", "1", "-seed", "11", "-workers", "2", "-q",
+	}, dbArgs...)
+	if err := cmdRefresh(refresh); err != nil {
+		t.Fatalf("refresh: %v", err)
+	}
+	if fi, err := os.Stat(refreshedPath); err != nil || fi.Size() == 0 {
+		t.Fatalf("refreshed sketch file missing: %v", err)
+	}
+	query2 := append([]string{
+		"-sketch", refreshedPath,
+		"-sql", "SELECT COUNT(*) FROM title t WHERE t.production_year>2000",
+	}, dbArgs...)
+	if err := cmdQuery(query2); err != nil {
+		t.Fatalf("query refreshed sketch: %v", err)
+	}
 }
 
 func TestCLIErrors(t *testing.T) {
@@ -68,6 +90,9 @@ func TestCLIErrors(t *testing.T) {
 	}
 	if err := cmdTemplate([]string{"-sql", ""}); err == nil {
 		t.Error("template without SQL should error")
+	}
+	if err := cmdRefresh([]string{"-sketch", "/nonexistent.dsk"}); err == nil {
+		t.Error("refreshing a missing sketch file should error")
 	}
 }
 

@@ -13,17 +13,46 @@
 //
 //	GET  /api/datasets                 schemas of the available datasets
 //	GET  /api/sketches                 sketch list with build status
-//	POST /api/sketches                 define a sketch (async build)
-//	GET  /api/sketches/{id}            status, progress snapshot, epochs
+//	POST /api/sketches                 define a sketch (async build; 409 on duplicate name)
+//	GET  /api/sketches/{id}            status, progress, epochs, version history
+//	PUT  /api/sketches/{id}            upload a sketch file and swap it in as a new version
 //	GET  /api/sketches/{id}/download   serialized sketch file
-//	POST /api/estimate                 {sketch_id, sql} -> all overlays
+//	POST /api/sketches/{id}/refresh    warm-start retrain on a delta workload, swap in
+//	POST /api/sketches/{id}/rollback   revert to the previous version
+//	POST /api/estimate                 {sketch_id, sql} -> all overlays (+ serving version)
 //	POST /api/template                 {sketch_id, sql, group, buckets}
+//
+// # Refreshing a live sketch
+//
+// Sketches are versioned, long-lived serving artifacts managed by a
+// per-dataset lifecycle registry: the initial build is version 1, and
+// every refresh, upload or rollback changes which version serves — under
+// traffic, atomically, with the estimate caches invalidated on the next
+// request (they watch the registry generation). To refresh a sketch after
+// the data has drifted:
+//
+//	POST /api/sketches/1/refresh
+//	{"queries": 2000, "epochs": 5, "workers": 4}
+//
+// The daemon generates and labels a fresh delta workload over the sketch's
+// tables, fine-tunes a clone of the serving model — resuming the Adam
+// moments persisted in the sketch file, so a handful of epochs reaches
+// full-build quality — and swaps the result in as the next version. The
+// old version keeps serving until the swap; a failed refresh never
+// replaces it. Poll GET /api/sketches/1 for status ("refreshing" → "ready",
+// the version field bumps) and the full version history. If the refreshed
+// model misbehaves, POST /api/sketches/1/rollback restores the previous
+// version immediately; estimate responses carry the serving version so
+// clients can tell which model answered. Retrained offline instead? Upload
+// the .dsk file with PUT /api/sketches/1 to swap it in the same way.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"strconv"
@@ -62,18 +91,32 @@ func main() {
 
 // sketchEntry tracks one sketch through its lifecycle.
 type sketchEntry struct {
-	ID      int       `json:"id"`
-	Name    string    `json:"name"`
-	Dataset string    `json:"dataset"`
-	Status  string    `json:"status"` // building | ready | failed
-	Error   string    `json:"error,omitempty"`
+	ID      int    `json:"id"`
+	Name    string `json:"name"`
+	Dataset string `json:"dataset"`
+	Status  string `json:"status"` // building | ready | refreshing | failed
+	Error   string `json:"error,omitempty"`
+	// Version is the serving sketch version in the dataset's lifecycle
+	// registry: 1 after the initial build, bumped by every upload-and-swap
+	// or refresh, moved back by rollback.
+	Version int       `json:"version,omitempty"`
 	Created time.Time `json:"created"`
 	sketch  *deepsketch.Sketch
 	// serving is the sketch behind its serving stack: an LRU estimate
 	// cache over a clamped micro-batching coalescer. All request traffic
-	// to this sketch goes through it.
+	// to this sketch goes through it. Rebuilt on every swap, so the cache
+	// can never serve a previous version's answers; in-flight requests
+	// finish on the stack (and sketch version) they started with.
 	serving deepsketch.Estimator
 	mon     *deepsketch.Monitor
+	// adminMu serializes version-changing admin operations on this entry
+	// (upload-and-swap, refresh start/completion, rollback): each is a
+	// check-then-act sequence across the registry, the entry fields and the
+	// store file, and interleaving two of them could leave the entry's
+	// serving stack and persisted file pointing at a different version than
+	// the registry serves. Held around whole operations; s.mu (which only
+	// guards field access) nests inside it.
+	adminMu sync.Mutex
 }
 
 type baseline struct {
@@ -84,12 +127,14 @@ type baseline struct {
 type server struct {
 	datasets map[string]*deepsketch.DB
 	baseline map[string]baseline
-	// routers dispatch auto-routed queries to the most specific ready
-	// sketch of each dataset; auto wraps them in the serving chain
-	// Router → PostgreSQL, so a query no sketch covers still gets an
-	// answer instead of an error.
-	routers map[string]*deepsketch.Router
-	auto    map[string]*deepsketch.EstimateCache
+	// registries hold each dataset's versioned sketch fleet: auto-routed
+	// queries dispatch through the registry's router to the most specific
+	// ready sketch, and the admin endpoints publish, swap, refresh and
+	// roll back versions through the registry. auto wraps each router in
+	// the serving chain Router → PostgreSQL, so a query no sketch covers
+	// still gets an answer instead of an error.
+	registries map[string]*deepsketch.SketchRegistry
+	auto       map[string]*deepsketch.EstimateCache
 
 	// store, when non-empty, is a directory where ready sketches are
 	// persisted and from which they are restored at startup.
@@ -106,11 +151,11 @@ func newServer(titles, orders int, seed int64) *server {
 			"imdb": deepsketch.NewIMDb(deepsketch.IMDbConfig{Seed: seed, Titles: titles}),
 			"tpch": deepsketch.NewTPCH(deepsketch.TPCHConfig{Seed: seed, Orders: orders}),
 		},
-		baseline: map[string]baseline{},
-		routers:  map[string]*deepsketch.Router{},
-		auto:     map[string]*deepsketch.EstimateCache{},
-		sketches: map[int]*sketchEntry{},
-		nextID:   1,
+		baseline:   map[string]baseline{},
+		registries: map[string]*deepsketch.SketchRegistry{},
+		auto:       map[string]*deepsketch.EstimateCache{},
+		sketches:   map[int]*sketchEntry{},
+		nextID:     1,
 	}
 	for name, d := range s.datasets {
 		hyper, err := deepsketch.HyperEstimator(d, 1000, seed)
@@ -119,30 +164,49 @@ func newServer(titles, orders int, seed int64) *server {
 		}
 		pg := deepsketch.PostgresEstimator(d)
 		s.baseline[name] = baseline{hyper: hyper, pg: pg}
-		r := deepsketch.NewRouter()
-		s.routers[name] = r
+		reg := deepsketch.NewSketchRegistry()
+		s.registries[name] = reg
 		// Auto-routed traffic gets the same serving treatment as explicit
 		// sketch requests: coalesced batched inference behind the router,
 		// clamped, PostgreSQL fallback for uncovered queries, all cached.
 		// The fallback sits inside the coalescer so a coalesced batch that
 		// contains uncovered queries bisects into batched router calls plus
 		// per-query PostgreSQL answers, instead of failing wholesale and
-		// serializing the whole flush.
+		// serializing the whole flush. The cache watches the registry
+		// generation: a publish, swap or rollback invalidates it on the
+		// next request — no stale estimates after a version change.
 		s.auto[name] = deepsketch.WithCache(
 			deepsketch.NewCoalescer(
 				deepsketch.Fallback(
-					deepsketch.Clamp(r, deepsketch.MaxCardinality(d)),
+					deepsketch.Clamp(reg.Router(), deepsketch.MaxCardinality(d)),
 					pg),
 				deepsketch.CoalesceOptions{}),
-			1024)
+			1024).WatchGeneration(reg.Generation)
 	}
 	return s
 }
 
-// markReady publishes a built sketch: serving stack, router registration,
-// entry status. The coalescer lives as long as the entry (sketches are
-// never deleted), so it is not closed.
+// markReady publishes a built sketch into the dataset's registry as a new
+// name (version 1) and installs its serving stack.
 func (s *server) markReady(e *sketchEntry, sk *deepsketch.Sketch) {
+	ver, err := s.registries[e.Dataset].Publish(e.Name, sk)
+	if err != nil {
+		s.mu.Lock()
+		e.Status = "failed"
+		e.Error = err.Error()
+		s.mu.Unlock()
+		return
+	}
+	s.installVersion(e, sk, ver, "ready", "")
+}
+
+// installVersion points the entry at a (new or rolled-back) sketch version:
+// fresh serving stack, updated status. The previous stack's coalescer lives
+// as long as in-flight requests may reference it (entries are never
+// deleted), so it is not closed; its cache is abandoned wholesale, which is
+// what guarantees no post-swap request can hit a previous version's cached
+// answer.
+func (s *server) installVersion(e *sketchEntry, sk *deepsketch.Sketch, ver int, status, errMsg string) {
 	d := s.datasets[e.Dataset]
 	serving := deepsketch.WithCache(
 		deepsketch.Clamp(
@@ -152,12 +216,10 @@ func (s *server) markReady(e *sketchEntry, sk *deepsketch.Sketch) {
 	s.mu.Lock()
 	e.sketch = sk
 	e.serving = serving
-	e.Status = "ready"
+	e.Version = ver
+	e.Status = status
+	e.Error = errMsg
 	s.mu.Unlock()
-	s.routers[e.Dataset].Register(sk)
-	// Registration changes which backend covers which queries; cached
-	// auto-routed answers (e.g. PostgreSQL fallbacks) may now be stale.
-	s.auto[e.Dataset].Reset()
 }
 
 func (s *server) routes() http.Handler {
@@ -167,7 +229,10 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("GET /api/sketches", s.handleSketchList)
 	mux.HandleFunc("POST /api/sketches", s.handleSketchCreate)
 	mux.HandleFunc("GET /api/sketches/{id}", s.handleSketchGet)
+	mux.HandleFunc("PUT /api/sketches/{id}", s.handleSketchUpload)
 	mux.HandleFunc("GET /api/sketches/{id}/download", s.handleSketchDownload)
+	mux.HandleFunc("POST /api/sketches/{id}/refresh", s.handleSketchRefresh)
+	mux.HandleFunc("POST /api/sketches/{id}/rollback", s.handleSketchRollback)
 	mux.HandleFunc("POST /api/estimate", s.handleEstimate)
 	mux.HandleFunc("POST /api/template", s.handleTemplate)
 	return mux
@@ -179,6 +244,34 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	if err := json.NewEncoder(w).Encode(v); err != nil {
 		log.Printf("deepsketchd: encode response: %v", err)
 	}
+}
+
+// snapshotJSON marshals v while holding the server read lock — entry fields
+// are mutex-guarded, but the lock must never be held across the network
+// write (a client that stops reading would otherwise block every other
+// request behind the next writer). Pair with writeRawJSON.
+func (s *server) snapshotJSON(v any) ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return json.Marshal(v)
+}
+
+func writeRawJSON(w http.ResponseWriter, status int, blob []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if _, err := w.Write(append(blob, '\n')); err != nil {
+		log.Printf("deepsketchd: write response: %v", err)
+	}
+}
+
+// writeEntry responds with an entry snapshot taken under the lock.
+func (s *server) writeEntry(w http.ResponseWriter, status int, e *sketchEntry) {
+	blob, err := s.snapshotJSON(e)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeRawJSON(w, status, blob)
 }
 
 func writeErr(w http.ResponseWriter, status int, err error) {
@@ -236,14 +329,27 @@ func (s *server) handleSketchCreate(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown dataset %q", req.Dataset))
 		return
 	}
-	entry := s.register(req.Name, req.Dataset)
+	entry, err := s.register(req.Name, req.Dataset)
+	if err != nil {
+		// Duplicate names conflict with the lifecycle registry's version
+		// keying: 409, not a silent second fleet member.
+		writeErr(w, http.StatusConflict, err)
+		return
+	}
 	go s.build(entry, d, req)
 	writeJSON(w, http.StatusAccepted, entry)
 }
 
-func (s *server) register(name, dataset string) *sketchEntry {
+func (s *server) register(name, dataset string) (*sketchEntry, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if name != "" {
+		for _, e := range s.sketches {
+			if e.Name == name && e.Dataset == dataset && e.Status != "failed" {
+				return nil, fmt.Errorf("sketch %q already exists on %s (id %d); upload to PUT /api/sketches/%d to replace it", name, dataset, e.ID, e.ID)
+			}
+		}
+	}
 	id := s.nextID
 	s.nextID++
 	if name == "" {
@@ -254,7 +360,7 @@ func (s *server) register(name, dataset string) *sketchEntry {
 		Created: time.Now(), mon: deepsketch.NewMonitor(),
 	}
 	s.sketches[id] = e
-	return e
+	return e, nil
 }
 
 // build runs the creation pipeline in the background.
@@ -288,7 +394,11 @@ func (s *server) build(e *sketchEntry, d *deepsketch.DB, req createReq) {
 // be queried right away").
 func (s *server) startPrebuilt() {
 	for name, d := range s.datasets {
-		e := s.register("prebuilt-"+name, name)
+		e, err := s.register("prebuilt-"+name, name)
+		if err != nil {
+			log.Printf("deepsketchd: prebuilt %s: %v", name, err)
+			continue
+		}
 		go s.build(e, d, createReq{
 			Dataset: name, SampleSize: 500, TrainQueries: 3000, Epochs: 20, HiddenUnits: 32, Seed: 7,
 		})
@@ -297,14 +407,19 @@ func (s *server) startPrebuilt() {
 
 func (s *server) handleSketchList(w http.ResponseWriter, _ *http.Request) {
 	s.mu.RLock()
-	defer s.mu.RUnlock()
 	out := make([]*sketchEntry, 0, len(s.sketches))
 	for id := 1; id < s.nextID; id++ {
 		if e, ok := s.sketches[id]; ok {
 			out = append(out, e)
 		}
 	}
-	writeJSON(w, http.StatusOK, out)
+	blob, err := json.Marshal(out)
+	s.mu.RUnlock()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeRawJSON(w, http.StatusOK, blob)
 }
 
 func (s *server) entryByID(r *http.Request) (*sketchEntry, error) {
@@ -329,8 +444,9 @@ func (s *server) handleSketchGet(w http.ResponseWriter, r *http.Request) {
 	}
 	type resp struct {
 		*sketchEntry
-		Progress trainmon.Snapshot `json:"progress"`
-		Epochs   []trainmon.Event  `json:"epoch_events"`
+		Progress trainmon.Snapshot          `json:"progress"`
+		Epochs   []trainmon.Event           `json:"epoch_events"`
+		Versions []deepsketch.SketchVersion `json:"versions,omitempty"`
 	}
 	var epochs []trainmon.Event
 	for _, ev := range e.mon.Events() {
@@ -338,7 +454,13 @@ func (s *server) handleSketchGet(w http.ResponseWriter, r *http.Request) {
 			epochs = append(epochs, ev)
 		}
 	}
-	writeJSON(w, http.StatusOK, resp{sketchEntry: e, Progress: e.mon.Snapshot(), Epochs: epochs})
+	versions, _ := s.registries[e.Dataset].Versions(e.Name)
+	blob, err := s.snapshotJSON(resp{sketchEntry: e, Progress: e.mon.Snapshot(), Epochs: epochs, Versions: versions})
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeRawJSON(w, http.StatusOK, blob)
 }
 
 func (s *server) handleSketchDownload(w http.ResponseWriter, r *http.Request) {
@@ -359,6 +481,183 @@ func (s *server) handleSketchDownload(w http.ResponseWriter, r *http.Request) {
 	if err := sk.Save(w); err != nil {
 		log.Printf("deepsketchd: download: %v", err)
 	}
+}
+
+// handleSketchUpload is upload-and-swap: the request body is a serialized
+// sketch file (as produced by download or `deepsketch build/refresh`),
+// which atomically replaces the entry's serving sketch as a new version.
+// The uploaded sketch must belong to the entry's dataset; its name is
+// overridden to the entry's name, since the version chain is keyed by it.
+func (s *server) handleSketchUpload(w http.ResponseWriter, r *http.Request) {
+	e, err := s.entryByID(r)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	// Cap the upload: sketches are a few MiB; a stream claiming more is
+	// not a sketch file.
+	sk, err := deepsketch.Load(http.MaxBytesReader(w, r.Body, 1<<28))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("not a sketch file: %w", err))
+		return
+	}
+	e.adminMu.Lock()
+	defer e.adminMu.Unlock()
+	s.mu.RLock()
+	status, dataset := e.Status, e.Dataset
+	s.mu.RUnlock()
+	if status != "ready" {
+		writeErr(w, http.StatusConflict, fmt.Errorf("sketch %d is %s", e.ID, status))
+		return
+	}
+	if sk.DBName != dataset {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("uploaded sketch is for dataset %q, entry %d serves %q", sk.DBName, e.ID, dataset))
+		return
+	}
+	sk.Cfg.Name = e.Name
+	ver, err := s.registries[dataset].Swap(e.Name, sk)
+	if err != nil {
+		writeErr(w, http.StatusConflict, err)
+		return
+	}
+	s.installVersion(e, sk, ver, "ready", "")
+	s.persist(e, sk)
+	s.writeEntry(w, http.StatusOK, e)
+}
+
+type refreshReq struct {
+	// Queries sizes the generated drift-delta workload (default 1000).
+	Queries int `json:"queries"`
+	// Seed drives delta workload generation; vary it across refreshes so
+	// each one sees fresh queries (default: current version number).
+	Seed int64 `json:"seed"`
+	// Epochs caps the fine-tune budget (default: the sketch's build epochs).
+	Epochs int `json:"epochs"`
+	// StopAtValQ stops early at this validation mean q-error (0 disables).
+	StopAtValQ float64 `json:"stop_at_val_q"`
+	// Workers bounds labeling and training parallelism (0 = GOMAXPROCS).
+	Workers int `json:"workers"`
+}
+
+// handleSketchRefresh warm-start retrains the serving sketch on a freshly
+// generated delta workload in the background and swaps the result in as a
+// new version. The current version keeps serving until the swap; a failed
+// refresh leaves it serving and records the error on the entry.
+func (s *server) handleSketchRefresh(w http.ResponseWriter, r *http.Request) {
+	e, err := s.entryByID(r)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	var req refreshReq
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil && err != io.EOF {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	e.adminMu.Lock()
+	defer e.adminMu.Unlock()
+	// Default seed: derived from the monotone history length, not the live
+	// version number — after a rollback the live version repeats, and the
+	// seed must not, or the refresh would regenerate the exact delta
+	// workload that produced the rolled-back model. adminMu is held, so the
+	// history cannot change underneath.
+	histLen := 0
+	if vs, err := s.registries[e.Dataset].Versions(e.Name); err == nil {
+		histLen = len(vs)
+	}
+	s.mu.Lock()
+	if e.Status != "ready" {
+		status := e.Status
+		s.mu.Unlock()
+		writeErr(w, http.StatusConflict, fmt.Errorf("sketch %d is %s", e.ID, status))
+		return
+	}
+	e.Status = "refreshing"
+	e.Error = ""
+	if req.Queries <= 0 {
+		req.Queries = 1000
+	}
+	if req.Seed == 0 {
+		req.Seed = int64(histLen + 1)
+	}
+	sk := e.sketch
+	s.mu.Unlock()
+
+	go s.refresh(e, sk, req)
+	s.writeEntry(w, http.StatusAccepted, e)
+}
+
+// refresh runs the delta-workload fine-tune in the background. Entry
+// status is "refreshing" for the whole run, which 409s any concurrent
+// upload/rollback/refresh; completion takes adminMu so the install+persist
+// pair cannot interleave with an admin operation racing the final status
+// flip.
+func (s *server) refresh(e *sketchEntry, sk *deepsketch.Sketch, req refreshReq) {
+	fail := func(err error) {
+		// The old version never stopped serving; keep it and record why
+		// the refresh did not land.
+		e.adminMu.Lock()
+		defer e.adminMu.Unlock()
+		s.mu.Lock()
+		e.Status = "ready"
+		e.Error = "refresh failed: " + err.Error()
+		s.mu.Unlock()
+	}
+	d := s.datasets[e.Dataset]
+	qs, err := deepsketch.GenerateWorkload(d, deepsketch.GenConfig{
+		Seed: req.Seed, Count: req.Queries, Tables: sk.Cfg.Tables,
+		MaxJoins: sk.Cfg.MaxJoins, MaxPreds: sk.Cfg.MaxPreds, Dedup: true,
+	})
+	if err != nil {
+		fail(err)
+		return
+	}
+	labeled, err := deepsketch.LabelWorkload(d, qs, req.Workers)
+	if err != nil {
+		fail(err)
+		return
+	}
+	ver, ns, err := s.registries[e.Dataset].Refresh(context.Background(), deepsketch.RegistryRefreshOptions{
+		Name: e.Name, Workload: labeled,
+		Epochs: req.Epochs, StopAtValQ: req.StopAtValQ, Workers: req.Workers,
+		Monitor: e.mon,
+	})
+	if err != nil {
+		fail(err)
+		return
+	}
+	e.adminMu.Lock()
+	s.installVersion(e, ns, ver, "ready", "")
+	s.persist(e, ns)
+	e.adminMu.Unlock()
+	log.Printf("deepsketchd: refreshed sketch %q to version %d (%d delta queries)", e.Name, ver, len(labeled))
+}
+
+// handleSketchRollback reverts the entry to the version before the live
+// one; the rolled-back-to version serves immediately.
+func (s *server) handleSketchRollback(w http.ResponseWriter, r *http.Request) {
+	e, err := s.entryByID(r)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	e.adminMu.Lock()
+	defer e.adminMu.Unlock()
+	s.mu.RLock()
+	status := e.Status
+	s.mu.RUnlock()
+	if status != "ready" {
+		writeErr(w, http.StatusConflict, fmt.Errorf("sketch %d is %s", e.ID, status))
+		return
+	}
+	ver, sk, err := s.registries[e.Dataset].Rollback(e.Name)
+	if err != nil {
+		writeErr(w, http.StatusConflict, err)
+		return
+	}
+	s.installVersion(e, sk, ver, "ready", "")
+	s.persist(e, sk)
+	s.writeEntry(w, http.StatusOK, e)
 }
 
 func (s *server) readySketch(id int) (*sketchEntry, error) {
@@ -396,6 +695,10 @@ func (s *server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	ctx := r.Context()
 	dataset := req.Dataset
 	var serving deepsketch.Estimator
+	// pinnedVer is the serving version captured together with the serving
+	// stack for explicit sketch requests — reading the live version after
+	// the estimate would mislabel answers that race a swap or rollback.
+	var pinnedVer int
 	if req.SketchID == 0 {
 		if dataset == "" {
 			dataset = "imdb"
@@ -412,8 +715,11 @@ func (s *server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, http.StatusNotFound, err)
 			return
 		}
+		s.mu.RLock()
 		serving = e.serving
 		dataset = e.Dataset
+		pinnedVer = e.Version
+		s.mu.RUnlock()
 	}
 	d := s.datasets[dataset]
 	q, err := deepsketch.ParseSQL(d, req.SQL)
@@ -442,7 +748,7 @@ func (s *server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	resp := map[string]any{
 		"sql":         q.SQL(d),
 		"deep_sketch": est.Cardinality,
 		"source":      est.Source,
@@ -456,7 +762,18 @@ func (s *server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 			"hyper":       deepsketch.QError(hyperEst.Cardinality, float64(truth)),
 			"postgresql":  deepsketch.QError(pgEst.Cardinality, float64(truth)),
 		},
-	})
+	}
+	// Tag which version of the answering sketch served the estimate (absent
+	// when a baseline fallback answered). Explicit requests report the
+	// version pinned to the serving stack that answered; auto-routed
+	// requests report the answering sketch's live version (best effort — a
+	// swap can race the lookup).
+	if pinnedVer > 0 {
+		resp["version"] = pinnedVer
+	} else if ver, ok := s.registries[dataset].LiveVersion(est.Source); ok {
+		resp["version"] = ver
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 type templateReq struct {

@@ -59,7 +59,11 @@ func (s *server) loadStore() (int, error) {
 			log.Printf("deepsketchd: skipping %s: unknown dataset %q", path, sk.DBName)
 			continue
 		}
-		e := s.register(sk.Name(), sk.DBName)
+		e, err := s.register(sk.Name(), sk.DBName)
+		if err != nil {
+			log.Printf("deepsketchd: skipping %s: %v", path, err)
+			continue
+		}
 		s.markReady(e, sk)
 		s.mu.Lock()
 		e.Created = time.Now()

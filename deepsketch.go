@@ -63,6 +63,7 @@ import (
 	"deepsketch/internal/datagen"
 	"deepsketch/internal/db"
 	"deepsketch/internal/estimator"
+	"deepsketch/internal/lifecycle"
 	"deepsketch/internal/metrics"
 	"deepsketch/internal/mscn"
 	"deepsketch/internal/nn"
@@ -175,11 +176,45 @@ type (
 
 // Router dispatches estimates across multiple registered sketches,
 // preferring the most specific covering sketch (the system answer to the
-// paper's open question of which schema parts to sketch).
+// paper's open question of which schema parts to sketch). Sketches can be
+// swapped and unregistered under live traffic (Swap, Unregister), and
+// Generation exposes the mutation counter serving caches watch.
 type Router = router.Router
 
 // NewRouter returns an empty sketch router.
 func NewRouter() *Router { return router.New() }
+
+// Sketch lifecycle: versioned serving with warm-start refresh.
+type (
+	// SketchRegistry is a versioned sketch registry over a Router: Publish
+	// installs versions atomically, Swap replaces live sketches under
+	// traffic, Rollback reverts, Refresh warm-start retrains on a delta
+	// workload and swaps the result in.
+	SketchRegistry = lifecycle.Registry
+	// SketchVersion describes one version of a registered sketch.
+	SketchVersion = lifecycle.VersionInfo
+	// RegistryRefreshOptions parameterizes SketchRegistry.Refresh.
+	RegistryRefreshOptions = lifecycle.RefreshOptions
+	// RefreshOptions tunes a standalone warm-start Refresh.
+	RefreshOptions = core.RefreshOptions
+	// OptimizerState is a training run's exported Adam state (moments +
+	// step count); sketches persist it so refreshes resume optimization.
+	OptimizerState = nn.OptState
+)
+
+// NewSketchRegistry returns an empty versioned sketch registry (with its
+// own Router, reachable via the registry's Router method).
+func NewSketchRegistry() *SketchRegistry { return lifecycle.New() }
+
+// Refresh warm-start retrains a sketch on a labeled drift-delta workload
+// and returns the refreshed sketch; the input sketch keeps serving
+// untouched. Training resumes the sketch's persisted Adam state (sketch
+// format v2) so a delta workload reaches full-build quality in a fraction
+// of the epochs; v1-era sketches refresh from warm weights with a cold
+// optimizer.
+func Refresh(ctx context.Context, s *Sketch, labeled []LabeledQuery, opts RefreshOptions, mon *Monitor) (*Sketch, error) {
+	return core.Refresh(ctx, s, labeled, opts, mon)
+}
 
 // NewIMDb generates the synthetic IMDb-like database the demo's IMDb mode
 // runs on ("a real-world dataset that contains many correlations"): skewed,

@@ -1,7 +1,9 @@
 // Quickstart: build a Deep Sketch over the synthetic IMDb dataset, estimate
 // SQL queries through the unified Estimator interface, stand up a serving
-// stack (cache + coalescer + clamp + PostgreSQL fallback), and round-trip
-// the sketch through its serialized form.
+// stack (cache + coalescer + clamp + PostgreSQL fallback), round-trip the
+// sketch through its serialized form, and refresh it in place — warm-start
+// fine-tune on a drift-delta workload, then atomically swap the new version
+// into the live registry.
 //
 //	go run ./examples/quickstart
 package main
@@ -123,4 +125,48 @@ func main() {
 	fmt.Printf("\nserialized sketch: %.2f MiB (weights %.2f MiB, samples %.2f MiB)\n",
 		float64(fb.Total)/(1<<20), float64(fb.Weights)/(1<<20), float64(fb.Samples)/(1<<20))
 	fmt.Printf("loaded sketch reproduces estimate: %.1f\n", est.Cardinality)
+
+	// 6. Refreshing a live sketch. A long-lived deployment serves sketches
+	// from a versioned registry; when the data drifts, Refresh fine-tunes
+	// the live model on a freshly labeled delta workload — resuming the
+	// Adam optimizer state persisted in the sketch file, so a couple of
+	// epochs suffice where a rebuild needs a full run — and swaps the new
+	// version in atomically. Traffic never stops: in-flight requests finish
+	// on the old version, later ones see the new one, and caches watching
+	// the registry generation invalidate themselves.
+	reg := deepsketch.NewSketchRegistry()
+	if _, err := reg.Publish("quickstart", sketch); err != nil {
+		log.Fatal(err)
+	}
+	live := deepsketch.WithCache(
+		deepsketch.Clamp(reg.Router(), deepsketch.MaxCardinality(d)),
+		1024).WatchGeneration(reg.Generation)
+	if _, err := live.Estimate(ctx, q); err != nil {
+		log.Fatal(err)
+	}
+
+	deltaQs, err := deepsketch.GenerateWorkload(d, deepsketch.GenConfig{Seed: 7, Count: 500, Dedup: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	delta, err := deepsketch.LabelWorkload(d, deltaQs, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ver, refreshed, err := reg.Refresh(ctx, deepsketch.RegistryRefreshOptions{
+		Name: "quickstart", Workload: delta,
+		Epochs: 3, StopAtValQ: last.ValMeanQ, // stop as soon as it is as good as the old sketch
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tuned := refreshed.Epochs[len(refreshed.Epochs)-1]
+	postSwap, err := live.Estimate(ctx, q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nrefreshed to version %d on %d delta queries (%d fine-tune epochs, val mean-q %.2f)\n",
+		ver, len(delta), len(refreshed.Epochs)-len(sketch.Epochs), tuned.ValMeanQ)
+	fmt.Printf("post-swap estimate (new version, cache invalidated): %.1f (cache hit: %v)\n",
+		postSwap.Cardinality, postSwap.CacheHit)
 }

@@ -10,6 +10,7 @@ import (
 	"deepsketch/internal/db"
 	"deepsketch/internal/featurize"
 	"deepsketch/internal/mscn"
+	"deepsketch/internal/nn"
 	"deepsketch/internal/sample"
 	"deepsketch/internal/trainmon"
 )
@@ -17,16 +18,20 @@ import (
 // Serialized sketch format (all integers little-endian):
 //
 //	magic   "DSKB"
-//	version uint32 (currently 1)
+//	version uint32 (currently 2)
 //	header  uint32 length + JSON (name, config, encoder, training record)
 //	weights nn parameter blocks (see nn.WriteParams)
 //	samples per-table columnar dumps, dictionaries included
+//	opt     v2 only: uint8 flag, then Adam moments + step count when 1
+//	        (see nn.WriteOptState) — what warm-start Refresh resumes from
 //
-// The footprint of the whole file is the paper's "small footprint size (a
-// few MiBs)" figure, dominated by the model weights and the samples.
+// Version 1 files (no optimizer trailer) still Load; their sketches refresh
+// with warm weights but a cold optimizer. The footprint of the whole file
+// is the paper's "small footprint size (a few MiBs)" figure, dominated by
+// the model weights and the samples.
 const (
 	sketchMagic   = "DSKB"
-	sketchVersion = 1
+	sketchVersion = 2
 )
 
 type header struct {
@@ -68,7 +73,25 @@ func (s *Sketch) Save(w io.Writer) error {
 	if err := writeSamples(bw, s.Samples, s.Cfg.Tables); err != nil {
 		return err
 	}
+	if err := writeOptTrailer(bw, s.Model); err != nil {
+		return err
+	}
 	return bw.Flush()
+}
+
+// writeOptTrailer writes the v2 optimizer-state section: a presence flag,
+// then the serialized Adam state for models that have been trained in (or
+// restored into) this process.
+func writeOptTrailer(w io.Writer, m *mscn.Model) error {
+	st := m.OptState()
+	if st == nil {
+		_, err := w.Write([]byte{0})
+		return err
+	}
+	if _, err := w.Write([]byte{1}); err != nil {
+		return err
+	}
+	return nn.WriteOptState(w, st)
 }
 
 // Load reads a sketch written by Save and reconstructs the model.
@@ -85,7 +108,7 @@ func Load(r io.Reader) (*Sketch, error) {
 	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
 		return nil, err
 	}
-	if version != sketchVersion {
+	if version < 1 || version > sketchVersion {
 		return nil, fmt.Errorf("core: unsupported sketch version %d", version)
 	}
 	var hdrLen uint32
@@ -114,6 +137,19 @@ func Load(r io.Reader) (*Sketch, error) {
 	samples, err := readSamples(br, hdr.SampleSize)
 	if err != nil {
 		return nil, err
+	}
+	if version >= 2 {
+		var flag [1]byte
+		if _, err := io.ReadFull(br, flag[:]); err != nil {
+			return nil, fmt.Errorf("core: read opt-state flag: %w", err)
+		}
+		if flag[0] == 1 {
+			st, err := nn.ReadOptState(br, model.Params())
+			if err != nil {
+				return nil, err
+			}
+			model.SetOptState(st)
+		}
 	}
 	cfg := hdr.Cfg
 	if cfg.Name == "" {
@@ -289,6 +325,10 @@ func (s *Sketch) Footprint() (FootprintBreakdown, error) {
 
 	var wC countWriter
 	if err := s.Model.WriteWeights(&wC); err != nil {
+		return fb, err
+	}
+	// The optimizer trailer is model state; count it with the weights.
+	if err := writeOptTrailer(&wC, s.Model); err != nil {
 		return fb, err
 	}
 	var sC countWriter

@@ -1,0 +1,254 @@
+// Package lifecycle manages long-lived serving sketches. The paper's deep
+// sketches are built once from a database snapshot, but a production
+// deployment must refresh them as the data drifts (Kipf et al. retrain on
+// updated workloads; adaptive-input work on cardinality sketches makes the
+// same point): a serving sketch is a versioned, replaceable artifact, not
+// an immutable one.
+//
+// The Registry keeps named sketches with full version history on top of a
+// router.Router:
+//
+//   - Publish installs a sketch (first version, or a new version of an
+//     existing name) atomically — traffic in flight keeps the snapshot it
+//     routed against, every later request sees the new version.
+//   - Swap replaces a live sketch under traffic; Rollback reverts to the
+//     previous version. Both are one router copy-on-write mutation.
+//   - Refresh warm-start retrains the live version on a drift-delta
+//     workload (resuming its Adam state via core.Refresh) and swaps the
+//     result in.
+//
+// Every mutation bumps the underlying router's generation; serving caches
+// wired with serve.Cache.WatchGeneration(reg.Generation) therefore drop
+// stale estimates on the first request after a swap — no manual resets.
+package lifecycle
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"deepsketch/internal/core"
+	"deepsketch/internal/router"
+	"deepsketch/internal/trainmon"
+	"deepsketch/internal/workload"
+)
+
+// Registry is a concurrency-safe versioned sketch registry. The zero value
+// is not usable; construct with New.
+type Registry struct {
+	r *router.Router
+
+	mu      sync.Mutex
+	entries map[string]*history
+}
+
+// history is one name's version chain. versions[i] is version i+1; live
+// indexes the currently serving version. Rollback moves live backwards;
+// Publish always appends, so history is monotone and a rollback is never
+// lost from the record.
+type history struct {
+	versions []*core.Sketch
+	live     int
+}
+
+// VersionInfo describes one version of a registered sketch.
+type VersionInfo struct {
+	Version  int     `json:"version"`
+	Live     bool    `json:"live"`
+	Epochs   int     `json:"epochs"`               // cumulative training epochs recorded
+	ValMeanQ float64 `json:"val_mean_q,omitempty"` // last recorded validation mean q-error
+}
+
+// New returns an empty registry over its own router.
+func New() *Registry {
+	return &Registry{r: router.New(), entries: make(map[string]*history)}
+}
+
+// Router exposes the underlying router for building serving stacks
+// (coalescers, clamps, fallbacks). All sketch mutations must go through
+// the Registry, not the router directly, or version history will diverge
+// from what routes.
+func (g *Registry) Router() *router.Router { return g.r }
+
+// Generation returns the underlying router's mutation counter — the value
+// serving caches watch (serve.Cache.WatchGeneration) to invalidate after a
+// publish, swap, rollback or unregister.
+func (g *Registry) Generation() uint64 { return g.r.Generation() }
+
+// Publish installs s as the newest version of name and makes it live
+// atomically: version 1 for a new name, the next version (a swap under
+// traffic) for an existing one. The sketch's own name must equal the
+// registry name — the router dispatches and reports sources by it.
+func (g *Registry) Publish(name string, s *core.Sketch) (int, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.publishLocked(name, s, true)
+}
+
+// Swap replaces the live version of an existing name with s. It is Publish
+// restricted to already-registered names — the verb for "replace under
+// traffic", where Publish also covers first installs.
+func (g *Registry) Swap(name string, s *core.Sketch) (int, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.publishLocked(name, s, false)
+}
+
+func (g *Registry) publishLocked(name string, s *core.Sketch, install bool) (int, error) {
+	if name == "" {
+		return 0, fmt.Errorf("lifecycle: empty sketch name")
+	}
+	if s.Name() != name {
+		return 0, fmt.Errorf("lifecycle: sketch is named %q, registry name is %q — set Cfg.Name before publishing", s.Name(), name)
+	}
+	h, ok := g.entries[name]
+	if !ok {
+		if !install {
+			return 0, fmt.Errorf("lifecycle: no sketch named %q to swap", name)
+		}
+		g.entries[name] = &history{versions: []*core.Sketch{s}}
+		g.r.Register(s)
+		return 1, nil
+	}
+	if err := g.r.Swap(name, s); err != nil {
+		return 0, err
+	}
+	h.versions = append(h.versions, s)
+	h.live = len(h.versions) - 1
+	return len(h.versions), nil
+}
+
+// Live returns the serving sketch and its version number.
+func (g *Registry) Live(name string) (*core.Sketch, int, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	h, ok := g.entries[name]
+	if !ok {
+		return nil, 0, fmt.Errorf("lifecycle: no sketch named %q", name)
+	}
+	return h.versions[h.live], h.live + 1, nil
+}
+
+// LiveVersion returns the serving version number of name, or false when
+// the name is not registered — the cheap lookup estimate handlers use to
+// tag responses.
+func (g *Registry) LiveVersion(name string) (int, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	h, ok := g.entries[name]
+	if !ok {
+		return 0, false
+	}
+	return h.live + 1, true
+}
+
+// Versions lists every version of name in version order, flagging the live
+// one.
+func (g *Registry) Versions(name string) ([]VersionInfo, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	h, ok := g.entries[name]
+	if !ok {
+		return nil, fmt.Errorf("lifecycle: no sketch named %q", name)
+	}
+	out := make([]VersionInfo, len(h.versions))
+	for i, s := range h.versions {
+		vi := VersionInfo{Version: i + 1, Live: i == h.live, Epochs: len(s.Epochs)}
+		if n := len(s.Epochs); n > 0 {
+			vi.ValMeanQ = s.Epochs[n-1].ValMeanQ
+		}
+		out[i] = vi
+	}
+	return out, nil
+}
+
+// Names lists registered sketch names, sorted.
+func (g *Registry) Names() []string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	names := make([]string, 0, len(g.entries))
+	for n := range g.entries {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Rollback reverts name to the version before the live one and makes it
+// serve, returning the now-live version number and sketch. History is
+// kept: a later Publish appends the next version number, it does not
+// overwrite. Rolling back past version 1 is an error.
+func (g *Registry) Rollback(name string) (int, *core.Sketch, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	h, ok := g.entries[name]
+	if !ok {
+		return 0, nil, fmt.Errorf("lifecycle: no sketch named %q", name)
+	}
+	if h.live == 0 {
+		return 0, nil, fmt.Errorf("lifecycle: %q is at version 1, nothing to roll back to", name)
+	}
+	target := h.versions[h.live-1]
+	if err := g.r.Swap(name, target); err != nil {
+		return 0, nil, err
+	}
+	h.live--
+	return h.live + 1, target, nil
+}
+
+// Unregister removes name and its whole version history; in-flight batches
+// holding a pre-removal router snapshot finish against it.
+func (g *Registry) Unregister(name string) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, ok := g.entries[name]; !ok {
+		return fmt.Errorf("lifecycle: no sketch named %q", name)
+	}
+	delete(g.entries, name)
+	g.r.Unregister(name)
+	return nil
+}
+
+// RefreshOptions parameterizes Registry.Refresh.
+type RefreshOptions struct {
+	// Name selects the registered sketch to refresh.
+	Name string
+	// Workload is the labeled drift-delta workload to fine-tune on.
+	Workload []workload.LabeledQuery
+	// Epochs caps the fine-tune budget (0: the sketch's configured
+	// full-build epoch count).
+	Epochs int
+	// StopAtValQ ends the fine-tune once the validation mean q-error
+	// reaches this value or better (0 disables).
+	StopAtValQ float64
+	// Workers bounds data-parallel training (0: the sketch's configured
+	// worker count).
+	Workers int
+	// Monitor receives stage/epoch events (nil for none).
+	Monitor *trainmon.Monitor
+}
+
+// Refresh warm-start retrains the live version of o.Name on the delta
+// workload and swaps the result in, returning the new version number and
+// sketch. The live sketch serves untouched for the whole fine-tune; the
+// swap at the end is the same atomic copy-on-write mutation as Publish.
+// Two concurrent refreshes of one name both fine-tune from the version
+// that was live when they started, and the later swap wins.
+func (g *Registry) Refresh(ctx context.Context, o RefreshOptions) (int, *core.Sketch, error) {
+	live, _, err := g.Live(o.Name)
+	if err != nil {
+		return 0, nil, err
+	}
+	ns, err := core.Refresh(ctx, live, o.Workload, core.RefreshOptions{
+		Epochs: o.Epochs, StopAtValQ: o.StopAtValQ, Workers: o.Workers,
+	}, o.Monitor)
+	if err != nil {
+		return 0, nil, err
+	}
+	v, err := g.Swap(o.Name, ns)
+	if err != nil {
+		return 0, nil, err
+	}
+	return v, ns, nil
+}

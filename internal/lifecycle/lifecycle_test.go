@@ -1,0 +1,320 @@
+package lifecycle
+
+import (
+	"context"
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"deepsketch/internal/core"
+	"deepsketch/internal/datagen"
+	"deepsketch/internal/db"
+	"deepsketch/internal/mscn"
+	"deepsketch/internal/serve"
+	"deepsketch/internal/workload"
+)
+
+var (
+	fixtureOnce sync.Once
+	fixtureDB   *db.DB
+)
+
+func fixture(t *testing.T) *db.DB {
+	t.Helper()
+	fixtureOnce.Do(func() {
+		fixtureDB = datagen.IMDb(datagen.IMDbConfig{Seed: 91, Titles: 900, Keywords: 50, Companies: 25, Persons: 150})
+	})
+	return fixtureDB
+}
+
+func buildNamed(t *testing.T, d *db.DB, name string, seed int64) *core.Sketch {
+	t.Helper()
+	s, err := core.Build(d, core.Config{
+		Name: name, SampleSize: 48, TrainQueries: 400, MaxJoins: 2, MaxPreds: 2,
+		Seed: seed, Workers: 2,
+		Model: mscn.Config{HiddenUnits: 16, Epochs: 8, BatchSize: 32, Seed: seed},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func labelDelta(t *testing.T, d *db.DB, seed int64, n int) []workload.LabeledQuery {
+	t.Helper()
+	g, err := workload.NewGenerator(d, workload.GenConfig{
+		Seed: seed, Count: n, MaxJoins: 2, MaxPreds: 2, Dedup: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	labeled, err := workload.Label(d, g.Generate(), 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return labeled
+}
+
+func TestRegistryPublishSwapVersionsRollback(t *testing.T) {
+	d := fixture(t)
+	v1 := buildNamed(t, d, "imdb", 11)
+	v2 := buildNamed(t, d, "imdb", 12)
+
+	reg := New()
+	if _, err := reg.Publish("", v1); err == nil {
+		t.Error("empty name should fail")
+	}
+	if _, err := reg.Publish("other", v1); err == nil {
+		t.Error("name mismatch should fail")
+	}
+	if _, err := reg.Swap("imdb", v1); err == nil {
+		t.Error("swap before publish should fail")
+	}
+	ver, err := reg.Publish("imdb", v1)
+	if err != nil || ver != 1 {
+		t.Fatalf("first publish = v%d, %v", ver, err)
+	}
+	gen1 := reg.Generation()
+	ver, err = reg.Swap("imdb", v2)
+	if err != nil || ver != 2 {
+		t.Fatalf("swap = v%d, %v", ver, err)
+	}
+	if reg.Generation() <= gen1 {
+		t.Error("swap did not bump the generation")
+	}
+	if live, lv, err := reg.Live("imdb"); err != nil || live != v2 || lv != 2 {
+		t.Fatalf("live = %v v%d, %v", live, lv, err)
+	}
+	vs, err := reg.Versions("imdb")
+	if err != nil || len(vs) != 2 || !vs[1].Live || vs[0].Live {
+		t.Fatalf("versions = %+v, %v", vs, err)
+	}
+	if vs[0].Epochs != 8 || vs[0].ValMeanQ <= 0 {
+		t.Errorf("version info lost training record: %+v", vs[0])
+	}
+
+	// Rollback to v1, then publish appends v3 (history monotone).
+	ver, back, err := reg.Rollback("imdb")
+	if err != nil || ver != 1 || back != v1 {
+		t.Fatalf("rollback = v%d %v, %v", ver, back, err)
+	}
+	if _, _, err := reg.Rollback("imdb"); err == nil {
+		t.Error("rollback past version 1 should fail")
+	}
+	ver, err = reg.Publish("imdb", v2)
+	if err != nil || ver != 3 {
+		t.Fatalf("publish after rollback = v%d, %v", ver, err)
+	}
+	if names := reg.Names(); len(names) != 1 || names[0] != "imdb" {
+		t.Fatalf("names = %v", names)
+	}
+	if err := reg.Unregister("imdb"); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Unregister("imdb"); err == nil {
+		t.Error("double unregister should fail")
+	}
+	if _, ok := reg.LiveVersion("imdb"); ok {
+		t.Error("live version after unregister")
+	}
+	if reg.Router().Len() != 0 {
+		t.Error("router entry left behind after unregister")
+	}
+}
+
+// TestLifecycleEndToEnd is the acceptance test for the lifecycle redesign:
+// build → serve through a generation-watched cache → warm-start Refresh
+// with a delta workload (strictly fewer epochs than a cold rebuild to the
+// same validation q-error, Adam state resumed) → atomic swap under
+// concurrent traffic with zero failed requests and no post-swap cache hits
+// from the old version. (v1-file compatibility is covered by
+// core.TestLoadV1Sketch on the same format.)
+func TestLifecycleEndToEnd(t *testing.T) {
+	d := fixture(t)
+	base := buildNamed(t, d, "imdb", 21)
+	baseStep := base.Model.OptState().Step
+
+	reg := New()
+	if _, err := reg.Publish("imdb", base); err != nil {
+		t.Fatal(err)
+	}
+	cache := serve.NewCache(serve.Clamp(reg.Router(), serve.MaxCardinality(d)), 1024).
+		WatchGeneration(reg.Generation)
+
+	// Fixed probe queries, all covered by the sketch.
+	probeQs := make([]db.Query, 0, 8)
+	for _, lq := range labelDelta(t, d, 300, 8) {
+		probeQs = append(probeQs, lq.Query)
+	}
+	ctx := context.Background()
+
+	// Warm the cache and remember the old version's answers.
+	oldAnswers := make([]float64, len(probeQs))
+	for i, q := range probeQs {
+		est, err := cache.Estimate(ctx, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oldAnswers[i] = est.Cardinality
+	}
+
+	// Concurrent traffic for the whole refresh+swap window. Zero failures
+	// allowed: the swap must be invisible except for the answers changing.
+	var failures atomic.Int64
+	var requests atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				requests.Add(1)
+				if g%2 == 0 {
+					if _, err := cache.Estimate(ctx, probeQs[g%len(probeQs)]); err != nil {
+						failures.Add(1)
+						t.Error(err)
+						return
+					}
+				} else {
+					if _, err := cache.EstimateBatch(ctx, probeQs); err != nil {
+						failures.Add(1)
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+
+	// Cold-rebuild reference on the delta workload (fresh weights, fresh
+	// optimizer, full epoch budget) fixes the quality target.
+	delta := labelDelta(t, d, 301, 250)
+	coldCfg := base.Cfg
+	coldCfg.Name = "cold"
+	cold, err := core.BuildWithWorkload(d, coldCfg, delta, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldEpochs := len(cold.Epochs)
+	targetQ := cold.Epochs[coldEpochs-1].ValMeanQ * 1.05
+
+	// Warm-start refresh under traffic.
+	ver, ns, err := reg.Refresh(ctx, RefreshOptions{
+		Name: "imdb", Workload: delta, Epochs: coldEpochs, StopAtValQ: targetQ, Workers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ver != 2 {
+		t.Errorf("refresh produced v%d, want 2", ver)
+	}
+	warmEpochs := len(ns.Epochs) - len(base.Epochs)
+	if warmEpochs >= coldEpochs {
+		t.Errorf("warm refresh took %d epochs, want strictly fewer than cold's %d", warmEpochs, coldEpochs)
+	}
+	if lastQ := ns.Epochs[len(ns.Epochs)-1].ValMeanQ; lastQ > targetQ {
+		t.Errorf("warm refresh stopped at val mean-q %.2f > target %.2f", lastQ, targetQ)
+	}
+	if ns.Model.OptState().Step <= baseStep {
+		t.Errorf("refresh did not resume Adam state: step %d ≤ base %d", ns.Model.OptState().Step, baseStep)
+	}
+
+	close(stop)
+	wg.Wait()
+	if failures.Load() != 0 {
+		t.Fatalf("%d of %d requests failed across the swap", failures.Load(), requests.Load())
+	}
+	t.Logf("traffic: %d requests across refresh+swap, 0 failures; warm %d epochs vs cold %d",
+		requests.Load(), warmEpochs, coldEpochs)
+
+	// Post-swap: every probe answer must be the new version's, never a
+	// cached answer from the old version.
+	changed := 0
+	for i, q := range probeQs {
+		want, err := ns.Cardinality(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = math.Max(1, math.Min(want, serve.MaxCardinality(d))) // the stack clamps
+		est, err := cache.Estimate(ctx, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if est.Cardinality != want {
+			t.Errorf("probe %d: post-swap answer %v, want new version's %v (old was %v)",
+				i, est.Cardinality, want, oldAnswers[i])
+		}
+		if est.Cardinality != oldAnswers[i] {
+			changed++
+		}
+	}
+	if changed == 0 {
+		t.Error("fine-tuned model answered identically on every probe — stale-cache check has no power")
+	}
+}
+
+// TestRegistryConcurrentMutations: publishes, swaps, rollbacks and refresh
+// lookups racing with traffic (run with -race).
+func TestRegistryConcurrentMutations(t *testing.T) {
+	d := fixture(t)
+	a := buildNamed(t, d, "imdb", 31)
+	b := buildNamed(t, d, "imdb", 32)
+
+	reg := New()
+	if _, err := reg.Publish("imdb", a); err != nil {
+		t.Fatal(err)
+	}
+	cache := serve.NewCache(reg.Router(), 256).WatchGeneration(reg.Generation)
+	q := db.Query{Tables: []db.TableRef{{Table: "title", Alias: "t"}}}
+	ctx := context.Background()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := cache.Estimate(ctx, q); err != nil {
+					t.Error(err)
+					return
+				}
+				reg.LiveVersion("imdb")
+				if _, err := reg.Versions("imdb"); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	cur := a
+	for i := 0; i < 30; i++ {
+		if cur == a {
+			cur = b
+		} else {
+			cur = a
+		}
+		if _, err := reg.Swap("imdb", cur); err != nil {
+			t.Error(err)
+		}
+		if i%3 == 2 {
+			if _, _, err := reg.Rollback("imdb"); err != nil {
+				t.Error(err)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -11,7 +11,7 @@ import (
 
 // benchExamples builds synthetic featurized examples with paper-ish
 // dimensions (bitmap width 1000) without touching a database.
-func benchExamples(b *testing.B, n int) ([]Example, int, int, int, nn.LabelNorm) {
+func benchExamples(b testing.TB, n int) ([]Example, int, int, int, nn.LabelNorm) {
 	b.Helper()
 	const tdim, jdim, pdim = 1008, 7, 17
 	examples := make([]Example, n)

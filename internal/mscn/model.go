@@ -125,9 +125,24 @@ type Model struct {
 	pred1, pred2   *nn.Linear
 	out1, out2     *nn.Linear
 
+	// optState is the Adam state exported after the last training run (nil
+	// before any training, and for models loaded from v1 sketch files). It
+	// is what TrainOptions.Resume consumes for warm-start fine-tuning.
+	optState *nn.OptState
+
 	engOnce sync.Once
 	eng     *Engine
 }
+
+// OptState returns the optimizer state captured at the end of the last
+// training run, or nil if the model has never been trained in this process
+// and none was restored (e.g. a v1 sketch file). The returned value is the
+// model's own copy; callers that mutate it must Clone first.
+func (m *Model) OptState() *nn.OptState { return m.optState }
+
+// SetOptState installs a previously captured optimizer state (used when
+// deserializing a sketch). The model takes ownership of st.
+func (m *Model) SetOptState(st *nn.OptState) { m.optState = st }
 
 // Engine returns the model's shared packed inference engine, building it on
 // first use. The engine reads the current weights, so it stays valid across
@@ -154,6 +169,21 @@ func New(cfg Config, tdim, jdim, pdim int) *Model {
 		out1:   nn.NewLinear("out1", 3*h, h, rng),
 		out2:   nn.NewLinear("out2", h, 1, rng),
 	}
+}
+
+// Clone returns a deep copy of the model: same architecture and config,
+// copied weights and optimizer state, its own (lazily built) inference
+// engine. Refreshes fine-tune a clone so the live model keeps serving
+// untouched until the lifecycle swap.
+func (m *Model) Clone() *Model {
+	nm := New(m.Cfg, m.TDim, m.JDim, m.PDim)
+	src := m.Params()
+	dst := nm.Params()
+	for i, p := range src {
+		copy(dst[i].Data, p.Data)
+	}
+	nm.optState = m.optState.Clone()
+	return nm
 }
 
 // Params returns all learnable parameters in a fixed order (the

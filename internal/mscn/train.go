@@ -47,6 +47,14 @@ func (m *Model) Train(examples []Example, norm nn.LabelNorm, mon *trainmon.Monit
 // fixed worker order, and one Adam step applies per minibatch — so a fixed
 // (seed, parallelism) pair reproduces bitwise-identical weights, and any
 // parallelism matches the serial path up to float summation order.
+//
+// opts.Resume warm-starts the optimizer from an exported state; opts.Epochs
+// overrides the configured epoch budget; opts.StopAtValQ stops early once
+// the validation mean q-error is good enough. After training the final
+// optimizer state is captured on the model (OptState) for the next resume.
+// With KeepBest, the restored weights are the best epoch's but the captured
+// optimizer state is the final epoch's — a warm start continues from the
+// end of the run, which is the standard fine-tuning compromise.
 func (m *Model) TrainWithOptions(examples []Example, norm nn.LabelNorm, mon *trainmon.Monitor, opts TrainOptions) ([]EpochStats, error) {
 	if len(examples) == 0 {
 		return nil, fmt.Errorf("mscn: no training examples")
@@ -73,9 +81,15 @@ func (m *Model) TrainWithOptions(examples []Example, norm nn.LabelNorm, mon *tra
 
 	opt := nn.NewAdam(m.Cfg.LearningRate, m.Cfg.ClipNorm)
 	params := m.Params()
+	if opts.Resume != nil {
+		if err := opt.RestoreState(params, opts.Resume); err != nil {
+			return nil, err
+		}
+	}
+	epochs := opts.epochs(m.Cfg)
 	tr := newPackedTrainer(m, params, opts.workers())
 	mon.TrainStart(tr.parallelism(), len(train), len(val))
-	stats := make([]EpochStats, 0, m.Cfg.Epochs)
+	stats := make([]EpochStats, 0, epochs)
 
 	bestVal := math.NaN()
 	var bestWeights [][]float64
@@ -99,7 +113,7 @@ func (m *Model) TrainWithOptions(examples []Example, norm nn.LabelNorm, mon *tra
 		encs    []featurize.Encoded
 		targets []float64
 	)
-	for epoch := 1; epoch <= m.Cfg.Epochs; epoch++ {
+	for epoch := 1; epoch <= epochs; epoch++ {
 		start := time.Now()
 		order := shuffle(rng, len(train))
 		var lossSum float64
@@ -138,12 +152,16 @@ func (m *Model) TrainWithOptions(examples []Example, norm nn.LabelNorm, mon *tra
 			bestVal = st.ValMeanQ
 			snapshot()
 		}
+		if opts.StopAtValQ > 0 && len(val) > 0 && !math.IsNaN(st.ValMeanQ) && st.ValMeanQ <= opts.StopAtValQ {
+			break
+		}
 	}
 	if m.Cfg.KeepBest && bestWeights != nil {
 		for i, p := range params {
 			copy(p.Data, bestWeights[i])
 		}
 	}
+	m.optState = opt.ExportState(params)
 	return stats, nil
 }
 

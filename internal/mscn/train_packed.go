@@ -21,6 +21,21 @@ type TrainOptions struct {
 	// GOMAXPROCS; 1 is fully serial (and the reference the padded-path
 	// equivalence tests compare against).
 	Parallelism int
+	// Resume warm-starts the optimizer from a previous run's exported state
+	// (Adam moments + step count, see Model.OptState). The moments carry
+	// the per-parameter learning-rate adaptation, so fine-tuning on a
+	// drift-delta workload converges in a fraction of full-build epochs.
+	// The state is copied on restore; the caller's value is not mutated.
+	// Nil trains from a cold optimizer as before.
+	Resume *nn.OptState
+	// Epochs overrides Config.Epochs when > 0 — refresh fine-tunes run a
+	// short budget without rewriting the model's build-time config.
+	Epochs int
+	// StopAtValQ stops training early once the epoch's validation mean
+	// q-error reaches this value or better (requires a validation split;
+	// 0 disables). Refreshes use it to train "until as good as the old
+	// sketch" instead of a fixed epoch count.
+	StopAtValQ float64
 }
 
 func (o TrainOptions) workers() int {
@@ -28,6 +43,13 @@ func (o TrainOptions) workers() int {
 		return o.Parallelism
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+func (o TrainOptions) epochs(cfg Config) int {
+	if o.Epochs > 0 {
+		return o.Epochs
+	}
+	return cfg.Epochs
 }
 
 // Indices into Model.Params() / trainWorker.grads, fixed by the Params()
@@ -188,7 +210,17 @@ type packedTrainer struct {
 	errs    []error // per-worker step errors, reused across steps
 	preds   []float64
 	grad    []float64
+	// reduceOff[i] is the flat offset of params[i] in the concatenated
+	// parameter space; reduceTotal its total element count. The gradient
+	// reduction shards by contiguous flat ranges over this space.
+	reduceOff   []int
+	reduceTotal int
 }
+
+// minShardedReduce is the flat parameter count below which the reduction
+// stays serial: goroutine fork/join costs more than summing a few thousand
+// elements.
+const minShardedReduce = 1 << 14
 
 func newPackedTrainer(m *Model, params []*nn.Param, parallelism int) *packedTrainer {
 	t := &packedTrainer{m: m, params: params}
@@ -197,7 +229,65 @@ func newPackedTrainer(m *Model, params []*nn.Param, parallelism int) *packedTrai
 		t.workers[i] = newTrainWorker(params)
 	}
 	t.errs = make([]error, parallelism)
+	t.reduceOff = make([]int, len(params))
+	for i, p := range params {
+		t.reduceOff[i] = t.reduceTotal
+		t.reduceTotal += len(p.Data)
+	}
 	return t
+}
+
+// reduceRange accumulates the first p workers' private gradients for flat
+// parameter elements [lo, hi) into the shared parameter gradients. Per
+// element the workers combine in fixed order w=0..p-1 — exactly the serial
+// reduction's summation tree — so sharding the flat space across goroutines
+// changes nothing bitwise.
+func (t *packedTrainer) reduceRange(p, lo, hi int) {
+	for i, param := range t.params {
+		off := t.reduceOff[i]
+		end := off + len(param.Grad)
+		if end <= lo || off >= hi {
+			continue
+		}
+		s := max(lo, off) - off
+		e := min(hi, end) - off
+		dst := param.Grad[s:e]
+		for w := 0; w < p; w++ {
+			src := t.workers[w].grads[i][s:e]
+			for j, g := range src {
+				dst[j] += g
+			}
+		}
+	}
+}
+
+// reduce combines the per-worker gradients into the shared parameters. With
+// one worker (or a small model) it is the plain serial loop; otherwise the
+// flat parameter space is split into one contiguous shard per worker and
+// the shards reduce concurrently — at high parallelism on wide models the
+// serial reduction is the Amdahl term of the step, and sharding it keeps
+// the sequential fraction flat as P grows.
+func (t *packedTrainer) reduce(p int) {
+	shards := len(t.workers)
+	if p == 1 || shards == 1 || t.reduceTotal < minShardedReduce {
+		t.reduceRange(p, 0, t.reduceTotal)
+		return
+	}
+	chunk := (t.reduceTotal + shards - 1) / shards
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		lo := s * chunk
+		hi := min(lo+chunk, t.reduceTotal)
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			t.reduceRange(p, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
 }
 
 // parallelism reports the configured worker count.
@@ -269,18 +359,11 @@ func (t *packedTrainer) step(encs []featurize.Encoded, targets []float64, norm n
 
 	// Deterministic reduction: loss sums and every gradient element combine
 	// in worker order, so a fixed parallelism fixes the summation tree.
+	// The gradient reduction itself is sharded by parameter range.
 	var lossSum float64
 	for w := 0; w < p; w++ {
 		lossSum += t.workers[w].lossSum
 	}
-	for i, param := range t.params {
-		dst := param.Grad
-		for w := 0; w < p; w++ {
-			src := t.workers[w].grads[i]
-			for j, g := range src {
-				dst[j] += g
-			}
-		}
-	}
+	t.reduce(p)
 	return lossSum * invN, nil
 }

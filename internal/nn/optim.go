@@ -1,6 +1,9 @@
 package nn
 
-import "math"
+import (
+	"fmt"
+	"math"
+)
 
 // Adam implements the Adam optimizer (Kingma & Ba) with optional global-norm
 // gradient clipping — the paper trains MSCN with Adam at the PyTorch default
@@ -35,6 +38,77 @@ func GlobalGradNorm(params []*Param) float64 {
 		}
 	}
 	return math.Sqrt(ss)
+}
+
+// OptState is the serializable optimizer state of an Adam run: the step
+// count and the first/second moment estimates, stored parallel to the
+// parameter list the optimizer was stepped with (the Params() serialization
+// contract fixes that order). Exporting it after training and restoring it
+// before a warm-start fine-tune resumes optimization where it left off —
+// the moments carry the per-parameter learning-rate adaptation, so a small
+// drift-delta workload converges in a fraction of full-build epochs.
+type OptState struct {
+	Step int
+	M    [][]float64
+	V    [][]float64
+}
+
+// Clone deep-copies the state; a nil receiver clones to nil.
+func (st *OptState) Clone() *OptState {
+	if st == nil {
+		return nil
+	}
+	c := &OptState{Step: st.Step, M: make([][]float64, len(st.M)), V: make([][]float64, len(st.V))}
+	for i, m := range st.M {
+		c.M[i] = append([]float64(nil), m...)
+	}
+	for i, v := range st.V {
+		c.V[i] = append([]float64(nil), v...)
+	}
+	return c
+}
+
+// ExportState copies the optimizer's moments for params (in order) into a
+// fresh OptState. Parameters the optimizer has not stepped yet export zero
+// moments, matching what Step would have lazily allocated.
+func (a *Adam) ExportState(params []*Param) *OptState {
+	st := &OptState{Step: a.t, M: make([][]float64, len(params)), V: make([][]float64, len(params))}
+	for i, p := range params {
+		st.M[i] = make([]float64, len(p.Data))
+		st.V[i] = make([]float64, len(p.Data))
+		if m, ok := a.m[p]; ok {
+			copy(st.M[i], m)
+		}
+		if v, ok := a.v[p]; ok {
+			copy(st.V[i], v)
+		}
+	}
+	return st
+}
+
+// RestoreState loads a previously exported state for params (in the same
+// order), copying the moments so the caller's OptState stays untouched by
+// subsequent steps. The state must match the parameter list element-for-
+// element.
+func (a *Adam) RestoreState(params []*Param, st *OptState) error {
+	if len(st.M) != len(params) || len(st.V) != len(params) {
+		return fmt.Errorf("nn: optimizer state has %d/%d moment vectors, architecture expects %d",
+			len(st.M), len(st.V), len(params))
+	}
+	for i, p := range params {
+		if len(st.M[i]) != len(p.Data) || len(st.V[i]) != len(p.Data) {
+			return fmt.Errorf("nn: optimizer state for %s has %d/%d elements, architecture expects %d",
+				p.Name, len(st.M[i]), len(st.V[i]), len(p.Data))
+		}
+	}
+	a.t = st.Step
+	a.m = make(map[*Param][]float64, len(params))
+	a.v = make(map[*Param][]float64, len(params))
+	for i, p := range params {
+		a.m[p] = append([]float64(nil), st.M[i]...)
+		a.v[p] = append([]float64(nil), st.V[i]...)
+	}
+	return nil
 }
 
 // Step applies one update to all parameters from their accumulated

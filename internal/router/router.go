@@ -11,6 +11,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"deepsketch/internal/core"
 	"deepsketch/internal/db"
@@ -37,10 +38,19 @@ func (e *entry) covers(q db.Query) bool {
 
 // Router is a concurrency-safe registry of sketches with coverage-based
 // dispatch. It implements estimator.Estimator, so a whole fleet of sketches
-// serves through the same interface as a single one.
+// serves through the same interface as a single one. Sketches can be
+// swapped and unregistered under live traffic: every mutation installs a
+// fresh entry slice (copy-on-write) and bumps the registry generation, so
+// in-flight batches keep routing against the snapshot they started with
+// while caches keyed on the generation know to invalidate.
 type Router struct {
 	mu      sync.RWMutex
 	entries []*entry
+	// gen is atomic, not mutex-guarded: serving caches read it on every
+	// lookup (serve.Cache.WatchGeneration), and a lock-free load keeps the
+	// registry mutex out of the estimate hot path — PR 3 deliberately
+	// reduced that path to one RLock per batch.
+	gen atomic.Uint64
 }
 
 var _ estimator.Estimator = (*Router)(nil)
@@ -48,21 +58,78 @@ var _ estimator.Estimator = (*Router)(nil)
 // New returns an empty router.
 func New() *Router { return &Router{} }
 
-// Register adds a sketch. Sketches may overlap; dispatch prefers the
-// smallest covering table set, breaking ties by registration order.
-func (r *Router) Register(s *core.Sketch) {
+func newEntry(s *core.Sketch) *entry {
 	e := &entry{s: s, tables: make(map[string]bool, len(s.Cfg.Tables)), size: len(s.Cfg.Tables)}
 	for _, t := range s.Cfg.Tables {
 		e.tables[t] = true
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.entries = append(r.entries, e)
+	return e
 }
 
-// snapshot returns the current entry list under one brief RLock. Register
-// only appends, so the returned prefix is immutable — a whole batch can
-// route against one consistent snapshot without holding the lock.
+// Register adds a sketch. Sketches may overlap; dispatch prefers the
+// smallest covering table set, breaking ties by registration order.
+func (r *Router) Register(s *core.Sketch) {
+	e := newEntry(s)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	next := make([]*entry, len(r.entries), len(r.entries)+1)
+	copy(next, r.entries)
+	r.entries = append(next, e)
+	r.gen.Add(1)
+}
+
+// Swap atomically replaces the registered sketch whose name matches with a
+// new one, keeping its position (and therefore its dispatch tie-break
+// order). Traffic in flight keeps its pre-swap snapshot; every estimate
+// routed after Swap returns sees the new sketch. The new sketch's coverage
+// may differ from the old one's. Returns an error when no sketch of that
+// name is registered.
+func (r *Router) Swap(name string, s *core.Sketch) error {
+	e := newEntry(s)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i, old := range r.entries {
+		if old.s.Name() == name {
+			next := make([]*entry, len(r.entries))
+			copy(next, r.entries)
+			next[i] = e
+			r.entries = next
+			r.gen.Add(1)
+			return nil
+		}
+	}
+	return fmt.Errorf("router: no sketch named %q to swap", name)
+}
+
+// Unregister removes the sketch with the given name, reporting whether one
+// was registered. In-flight batches holding a pre-removal snapshot finish
+// against it.
+func (r *Router) Unregister(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i, old := range r.entries {
+		if old.s.Name() == name {
+			next := make([]*entry, 0, len(r.entries)-1)
+			next = append(next, r.entries[:i]...)
+			next = append(next, r.entries[i+1:]...)
+			r.entries = next
+			r.gen.Add(1)
+			return true
+		}
+	}
+	return false
+}
+
+// Generation returns a counter that increments on every registry mutation
+// (Register, Swap, Unregister). Serving caches watch it to drop answers
+// computed against a previous registry view — see serve.Cache.WatchGeneration.
+func (r *Router) Generation() uint64 { return r.gen.Load() }
+
+// snapshot returns the current entry list under one brief RLock. Mutations
+// are copy-on-write — they install a fresh slice instead of editing this
+// one — so the returned slice is immutable: a whole batch can route
+// against one consistent snapshot without holding the lock, even while
+// sketches are swapped or unregistered.
 func (r *Router) snapshot() []*entry {
 	r.mu.RLock()
 	defer r.mu.RUnlock()

@@ -174,6 +174,110 @@ func TestRouterEstimateBatchMatchesEstimate(t *testing.T) {
 	}
 }
 
+func TestRouterSwapAndUnregister(t *testing.T) {
+	d := datagen.IMDb(datagen.IMDbConfig{Seed: 57, Titles: 300, Keywords: 20, Companies: 10, Persons: 50})
+	full := buildSub(t, d, "full", nil)
+	kw := buildSub(t, d, "spec", []string{"title", "movie_keyword", "keyword"})
+	r := New()
+	if r.Generation() != 0 {
+		t.Errorf("fresh router generation = %d", r.Generation())
+	}
+	r.Register(full)
+	if r.Generation() != 1 {
+		t.Errorf("generation after register = %d, want 1", r.Generation())
+	}
+	if err := r.Swap("nope", kw); err == nil {
+		t.Error("swapping an unknown name should error")
+	}
+	// Replace the generalist with the specialist under the same slot.
+	if err := r.Swap("full", kw); err != nil {
+		t.Fatal(err)
+	}
+	if r.Generation() != 2 {
+		t.Errorf("generation after swap = %d, want 2", r.Generation())
+	}
+	if names := r.Names(); len(names) != 1 || names[0] != "spec" {
+		t.Fatalf("Names after swap = %v", names)
+	}
+	q := db.Query{Tables: []db.TableRef{{Table: "cast_info", Alias: "ci"}}}
+	if _, err := r.Route(q); err == nil {
+		t.Error("swapped-in specialist should not cover cast_info")
+	}
+	if !r.Unregister("spec") {
+		t.Error("unregister existing sketch = false")
+	}
+	if r.Unregister("spec") {
+		t.Error("double unregister = true")
+	}
+	if r.Len() != 0 || r.Generation() != 3 {
+		t.Errorf("after unregister: len=%d gen=%d", r.Len(), r.Generation())
+	}
+}
+
+// TestRouterSwapUnregisterRace: concurrent Swap and Unregister/Register
+// during in-flight EstimateBatch traffic (run with -race). Every batch must
+// either succeed with internally consistent routing or fail only because
+// the registry was momentarily empty of covering sketches — never observe a
+// half-applied mutation.
+func TestRouterSwapUnregisterRace(t *testing.T) {
+	d := datagen.IMDb(datagen.IMDbConfig{Seed: 58, Titles: 300, Keywords: 20, Companies: 10, Persons: 50})
+	a := buildSub(t, d, "live", nil)
+	b := buildSub(t, d, "live", nil) // same name: a swap target
+	spec := buildSub(t, d, "spec", []string{"title", "movie_keyword", "keyword"})
+
+	r := New()
+	r.Register(a)
+	qs := []db.Query{
+		{Tables: []db.TableRef{{Table: "title", Alias: "t"}}},
+		{Tables: []db.TableRef{{Table: "cast_info", Alias: "ci"}}},
+	}
+	ctx := context.Background()
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ests, err := r.EstimateBatch(ctx, qs)
+				if err != nil {
+					// Only acceptable when the generalist was unregistered
+					// at routing time; cast_info is then uncovered.
+					continue
+				}
+				if ests[1].Source != "live" {
+					t.Errorf("cast_info answered by %q, want live", ests[1].Source)
+					return
+				}
+			}
+		}()
+	}
+	swapIn := a
+	for i := 0; i < 50; i++ {
+		if swapIn == a {
+			swapIn = b
+		} else {
+			swapIn = a
+		}
+		if err := r.Swap("live", swapIn); err != nil {
+			t.Error(err)
+		}
+		r.Register(spec)
+		r.Unregister("spec")
+	}
+	close(stop)
+	wg.Wait()
+	if gen := r.Generation(); gen != 1+50*3 {
+		t.Errorf("generation = %d, want %d", gen, 1+50*3)
+	}
+}
+
 func TestRouterBatchDeterministicUnderConcurrentRegister(t *testing.T) {
 	// A batch must route against one consistent registry snapshot (one
 	// RLock per batch, groups in first-appearance order): while sketches

@@ -13,8 +13,11 @@ import (
 // Cache is an LRU estimate cache in front of any backend. Keys are the
 // canonical query fingerprint (db.Query.Signature), so two queries that are
 // equal as sets — same tables, joins and predicates in any clause order —
-// share one entry. A sketch is immutable once trained, so cached estimates
-// never go stale; capacity is the only eviction pressure.
+// share one entry. A single sketch is immutable once trained and its cached
+// estimates never go stale; when the backend is a mutable registry (a
+// Router whose sketches swap under traffic), tie the cache to the
+// registry's generation with WatchGeneration so a swap drops every cached
+// answer from the previous registry view.
 type Cache struct {
 	inner estimator.Estimator
 	cap   int
@@ -22,10 +25,16 @@ type Cache struct {
 	mu      sync.Mutex
 	entries map[string]*list.Element
 	lru     *list.List // front = most recently used
-	// gen is bumped by Reset; an insert whose result was computed under an
-	// older generation is dropped, so a Reset cannot be undone by an
-	// in-flight computation racing it.
+	// gen is bumped by Invalidate; an insert whose result was computed
+	// under an older generation is dropped, so an invalidation cannot be
+	// undone by an in-flight computation racing it.
 	gen uint64
+	// watch, when set, reads the backend registry's generation; lastWatch
+	// is the value the current cache contents were computed under. A change
+	// observed at request entry invalidates before lookup, so no request
+	// can be answered from entries predating the registry mutation.
+	watch     func() uint64
+	lastWatch uint64
 
 	hits, misses uint64
 }
@@ -67,29 +76,70 @@ func (c *Cache) Len() int {
 	return c.lru.Len()
 }
 
-// Reset drops every cached entry. Needed when the backend's answers can
-// change — e.g. a router cache after a new sketch registers and alters
-// which backend covers which queries. Computations already in flight when
-// Reset is called will not be inserted.
-func (c *Cache) Reset() {
+// Invalidate drops every cached entry. Needed when the backend's answers
+// can change — e.g. a router cache after a sketch registers, swaps or
+// unregisters and alters which backend covers which queries. Computations
+// already in flight when Invalidate is called will not be inserted.
+func (c *Cache) Invalidate() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.invalidateLocked()
+}
+
+func (c *Cache) invalidateLocked() {
 	c.entries = make(map[string]*list.Element, c.cap)
 	c.lru.Init()
 	c.gen++
 }
 
-// generation snapshots the Reset generation before a computation starts.
+// Reset is the historical name of Invalidate.
+func (c *Cache) Reset() { c.Invalidate() }
+
+// WatchGeneration ties the cache's lifetime to a registry generation
+// counter (e.g. Router.Generation or a lifecycle Registry's): at every
+// request entry the cache compares gen() to the value its contents were
+// computed under and invalidates itself on change. With this wired, a
+// sketch swap needs no manual Reset call — the first request after the
+// swap sees the bumped generation, drops the stale entries, and recomputes
+// against the new registry view. Returns the cache for call chaining.
+func (c *Cache) WatchGeneration(gen func() uint64) *Cache {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.watch = gen
+	if gen != nil {
+		c.lastWatch = gen()
+	}
+	return c
+}
+
+// generation snapshots the invalidation generation before a computation
+// starts, first applying any pending registry-generation invalidation.
 func (c *Cache) generation() uint64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.syncWatchLocked()
 	return c.gen
 }
 
-// lookup returns the cached estimate for key, marking it recently used.
+// syncWatchLocked invalidates the cache when the watched registry
+// generation moved since the contents were computed.
+func (c *Cache) syncWatchLocked() {
+	if c.watch == nil {
+		return
+	}
+	if g := c.watch(); g != c.lastWatch {
+		c.lastWatch = g
+		c.invalidateLocked()
+	}
+}
+
+// lookup returns the cached estimate for key, marking it recently used. A
+// watched registry generation is synced first, so a lookup can never serve
+// an entry computed before the registry's latest mutation.
 func (c *Cache) lookup(key string, start time.Time) (estimator.Estimate, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.syncWatchLocked()
 	el, ok := c.entries[key]
 	if !ok {
 		c.misses++
@@ -116,6 +166,7 @@ func (c *Cache) lookup(key string, start time.Time) (estimator.Estimate, bool) {
 func (c *Cache) insert(key string, e estimator.Estimate, gen uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.syncWatchLocked()
 	if gen != c.gen {
 		return
 	}
