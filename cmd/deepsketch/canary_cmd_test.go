@@ -1,0 +1,60 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestCLICanaryGate builds a tiny sketch, refreshes it into a candidate,
+// and runs the offline canary gate both ways: the refreshed candidate
+// passes a lax gate, and an impossibly strict ratio flips the verdict to
+// ABORT (non-zero exit with -gate).
+func TestCLICanaryGate(t *testing.T) {
+	dir := t.TempDir()
+	livePath := filepath.Join(dir, "live.dsk")
+	candPath := filepath.Join(dir, "cand.dsk")
+	dbArgs := []string{"-db", "imdb", "-dbseed", "1", "-titles", "1000"}
+
+	build := append([]string{
+		"-out", livePath, "-samples", "48", "-queries", "150",
+		"-epochs", "2", "-hidden", "12", "-batch", "32", "-seed", "3", "-q",
+	}, dbArgs...)
+	if err := cmdBuild(build); err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	refresh := append([]string{
+		"-sketch", livePath, "-out", candPath, "-queries", "150", "-seed", "7", "-epochs", "2", "-q",
+	}, dbArgs...)
+	if err := cmdRefresh(refresh); err != nil {
+		t.Fatalf("refresh: %v", err)
+	}
+
+	// A generous ratio promotes the warm-refreshed candidate.
+	pass := append([]string{
+		"-sketch", livePath, "-candidate", candPath,
+		"-fraction", "0.5", "-ratio", "100", "-queries", "200", "-seed", "9", "-gate",
+	}, dbArgs...)
+	if err := cmdCanary(pass); err != nil {
+		t.Fatalf("canary gate should promote at ratio 100: %v", err)
+	}
+
+	// ratio 0 makes the limit 0 — impossible — so -gate must fail.
+	abort := append([]string{
+		"-sketch", livePath, "-candidate", candPath,
+		"-fraction", "0.5", "-ratio", "0.0001", "-queries", "200", "-seed", "9", "-gate",
+	}, dbArgs...)
+	if err := cmdCanary(abort); err == nil {
+		t.Fatal("canary -gate should fail on an ABORT verdict")
+	}
+
+	// Error surface: missing candidate, bad fraction, dataset mismatch.
+	if err := cmdCanary([]string{"-sketch", livePath}); err == nil {
+		t.Error("missing -candidate should fail")
+	}
+	if err := cmdCanary(append([]string{"-sketch", livePath, "-candidate", candPath, "-fraction", "1.5"}, dbArgs...)); err == nil {
+		t.Error("fraction 1.5 should fail")
+	}
+	if err := cmdCanary([]string{"-sketch", livePath, "-candidate", candPath, "-db", "tpch"}); err == nil {
+		t.Error("dataset mismatch should fail")
+	}
+}

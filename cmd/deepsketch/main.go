@@ -7,6 +7,7 @@
 //	deepsketch template -sketch imdb.dsk -sql "... AND t.production_year=?" -group distinct
 //	deepsketch eval     -sketch imdb.dsk -workload joblight
 //	deepsketch refresh  -sketch imdb.dsk -out imdb-v2.dsk -queries 2000 -epochs 5
+//	deepsketch canary   -sketch imdb.dsk -candidate imdb-v2.dsk -fraction 0.1 -gate
 //
 // Datasets are generated deterministically from -seed, so "the database"
 // referenced by -truth/-eval is reproducible without storing it.
@@ -44,6 +45,8 @@ func main() {
 		err = cmdEval(os.Args[2:])
 	case "refresh":
 		err = cmdRefresh(os.Args[2:])
+	case "canary":
+		err = cmdCanary(os.Args[2:])
 	case "workload":
 		err = cmdWorkload(os.Args[2:])
 	case "-h", "--help", "help":
@@ -69,6 +72,7 @@ commands:
   template  estimate a template query (SQL with one ? placeholder)
   eval      evaluate a sketch against baselines on a workload
   refresh   warm-start retrain a sketch on a drift-delta workload
+  canary    judge a candidate sketch against the live one on a hash-split workload
   workload  generate + execute a labeled workload file (artifact CSV format)
 
 run "deepsketch <command> -h" for command flags`)

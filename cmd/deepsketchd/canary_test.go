@@ -1,0 +1,198 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"deepsketch"
+)
+
+func del(t *testing.T, h http.Handler, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest("DELETE", path, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+// entryState fetches the entry JSON fields the canary tests assert on.
+func entryState(t *testing.T, h http.Handler, id int) (status string, version int, canary *deepsketch.SketchCanary) {
+	t.Helper()
+	rec := get(t, h, fmt.Sprintf("/api/sketches/%d", id))
+	if rec.Code != 200 {
+		t.Fatalf("get status %d: %s", rec.Code, rec.Body)
+	}
+	var st struct {
+		Status  string                     `json:"status"`
+		Version int                        `json:"version"`
+		Canary  *deepsketch.SketchCanary   `json:"canary"`
+		Vers    []deepsketch.SketchVersion `json:"versions"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	return st.Status, st.Version, st.Canary
+}
+
+// TestCanaryEndpointsFlow drives the manual canary lifecycle over HTTP:
+// refresh-into-canary at 50% → estimates split by version → re-fraction →
+// promote → the canary serves 100% as the new live version. Then a second
+// canary is aborted and the live version is untouched.
+func TestCanaryEndpointsFlow(t *testing.T) {
+	srv := testServer(t)
+	h := srv.routes()
+	id := buildReadySketch(t, h, "canary flow")
+
+	// No canary yet: promote and abort conflict.
+	if rec := post(t, h, fmt.Sprintf("/api/sketches/%d/promote", id), nil); rec.Code != http.StatusConflict {
+		t.Fatalf("promote without canary: %d", rec.Code)
+	}
+	if rec := del(t, h, fmt.Sprintf("/api/sketches/%d/canary", id)); rec.Code != http.StatusConflict {
+		t.Fatalf("abort without canary: %d", rec.Code)
+	}
+
+	// Refresh into a canary at 50%.
+	rec := post(t, h, fmt.Sprintf("/api/sketches/%d/canary", id), map[string]any{
+		"fraction": 0.5, "queries": 150, "epochs": 1, "workers": 2,
+	})
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("canary start: %d %s", rec.Code, rec.Body)
+	}
+	awaitStatus(t, h, id, "canarying")
+	status, version, canary := entryState(t, h, id)
+	if status != "canarying" || version != 1 {
+		t.Fatalf("mid-canary entry: status=%s version=%d", status, version)
+	}
+	if canary == nil || canary.Version != 2 || canary.BaseVersion != 1 || canary.Fraction != 0.5 {
+		t.Fatalf("mid-canary info: %+v", canary)
+	}
+
+	// A second canary while one is active conflicts (not a fraction-only
+	// adjust — it carries build params but the active canary absorbs it as
+	// a re-fraction, which is the documented behaviour).
+	rec = post(t, h, fmt.Sprintf("/api/sketches/%d/canary", id), map[string]any{"fraction": 0.8})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("re-fraction: %d %s", rec.Code, rec.Body)
+	}
+	if _, _, canary = entryState(t, h, id); canary == nil || canary.Fraction != 0.8 {
+		t.Fatalf("after re-fraction: %+v", canary)
+	}
+
+	// Estimates during the canary carry the version the split selects.
+	sawV1, sawV2 := false, false
+	sqls := []string{
+		"SELECT COUNT(*) FROM title t WHERE t.production_year>1990",
+		"SELECT COUNT(*) FROM title t WHERE t.production_year>2000",
+		"SELECT COUNT(*) FROM title t WHERE t.production_year>2005",
+		"SELECT COUNT(*) FROM title t WHERE t.production_year<1990",
+		"SELECT COUNT(*) FROM title t WHERE t.kind_id=1",
+		"SELECT COUNT(*) FROM title t WHERE t.kind_id=2",
+	}
+	for _, sql := range sqls {
+		rec := post(t, h, "/api/estimate", estimateReq{SketchID: id, SQL: sql})
+		if rec.Code != 200 {
+			t.Fatalf("estimate: %d %s", rec.Code, rec.Body)
+		}
+		var out struct {
+			Version int `json:"version"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+			t.Fatal(err)
+		}
+		switch out.Version {
+		case 1:
+			sawV1 = true
+		case 2:
+			sawV2 = true
+		default:
+			t.Fatalf("estimate version %d", out.Version)
+		}
+	}
+	if !sawV1 || !sawV2 {
+		t.Errorf("80%% canary over %d queries hit v1=%v v2=%v — want both splits exercised", len(sqls), sawV1, sawV2)
+	}
+
+	// Promote: v2 serves everything.
+	rec = post(t, h, fmt.Sprintf("/api/sketches/%d/promote", id), nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("promote: %d %s", rec.Code, rec.Body)
+	}
+	status, version, canary = entryState(t, h, id)
+	if status != "ready" || version != 2 || canary != nil {
+		t.Fatalf("post-promote: status=%s version=%d canary=%+v", status, version, canary)
+	}
+	for _, sql := range sqls {
+		rec := post(t, h, "/api/estimate", estimateReq{SketchID: id, SQL: sql})
+		var out struct {
+			Version int `json:"version"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+			t.Fatal(err)
+		}
+		if out.Version != 2 {
+			t.Errorf("post-promote estimate answered by v%d, want 2", out.Version)
+		}
+	}
+
+	// Second canary: aborted; live stays at v2, history keeps v3.
+	rec = post(t, h, fmt.Sprintf("/api/sketches/%d/canary", id), map[string]any{
+		"fraction": 0.3, "queries": 120, "epochs": 1, "workers": 2,
+	})
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("second canary: %d %s", rec.Code, rec.Body)
+	}
+	awaitStatus(t, h, id, "canarying")
+	rec = del(t, h, fmt.Sprintf("/api/sketches/%d/canary", id))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("abort: %d %s", rec.Code, rec.Body)
+	}
+	status, version, canary = entryState(t, h, id)
+	if status != "ready" || version != 2 || canary != nil {
+		t.Fatalf("post-abort: status=%s version=%d canary=%+v", status, version, canary)
+	}
+	vs, err := srv.registries["imdb"].Versions("canary flow")
+	if err != nil || len(vs) != 3 || !vs[1].Live {
+		t.Fatalf("history after abort: %+v, %v", vs, err)
+	}
+
+	// Drift endpoint responds with monitor + cycle state.
+	rec = get(t, h, fmt.Sprintf("/api/sketches/%d/drift", id))
+	if rec.Code != 200 {
+		t.Fatalf("drift endpoint: %d %s", rec.Code, rec.Body)
+	}
+	var drift struct {
+		Monitor deepsketch.DriftStatus      `json:"monitor"`
+		Cycle   deepsketch.DriftCycleStatus `json:"cycle"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &drift); err != nil {
+		t.Fatal(err)
+	}
+	if drift.Cycle.State != "idle" {
+		t.Errorf("drift cycle state %q, want idle (manual canaries are not controller cycles)", drift.Cycle.State)
+	}
+	if drift.Monitor.Observed == 0 {
+		t.Errorf("monitor observed no estimates despite the estimate traffic above")
+	}
+}
+
+// TestCanaryEndpointNotFoundAndBadFraction covers the error surface.
+func TestCanaryEndpointNotFoundAndBadFraction(t *testing.T) {
+	srv := testServer(t)
+	h := srv.routes()
+	if rec := post(t, h, "/api/sketches/99/canary", map[string]any{"fraction": 0.5}); rec.Code != http.StatusNotFound {
+		t.Errorf("canary on unknown id: %d", rec.Code)
+	}
+	if rec := get(t, h, "/api/sketches/99/drift"); rec.Code != http.StatusNotFound {
+		t.Errorf("drift on unknown id: %d", rec.Code)
+	}
+	id := buildReadySketch(t, h, "fraction checks")
+	if rec := post(t, h, fmt.Sprintf("/api/sketches/%d/canary", id), map[string]any{"fraction": 1.5}); rec.Code != http.StatusBadRequest {
+		t.Errorf("fraction 1.5: %d", rec.Code)
+	}
+	if rec := post(t, h, fmt.Sprintf("/api/sketches/%d/canary", id), map[string]any{"fraction": -0.1}); rec.Code != http.StatusBadRequest {
+		t.Errorf("fraction -0.1: %d", rec.Code)
+	}
+}

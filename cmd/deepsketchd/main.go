@@ -14,11 +14,15 @@
 //	GET  /api/datasets                 schemas of the available datasets
 //	GET  /api/sketches                 sketch list with build status
 //	POST /api/sketches                 define a sketch (async build; 409 on duplicate name)
-//	GET  /api/sketches/{id}            status, progress, epochs, version history
+//	GET  /api/sketches/{id}            status, progress, epochs, version history, canary
 //	PUT  /api/sketches/{id}            upload a sketch file and swap it in as a new version
 //	GET  /api/sketches/{id}/download   serialized sketch file
 //	POST /api/sketches/{id}/refresh    warm-start retrain on a delta workload, swap in
 //	POST /api/sketches/{id}/rollback   revert to the previous version
+//	GET  /api/sketches/{id}/drift      live q-error windows, trigger state, canary cycle
+//	POST /api/sketches/{id}/canary     refresh into a canary at a traffic fraction (or re-fraction)
+//	POST /api/sketches/{id}/promote    make the canary live for 100% of traffic
+//	DELETE /api/sketches/{id}/canary   abort the canary; the live version resumes all traffic
 //	POST /api/estimate                 {sketch_id, sql} -> all overlays (+ serving version)
 //	POST /api/template                 {sketch_id, sql, group, buckets}
 //
@@ -45,6 +49,31 @@
 // version immediately; estimate responses carry the serving version so
 // clients can tell which model answered. Retrained offline instead? Upload
 // the .dsk file with PUT /api/sketches/1 to swap it in the same way.
+//
+// # Canary rollouts
+//
+// A refresh does not have to take 100% of traffic at once. POST
+// /api/sketches/1/canary {"fraction": 0.1, "queries": 2000} fine-tunes
+// like refresh but installs the result as a canary: 10% of the sketch's
+// traffic (hash-split by query signature, so a given query is answered
+// consistently) goes to the candidate while the live version keeps the
+// rest. Estimate caches are keyed by serving version, so both splits stay
+// coherent. Watch GET /api/sketches/1/drift for the per-version windowed
+// q-error comparison, then POST /api/sketches/1/promote to make the
+// candidate live — or DELETE /api/sketches/1/canary to withdraw it.
+//
+// # Automatic drift repair
+//
+// With -drift, the daemon closes the loop itself: a monitor samples live
+// estimates (every -drift-sample'th per sketch), obtains the true
+// cardinality asynchronously, and keeps a windowed q-error distribution
+// per sketch version. When the windowed median or p95 exceeds its
+// threshold — or the -drift-staleness clock expires — the daemon
+// warm-refreshes the sketch on a fresh delta workload, canaries it at
+// -canary-fraction, and promotes or aborts on the comparative windowed
+// q-error once -canary-promote-after ground-truthed canary samples are in.
+// All of it is persisted to -store, so a restart mid-canary resumes the
+// rollout where it left off.
 package main
 
 import (
@@ -70,9 +99,43 @@ func main() {
 	seed := flag.Int64("seed", 1, "dataset seed")
 	prebuilt := flag.Bool("prebuilt", false, "build a small ready-to-query sketch per dataset at startup")
 	store := flag.String("store", "", "directory to persist sketches across restarts (empty = in-memory only)")
+	driftAuto := flag.Bool("drift", false, "automatically refresh+canary sketches when live q-error drifts")
+	driftSample := flag.Int("drift-sample", 10, "ground-truth every Nth estimate per sketch (0 disables sampling)")
+	driftWindow := flag.Int("drift-window", 256, "rolling q-error window per sketch version")
+	driftMedian := flag.Float64("drift-median", 0, "trigger when the windowed median q-error exceeds this (0 = off)")
+	driftP95 := flag.Float64("drift-p95", 0, "trigger when the windowed p95 q-error exceeds this (0 = off)")
+	driftStale := flag.Duration("drift-staleness", 0, "trigger when a sketch has not refreshed for this long (0 = off)")
+	driftCooldown := flag.Duration("drift-cooldown", time.Minute, "minimum gap between drift triggers per sketch")
+	driftInterval := flag.Duration("drift-interval", 5*time.Second, "canary gate / staleness evaluation interval")
+	canaryFraction := flag.Float64("canary-fraction", 0.1, "traffic fraction automatic refreshes canary at")
+	canaryPromote := flag.Int("canary-promote-after", 20, "ground-truthed canary samples before the gate judges")
+	canaryRatio := flag.Float64("canary-max-ratio", 1.1, "promote iff canary median q-error ≤ ratio × live median")
 	flag.Parse()
 
-	srv := newServer(*titles, *orders, *seed)
+	driftCfg := deepsketch.DriftConfig{
+		SampleEvery: *driftSample, Window: *driftWindow,
+		MaxMedianQ: *driftMedian, MaxP95Q: *driftP95,
+		MaxStaleness: *driftStale, Cooldown: *driftCooldown,
+	}
+	if *driftSample == 0 {
+		// The monitor treats 0 as "default"; the flag documents 0 as
+		// "sampling off" (no ground-truth executions at all).
+		driftCfg.SampleEvery = -1
+	}
+	if !*driftAuto {
+		// Without -drift nothing runs the canary gate (Controller.Run), so
+		// a fired trigger would strand its sketch in a never-judged canary.
+		// The monitor still observes — GET .../drift reports the windows —
+		// but the thresholds are disarmed.
+		if *driftMedian > 0 || *driftP95 > 0 || *driftStale > 0 {
+			log.Printf("deepsketchd: drift thresholds set without -drift — monitoring only, no automatic refresh")
+		}
+		driftCfg.MaxMedianQ, driftCfg.MaxP95Q, driftCfg.MaxStaleness = 0, 0, 0
+	}
+	srv := newServerWithDrift(*titles, *orders, *seed, driftCfg,
+		deepsketch.DriftControllerConfig{
+			CanaryFraction: *canaryFraction, PromoteAfter: *canaryPromote, MaxQRatio: *canaryRatio,
+		})
 	srv.store = *store
 	if srv.store != "" {
 		if n, err := srv.loadStore(); err != nil {
@@ -83,6 +146,17 @@ func main() {
 	}
 	if *prebuilt {
 		srv.startPrebuilt()
+	}
+	ctx := context.Background()
+	for _, mon := range srv.monitors {
+		go mon.Run(ctx)
+	}
+	if *driftAuto {
+		for _, ctrl := range srv.controllers {
+			go ctrl.Run(ctx, *driftInterval)
+		}
+		log.Printf("deepsketchd: automatic drift repair on (median>%v p95>%v staleness>%v, canary %g%%)",
+			*driftMedian, *driftP95, *driftStale, *canaryFraction*100)
 	}
 	log.Printf("deepsketchd listening on %s (imdb: %d total rows, tpch: %d total rows)",
 		*addr, srv.datasets["imdb"].TotalRows(), srv.datasets["tpch"].TotalRows())
@@ -102,11 +176,14 @@ type sketchEntry struct {
 	Version int       `json:"version,omitempty"`
 	Created time.Time `json:"created"`
 	sketch  *deepsketch.Sketch
-	// serving is the sketch behind its serving stack: an LRU estimate
-	// cache over a clamped micro-batching coalescer. All request traffic
-	// to this sketch goes through it. Rebuilt on every swap, so the cache
-	// can never serve a previous version's answers; in-flight requests
-	// finish on the stack (and sketch version) they started with.
+	// serving is the entry's serving stack: an LRU estimate cache over a
+	// clamped, drift-observed, micro-batching coalescer over the registry's
+	// per-name view. All request traffic to this sketch goes through it.
+	// The stack is built once and survives every version change: the
+	// registry view routes each query to whichever version (live or canary
+	// split) should answer it, and cache keys embed that serving version —
+	// so a swap, canary or rollback can never surface a previous version's
+	// cached answer, and only the remapped queries' entries go cold.
 	serving deepsketch.Estimator
 	mon     *deepsketch.Monitor
 	// adminMu serializes version-changing admin operations on this entry
@@ -129,12 +206,18 @@ type server struct {
 	baseline map[string]baseline
 	// registries hold each dataset's versioned sketch fleet: auto-routed
 	// queries dispatch through the registry's router to the most specific
-	// ready sketch, and the admin endpoints publish, swap, refresh and
-	// roll back versions through the registry. auto wraps each router in
-	// the serving chain Router → PostgreSQL, so a query no sketch covers
+	// ready sketch, and the admin endpoints publish, swap, refresh, canary
+	// and roll back versions through the registry. auto wraps each router
+	// in the serving chain Router → PostgreSQL, so a query no sketch covers
 	// still gets an answer instead of an error.
 	registries map[string]*deepsketch.SketchRegistry
 	auto       map[string]*deepsketch.EstimateCache
+	// monitors watch each dataset's live estimate quality (drift windows);
+	// controllers close the loop (trigger → refresh → canary → gate). The
+	// monitor queues are only drained once main starts their Run loops, or
+	// when a drift cycle drains them explicitly.
+	monitors    map[string]*deepsketch.DriftMonitor
+	controllers map[string]*deepsketch.DriftController
 
 	// store, when non-empty, is a directory where ready sketches are
 	// persisted and from which they are restored at startup.
@@ -146,16 +229,22 @@ type server struct {
 }
 
 func newServer(titles, orders int, seed int64) *server {
+	return newServerWithDrift(titles, orders, seed, deepsketch.DriftConfig{}, deepsketch.DriftControllerConfig{})
+}
+
+func newServerWithDrift(titles, orders int, seed int64, driftCfg deepsketch.DriftConfig, ctrlCfg deepsketch.DriftControllerConfig) *server {
 	s := &server{
 		datasets: map[string]*deepsketch.DB{
 			"imdb": deepsketch.NewIMDb(deepsketch.IMDbConfig{Seed: seed, Titles: titles}),
 			"tpch": deepsketch.NewTPCH(deepsketch.TPCHConfig{Seed: seed, Orders: orders}),
 		},
-		baseline:   map[string]baseline{},
-		registries: map[string]*deepsketch.SketchRegistry{},
-		auto:       map[string]*deepsketch.EstimateCache{},
-		sketches:   map[int]*sketchEntry{},
-		nextID:     1,
+		baseline:    map[string]baseline{},
+		registries:  map[string]*deepsketch.SketchRegistry{},
+		auto:        map[string]*deepsketch.EstimateCache{},
+		monitors:    map[string]*deepsketch.DriftMonitor{},
+		controllers: map[string]*deepsketch.DriftController{},
+		sketches:    map[int]*sketchEntry{},
+		nextID:      1,
 	}
 	for name, d := range s.datasets {
 		hyper, err := deepsketch.HyperEstimator(d, 1000, seed)
@@ -166,28 +255,151 @@ func newServer(titles, orders int, seed int64) *server {
 		s.baseline[name] = baseline{hyper: hyper, pg: pg}
 		reg := deepsketch.NewSketchRegistry()
 		s.registries[name] = reg
+		// The drift monitor ground-truths sampled estimates against the
+		// exact executor (the demo's HyPer role) and windows q-errors per
+		// sketch version; the controller turns its triggers into automatic
+		// refresh+canary cycles over freshly generated delta workloads.
+		mon := deepsketch.NewDriftMonitor(driftCfg, deepsketch.TruthEstimator(d))
+		s.monitors[name] = mon
+		dcc := ctrlCfg
+		dataset := name
+		dcc.Workload = func(ctx context.Context, sketchName string) ([]deepsketch.LabeledQuery, error) {
+			return s.deltaWorkload(ctx, dataset, sketchName)
+		}
+		dcc.OnEvent = func(ev deepsketch.DriftEvent) { s.onDriftEvent(dataset, ev) }
+		// A trigger that fires while an operator's refresh/canary fine-tune
+		// is still training (entry "refreshing", no canary installed yet)
+		// must not start a second concurrent retrain of the same sketch.
+		dcc.SkipTrigger = func(sketchName string) bool {
+			e := s.entryByName(dataset, sketchName)
+			if e == nil {
+				return false
+			}
+			s.mu.RLock()
+			defer s.mu.RUnlock()
+			return e.Status != "ready"
+		}
+		s.controllers[name] = deepsketch.NewDriftController(reg, mon, dcc)
 		// Auto-routed traffic gets the same serving treatment as explicit
 		// sketch requests: coalesced batched inference behind the router,
 		// clamped, PostgreSQL fallback for uncovered queries, all cached.
 		// The fallback sits inside the coalescer so a coalesced batch that
 		// contains uncovered queries bisects into batched router calls plus
 		// per-query PostgreSQL answers, instead of failing wholesale and
-		// serializing the whole flush. The cache watches the registry
-		// generation: a publish, swap or rollback invalidates it on the
-		// next request — no stale estimates after a version change.
+		// serializing the whole flush. The drift monitor taps the router
+		// path below the cache (hits repeat known answers). The cache is
+		// keyed by the router's CacheKey — the query signature qualified by
+		// the answering sketch version — which keeps it coherent across
+		// every registry mutation with no wholesale invalidation: a swap,
+		// canary start, re-fraction, promote or rollback changes the key of
+		// exactly the queries whose answering version changed, so their old
+		// entries are simply never looked up again while the rest of the
+		// cache stays warm.
 		s.auto[name] = deepsketch.WithCache(
 			deepsketch.NewCoalescer(
 				deepsketch.Fallback(
-					deepsketch.Clamp(reg.Router(), deepsketch.MaxCardinality(d)),
+					deepsketch.ObserveEstimates(
+						deepsketch.Clamp(reg.Router(), deepsketch.MaxCardinality(d)), mon),
 					pg),
 				deepsketch.CoalesceOptions{}),
-			1024).WatchGeneration(reg.Generation)
+			1024).KeyFunc(reg.Router().CacheKey)
 	}
 	return s
 }
 
+// deltaWorkload generates and labels a fresh drift-delta workload over a
+// sketch's tables — the controller's fine-tune input for automatic
+// refreshes. The seed advances with the history length so consecutive
+// cycles see fresh queries.
+func (s *server) deltaWorkload(_ context.Context, dataset, sketchName string) ([]deepsketch.LabeledQuery, error) {
+	d := s.datasets[dataset]
+	reg := s.registries[dataset]
+	live, _, err := reg.Live(sketchName)
+	if err != nil {
+		return nil, err
+	}
+	histLen := 0
+	if vs, err := reg.Versions(sketchName); err == nil {
+		histLen = len(vs)
+	}
+	qs, err := deepsketch.GenerateWorkload(d, deepsketch.GenConfig{
+		Seed: int64(histLen + 1), Count: 1000, Tables: live.Cfg.Tables,
+		MaxJoins: live.Cfg.MaxJoins, MaxPreds: live.Cfg.MaxPreds, Dedup: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return deepsketch.LabelWorkload(d, qs, 0)
+}
+
+// onDriftEvent mirrors automatic drift-cycle transitions onto the sketch
+// entry and the persistent store, so the admin API and a restarted daemon
+// both see what the controller did.
+func (s *server) onDriftEvent(dataset string, ev deepsketch.DriftEvent) {
+	e := s.entryByName(dataset, ev.Name)
+	if e == nil {
+		return
+	}
+	reg := s.registries[dataset]
+	switch ev.Kind {
+	case "refresh_started":
+		log.Printf("deepsketchd: drift trigger on %q (%s): refreshing", ev.Name, ev.Reason)
+		s.mu.Lock()
+		if e.Status == "ready" {
+			e.Status = "refreshing"
+		}
+		s.mu.Unlock()
+	case "canary_started":
+		log.Printf("deepsketchd: drift refresh of %q canarying as v%d", ev.Name, ev.Version)
+		e.adminMu.Lock()
+		if sk, err := reg.Sketch(ev.Name, ev.Version); err == nil {
+			s.mu.Lock()
+			e.Status = "canarying"
+			s.mu.Unlock()
+			s.persistVersion(e, sk, ev.Version)
+		}
+		e.adminMu.Unlock()
+	case "promoted":
+		log.Printf("deepsketchd: canary v%d of %q promoted", ev.Version, ev.Name)
+		e.adminMu.Lock()
+		if sk, err := reg.Sketch(ev.Name, ev.Version); err == nil {
+			s.installVersion(e, sk, ev.Version, "ready", "")
+			s.persistState(e)
+		}
+		e.adminMu.Unlock()
+	case "aborted":
+		log.Printf("deepsketchd: canary v%d of %q aborted (comparative q-error gate)", ev.Version, ev.Name)
+		e.adminMu.Lock()
+		if live, lv, err := reg.Live(ev.Name); err == nil {
+			s.installVersion(e, live, lv, "ready", fmt.Sprintf("canary v%d aborted by the q-error gate", ev.Version))
+			s.persistState(e)
+		}
+		e.adminMu.Unlock()
+	case "error":
+		log.Printf("deepsketchd: drift cycle for %q failed: %v", ev.Name, ev.Err)
+		s.mu.Lock()
+		if e.Status == "refreshing" {
+			e.Status = "ready"
+			e.Error = "drift refresh failed: " + ev.Err.Error()
+		}
+		s.mu.Unlock()
+	}
+}
+
+// entryByName finds the entry serving (dataset, name), or nil.
+func (s *server) entryByName(dataset, name string) *sketchEntry {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, e := range s.sketches {
+		if e.Dataset == dataset && e.Name == name {
+			return e
+		}
+	}
+	return nil
+}
+
 // markReady publishes a built sketch into the dataset's registry as a new
-// name (version 1) and installs its serving stack.
+// name (version 1), installs its serving stack and persists it.
 func (s *server) markReady(e *sketchEntry, sk *deepsketch.Sketch) {
 	ver, err := s.registries[e.Dataset].Publish(e.Name, sk)
 	if err != nil {
@@ -198,24 +410,28 @@ func (s *server) markReady(e *sketchEntry, sk *deepsketch.Sketch) {
 		return
 	}
 	s.installVersion(e, sk, ver, "ready", "")
+	s.persistVersion(e, sk, ver)
 }
 
-// installVersion points the entry at a (new or rolled-back) sketch version:
-// fresh serving stack, updated status. The previous stack's coalescer lives
-// as long as in-flight requests may reference it (entries are never
-// deleted), so it is not closed; its cache is abandoned wholesale, which is
-// what guarantees no post-swap request can hit a previous version's cached
-// answer.
+// installVersion points the entry at a (new or rolled-back) sketch version.
+// The serving stack is built once, on the first install, and shared across
+// versions: it serves through the registry's per-name view, whose answers
+// and cache keys are version-aware, so a version change needs no stack
+// rebuild — the old version's cache lines simply stop being looked up.
 func (s *server) installVersion(e *sketchEntry, sk *deepsketch.Sketch, ver int, status, errMsg string) {
-	d := s.datasets[e.Dataset]
-	serving := deepsketch.WithCache(
-		deepsketch.Clamp(
-			deepsketch.NewCoalescer(sk, deepsketch.CoalesceOptions{}),
-			deepsketch.MaxCardinality(d)),
-		1024)
 	s.mu.Lock()
+	if e.serving == nil {
+		d := s.datasets[e.Dataset]
+		reg := s.registries[e.Dataset]
+		e.serving = deepsketch.WithCache(
+			deepsketch.ObserveEstimates(
+				deepsketch.Clamp(
+					deepsketch.NewCoalescer(reg.Serving(e.Name), deepsketch.CoalesceOptions{}),
+					deepsketch.MaxCardinality(d)),
+				s.monitors[e.Dataset]),
+			1024).KeyFunc(reg.CacheKey(e.Name))
+	}
 	e.sketch = sk
-	e.serving = serving
 	e.Version = ver
 	e.Status = status
 	e.Error = errMsg
@@ -233,6 +449,10 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("GET /api/sketches/{id}/download", s.handleSketchDownload)
 	mux.HandleFunc("POST /api/sketches/{id}/refresh", s.handleSketchRefresh)
 	mux.HandleFunc("POST /api/sketches/{id}/rollback", s.handleSketchRollback)
+	mux.HandleFunc("GET /api/sketches/{id}/drift", s.handleSketchDrift)
+	mux.HandleFunc("POST /api/sketches/{id}/canary", s.handleSketchCanary)
+	mux.HandleFunc("POST /api/sketches/{id}/promote", s.handleSketchPromote)
+	mux.HandleFunc("DELETE /api/sketches/{id}/canary", s.handleSketchCanaryAbort)
 	mux.HandleFunc("POST /api/estimate", s.handleEstimate)
 	mux.HandleFunc("POST /api/template", s.handleTemplate)
 	return mux
@@ -386,7 +606,6 @@ func (s *server) build(e *sketchEntry, d *deepsketch.DB, req createReq) {
 		return
 	}
 	s.markReady(e, sk)
-	s.persist(e, sk)
 }
 
 // startPrebuilt creates one small high-quality sketch per dataset so users
@@ -447,6 +666,7 @@ func (s *server) handleSketchGet(w http.ResponseWriter, r *http.Request) {
 		Progress trainmon.Snapshot          `json:"progress"`
 		Epochs   []trainmon.Event           `json:"epoch_events"`
 		Versions []deepsketch.SketchVersion `json:"versions,omitempty"`
+		Canary   *deepsketch.SketchCanary   `json:"canary,omitempty"`
 	}
 	var epochs []trainmon.Event
 	for _, ev := range e.mon.Events() {
@@ -455,7 +675,11 @@ func (s *server) handleSketchGet(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	versions, _ := s.registries[e.Dataset].Versions(e.Name)
-	blob, err := s.snapshotJSON(resp{sketchEntry: e, Progress: e.mon.Snapshot(), Epochs: epochs, Versions: versions})
+	var canary *deepsketch.SketchCanary
+	if ci, ok := s.registries[e.Dataset].Canary(e.Name); ok {
+		canary = &ci
+	}
+	blob, err := s.snapshotJSON(resp{sketchEntry: e, Progress: e.mon.Snapshot(), Epochs: epochs, Versions: versions, Canary: canary})
 	if err != nil {
 		writeErr(w, http.StatusInternalServerError, err)
 		return
@@ -521,7 +745,7 @@ func (s *server) handleSketchUpload(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.installVersion(e, sk, ver, "ready", "")
-	s.persist(e, sk)
+	s.persistVersion(e, sk, ver)
 	s.writeEntry(w, http.StatusOK, e)
 }
 
@@ -583,16 +807,17 @@ func (s *server) handleSketchRefresh(w http.ResponseWriter, r *http.Request) {
 	sk := e.sketch
 	s.mu.Unlock()
 
-	go s.refresh(e, sk, req)
+	go s.refresh(e, sk, req, 0)
 	s.writeEntry(w, http.StatusAccepted, e)
 }
 
-// refresh runs the delta-workload fine-tune in the background. Entry
-// status is "refreshing" for the whole run, which 409s any concurrent
-// upload/rollback/refresh; completion takes adminMu so the install+persist
-// pair cannot interleave with an admin operation racing the final status
-// flip.
-func (s *server) refresh(e *sketchEntry, sk *deepsketch.Sketch, req refreshReq) {
+// refresh runs the delta-workload fine-tune in the background and lands
+// the result as a direct swap (fraction 0) or as a canary at the given
+// traffic fraction. Entry status is "refreshing" for the whole run, which
+// 409s any concurrent upload/rollback/refresh; completion takes adminMu so
+// the install+persist pair cannot interleave with an admin operation
+// racing the final status flip.
+func (s *server) refresh(e *sketchEntry, sk *deepsketch.Sketch, req refreshReq, fraction float64) {
 	fail := func(err error) {
 		// The old version never stopped serving; keep it and record why
 		// the refresh did not land.
@@ -620,17 +845,176 @@ func (s *server) refresh(e *sketchEntry, sk *deepsketch.Sketch, req refreshReq) 
 	ver, ns, err := s.registries[e.Dataset].Refresh(context.Background(), deepsketch.RegistryRefreshOptions{
 		Name: e.Name, Workload: labeled,
 		Epochs: req.Epochs, StopAtValQ: req.StopAtValQ, Workers: req.Workers,
-		Monitor: e.mon,
+		Monitor: e.mon, Canary: fraction,
 	})
 	if err != nil {
 		fail(err)
 		return
 	}
+	s.monitors[e.Dataset].MarkRefreshed(e.Name)
 	e.adminMu.Lock()
-	s.installVersion(e, ns, ver, "ready", "")
-	s.persist(e, ns)
+	if fraction > 0 {
+		// The canary is in the registry history but not live: the entry
+		// keeps reporting the live version; only the status changes.
+		s.mu.Lock()
+		e.Status = "canarying"
+		e.Error = ""
+		s.mu.Unlock()
+		s.persistVersion(e, ns, ver)
+		log.Printf("deepsketchd: refreshed sketch %q into canary v%d at %g%% (%d delta queries)",
+			e.Name, ver, fraction*100, len(labeled))
+	} else {
+		s.installVersion(e, ns, ver, "ready", "")
+		s.persistVersion(e, ns, ver)
+		log.Printf("deepsketchd: refreshed sketch %q to version %d (%d delta queries)", e.Name, ver, len(labeled))
+	}
 	e.adminMu.Unlock()
-	log.Printf("deepsketchd: refreshed sketch %q to version %d (%d delta queries)", e.Name, ver, len(labeled))
+}
+
+// canaryReq parameterizes POST /api/sketches/{id}/canary: the refresh
+// fields plus the traffic fraction to canary at. On a sketch with an
+// active canary, only Fraction is honoured (the split is re-fractioned).
+type canaryReq struct {
+	refreshReq
+	// Fraction is the share of traffic the canary answers (default 0.1).
+	Fraction float64 `json:"fraction"`
+}
+
+// handleSketchCanary refreshes the sketch into a canary at the requested
+// traffic fraction — or, when a canary is already active, widens or
+// narrows its split.
+func (s *server) handleSketchCanary(w http.ResponseWriter, r *http.Request) {
+	e, err := s.entryByID(r)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	var req canaryReq
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil && err != io.EOF {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Fraction == 0 {
+		req.Fraction = 0.1
+	}
+	if req.Fraction < 0 || req.Fraction > 1 {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("fraction %v outside (0, 1]", req.Fraction))
+		return
+	}
+	e.adminMu.Lock()
+	defer e.adminMu.Unlock()
+	reg := s.registries[e.Dataset]
+	if _, ok := reg.Canary(e.Name); ok {
+		// Active canary: adjust the traffic split.
+		if err := reg.SetCanaryFraction(e.Name, req.Fraction); err != nil {
+			writeErr(w, http.StatusConflict, err)
+			return
+		}
+		s.persistState(e)
+		s.writeEntry(w, http.StatusOK, e)
+		return
+	}
+	histLen := 0
+	if vs, err := reg.Versions(e.Name); err == nil {
+		histLen = len(vs)
+	}
+	s.mu.Lock()
+	if e.Status != "ready" {
+		status := e.Status
+		s.mu.Unlock()
+		writeErr(w, http.StatusConflict, fmt.Errorf("sketch %d is %s", e.ID, status))
+		return
+	}
+	e.Status = "refreshing"
+	e.Error = ""
+	if req.Queries <= 0 {
+		req.Queries = 1000
+	}
+	if req.Seed == 0 {
+		req.Seed = int64(histLen + 1)
+	}
+	sk := e.sketch
+	s.mu.Unlock()
+
+	go s.refresh(e, sk, req.refreshReq, req.Fraction)
+	s.writeEntry(w, http.StatusAccepted, e)
+}
+
+// handleSketchPromote makes the active canary the live version for all
+// traffic.
+func (s *server) handleSketchPromote(w http.ResponseWriter, r *http.Request) {
+	e, err := s.entryByID(r)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	e.adminMu.Lock()
+	defer e.adminMu.Unlock()
+	reg := s.registries[e.Dataset]
+	ver, err := reg.PromoteCanary(e.Name)
+	if err != nil {
+		writeErr(w, http.StatusConflict, err)
+		return
+	}
+	sk, err := reg.Sketch(e.Name, ver)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.installVersion(e, sk, ver, "ready", "")
+	s.persistState(e)
+	log.Printf("deepsketchd: canary v%d of %q promoted by operator", ver, e.Name)
+	s.writeEntry(w, http.StatusOK, e)
+}
+
+// handleSketchCanaryAbort withdraws the active canary; the live version
+// resumes answering all traffic. The aborted version stays in the history.
+func (s *server) handleSketchCanaryAbort(w http.ResponseWriter, r *http.Request) {
+	e, err := s.entryByID(r)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	e.adminMu.Lock()
+	defer e.adminMu.Unlock()
+	reg := s.registries[e.Dataset]
+	ci, ok := reg.Canary(e.Name)
+	if !ok {
+		writeErr(w, http.StatusConflict, fmt.Errorf("sketch %d has no active canary", e.ID))
+		return
+	}
+	if err := reg.AbortCanary(e.Name); err != nil {
+		writeErr(w, http.StatusConflict, err)
+		return
+	}
+	live, lv, err := reg.Live(e.Name)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.installVersion(e, live, lv, "ready", "")
+	s.persistState(e)
+	log.Printf("deepsketchd: canary v%d of %q aborted by operator", ci.Version, e.Name)
+	s.writeEntry(w, http.StatusOK, e)
+}
+
+// handleSketchDrift reports the sketch's live-quality picture: the drift
+// monitor's windowed q-error per version, the controller's cycle state,
+// and the active canary, if any.
+func (s *server) handleSketchDrift(w http.ResponseWriter, r *http.Request) {
+	e, err := s.entryByID(r)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	resp := map[string]any{
+		"monitor": s.monitors[e.Dataset].Status(e.Name),
+		"cycle":   s.controllers[e.Dataset].Cycle(e.Name),
+	}
+	if ci, ok := s.registries[e.Dataset].Canary(e.Name); ok {
+		resp["canary"] = ci
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleSketchRollback reverts the entry to the version before the live
@@ -656,7 +1040,7 @@ func (s *server) handleSketchRollback(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.installVersion(e, sk, ver, "ready", "")
-	s.persist(e, sk)
+	s.persistState(e)
 	s.writeEntry(w, http.StatusOK, e)
 }
 
@@ -695,10 +1079,6 @@ func (s *server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	ctx := r.Context()
 	dataset := req.Dataset
 	var serving deepsketch.Estimator
-	// pinnedVer is the serving version captured together with the serving
-	// stack for explicit sketch requests — reading the live version after
-	// the estimate would mislabel answers that race a swap or rollback.
-	var pinnedVer int
 	if req.SketchID == 0 {
 		if dataset == "" {
 			dataset = "imdb"
@@ -718,7 +1098,6 @@ func (s *server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		s.mu.RLock()
 		serving = e.serving
 		dataset = e.Dataset
-		pinnedVer = e.Version
 		s.mu.RUnlock()
 	}
 	d := s.datasets[dataset]
@@ -764,14 +1143,11 @@ func (s *server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		},
 	}
 	// Tag which version of the answering sketch served the estimate (absent
-	// when a baseline fallback answered). Explicit requests report the
-	// version pinned to the serving stack that answered; auto-routed
-	// requests report the answering sketch's live version (best effort — a
-	// swap can race the lookup).
-	if pinnedVer > 0 {
-		resp["version"] = pinnedVer
-	} else if ver, ok := s.registries[dataset].LiveVersion(est.Source); ok {
-		resp["version"] = ver
+	// when a baseline fallback answered). The version is stamped on the
+	// estimate by the registry's routing layer itself — exact even when a
+	// swap, canary split or rollback races the request.
+	if est.Version > 0 {
+		resp["version"] = est.Version
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"log"
 	"os"
@@ -12,26 +13,92 @@ import (
 	"deepsketch"
 )
 
-// persist writes a ready sketch to the store directory (best effort; the
-// in-memory entry stays authoritative).
-func (s *server) persist(e *sketchEntry, sk *deepsketch.Sketch) {
+// The persistent store keeps each sketch's FULL version history, live
+// pointer and canary state, so a daemon restarted mid-incident — or
+// mid-canary — resumes exactly where it left off:
+//
+//	<store>/<name>/v1.dsk        version files, one per history entry
+//	<store>/<name>/v2.dsk
+//	<store>/<name>/state.json    {dataset, live, canary{version, fraction}}
+//
+// Version files are written once (a version's weights never change after
+// it is published); state.json is rewritten atomically (temp + rename) on
+// every live-pointer or canary transition, so a crash between the two
+// leaves a consistent store. Flat legacy <name>.dsk files from the
+// previous single-version layout still load (as a one-version history)
+// and migrate to the directory layout on their next persisted change.
+
+// storeState is the per-sketch state.json payload.
+type storeState struct {
+	Name    string       `json:"name"`
+	Dataset string       `json:"dataset"`
+	Live    int          `json:"live"`
+	Canary  *storeCanary `json:"canary,omitempty"`
+}
+
+type storeCanary struct {
+	Version  int     `json:"version"`
+	Fraction float64 `json:"fraction"`
+}
+
+// persistVersion writes one sketch version file plus the current state
+// (best effort; the in-memory registry stays authoritative).
+func (s *server) persistVersion(e *sketchEntry, sk *deepsketch.Sketch, ver int) {
 	if s.store == "" {
 		return
 	}
-	if err := os.MkdirAll(s.store, 0o755); err != nil {
+	dir := filepath.Join(s.store, sanitizeName(e.Name))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
 		log.Printf("deepsketchd: store: %v", err)
 		return
 	}
-	path := filepath.Join(s.store, fmt.Sprintf("%s.dsk", sanitizeName(e.Name)))
+	path := filepath.Join(dir, fmt.Sprintf("v%d.dsk", ver))
 	if err := deepsketch.SaveFile(sk, path); err != nil {
-		log.Printf("deepsketchd: persist %s: %v", e.Name, err)
+		log.Printf("deepsketchd: persist %s v%d: %v", e.Name, ver, err)
 		return
 	}
-	log.Printf("deepsketchd: persisted sketch %q to %s", e.Name, path)
+	s.persistState(e)
+	log.Printf("deepsketchd: persisted sketch %q v%d to %s", e.Name, ver, path)
 }
 
-// loadStore restores every *.dsk file in the store directory as a ready
-// sketch, provided its dataset is one the server hosts.
+// persistState snapshots the registry's live pointer and canary state for
+// the entry into state.json, atomically.
+func (s *server) persistState(e *sketchEntry) {
+	if s.store == "" {
+		return
+	}
+	reg := s.registries[e.Dataset]
+	live, ok := reg.LiveVersion(e.Name)
+	if !ok {
+		return
+	}
+	st := storeState{Name: e.Name, Dataset: e.Dataset, Live: live}
+	if ci, ok := reg.Canary(e.Name); ok {
+		st.Canary = &storeCanary{Version: ci.Version, Fraction: ci.Fraction}
+	}
+	dir := filepath.Join(s.store, sanitizeName(e.Name))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Printf("deepsketchd: store: %v", err)
+		return
+	}
+	blob, err := json.Marshal(st)
+	if err != nil {
+		log.Printf("deepsketchd: store state for %s: %v", e.Name, err)
+		return
+	}
+	tmp := filepath.Join(dir, "state.json.tmp")
+	if err := os.WriteFile(tmp, append(blob, '\n'), 0o644); err != nil {
+		log.Printf("deepsketchd: store state for %s: %v", e.Name, err)
+		return
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, "state.json")); err != nil {
+		log.Printf("deepsketchd: store state for %s: %v", e.Name, err)
+	}
+}
+
+// loadStore restores every persisted sketch: directory layouts first
+// (full version history + live pointer + canary), then flat legacy .dsk
+// files (single version), skipping anything that fails to load.
 func (s *server) loadStore() (int, error) {
 	entries, err := os.ReadDir(s.store)
 	if err != nil {
@@ -40,15 +107,26 @@ func (s *server) loadStore() (int, error) {
 		}
 		return 0, err
 	}
-	names := make([]string, 0, len(entries))
+	var dirs, flats []string
 	for _, ent := range entries {
-		if !ent.IsDir() && strings.HasSuffix(ent.Name(), ".dsk") {
-			names = append(names, ent.Name())
+		switch {
+		case ent.IsDir():
+			dirs = append(dirs, ent.Name())
+		case strings.HasSuffix(ent.Name(), ".dsk"):
+			flats = append(flats, ent.Name())
 		}
 	}
-	sort.Strings(names)
+	sort.Strings(dirs)
+	sort.Strings(flats)
 	loaded := 0
-	for _, name := range names {
+	for _, name := range dirs {
+		if err := s.loadVersionedDir(filepath.Join(s.store, name)); err != nil {
+			log.Printf("deepsketchd: skipping %s: %v", name, err)
+			continue
+		}
+		loaded++
+	}
+	for _, name := range flats {
 		path := filepath.Join(s.store, name)
 		sk, err := deepsketch.LoadFile(path)
 		if err != nil {
@@ -61,6 +139,8 @@ func (s *server) loadStore() (int, error) {
 		}
 		e, err := s.register(sk.Name(), sk.DBName)
 		if err != nil {
+			// Typically: the directory layout already restored this name —
+			// the flat file is a leftover from the pre-versioned store.
 			log.Printf("deepsketchd: skipping %s: %v", path, err)
 			continue
 		}
@@ -71,6 +151,74 @@ func (s *server) loadStore() (int, error) {
 		loaded++
 	}
 	return loaded, nil
+}
+
+// loadVersionedDir restores one sketch's full history from a store
+// directory: all version files, the live pointer, and — when the daemon
+// went down mid-canary — the canary split, re-armed at the same version
+// and fraction.
+func (s *server) loadVersionedDir(dir string) error {
+	blob, err := os.ReadFile(filepath.Join(dir, "state.json"))
+	if err != nil {
+		return fmt.Errorf("state.json: %w", err)
+	}
+	var st storeState
+	if err := json.Unmarshal(blob, &st); err != nil {
+		return fmt.Errorf("state.json: %w", err)
+	}
+	if _, ok := s.datasets[st.Dataset]; !ok {
+		return fmt.Errorf("unknown dataset %q", st.Dataset)
+	}
+	// Versions are contiguous from 1: a version file is written for every
+	// publish/refresh/canary, and never deleted.
+	var versions []*deepsketch.Sketch
+	for ver := 1; ; ver++ {
+		path := filepath.Join(dir, fmt.Sprintf("v%d.dsk", ver))
+		if _, err := os.Stat(path); err != nil {
+			break
+		}
+		sk, err := deepsketch.LoadFile(path)
+		if err != nil {
+			return fmt.Errorf("v%d.dsk: %w", ver, err)
+		}
+		if sk.Name() != st.Name {
+			return fmt.Errorf("v%d.dsk is named %q, state says %q", ver, sk.Name(), st.Name)
+		}
+		versions = append(versions, sk)
+	}
+	if len(versions) == 0 {
+		return fmt.Errorf("no version files")
+	}
+	if st.Live < 1 || st.Live > len(versions) {
+		return fmt.Errorf("live version %d outside stored history 1..%d", st.Live, len(versions))
+	}
+	reg := s.registries[st.Dataset]
+	if err := reg.Restore(st.Name, versions, st.Live); err != nil {
+		return err
+	}
+	status := "ready"
+	if c := st.Canary; c != nil {
+		if err := reg.ResumeCanary(st.Name, c.Version, c.Fraction); err != nil {
+			log.Printf("deepsketchd: %s: canary not resumed: %v", st.Name, err)
+		} else {
+			status = "canarying"
+			// Hand the resumed canary to the drift controller so the
+			// comparative q-error gate finishes the rollout (when the
+			// automatic loop is running; otherwise the operator promotes or
+			// aborts via the API, as before the restart).
+			s.controllers[st.Dataset].AdoptCanary(st.Name)
+			log.Printf("deepsketchd: resumed canary v%d of %q at %g%%", c.Version, st.Name, c.Fraction*100)
+		}
+	}
+	e, err := s.register(st.Name, st.Dataset)
+	if err != nil {
+		return err
+	}
+	s.installVersion(e, versions[st.Live-1], st.Live, status, "")
+	s.mu.Lock()
+	e.Created = time.Now()
+	s.mu.Unlock()
+	return nil
 }
 
 // sanitizeName makes a sketch name safe as a file name.

@@ -4,8 +4,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"os"
+	"path/filepath"
 	"testing"
 	"time"
+
+	"deepsketch"
 )
 
 func TestStorePersistAndRestore(t *testing.T) {
@@ -64,6 +68,136 @@ func TestStorePersistAndRestore(t *testing.T) {
 	})
 	if rec.Code != http.StatusOK {
 		t.Fatalf("estimate from restored sketch: %d %s", rec.Code, rec.Body)
+	}
+}
+
+// TestStoreRestartMidCanaryResumes is the restart half of the canary
+// acceptance criterion: a daemon that goes down mid-canary comes back with
+// the full version history, the same live pointer, and the canary re-armed
+// at the same version and fraction — and the rollout can be finished on
+// the restarted process.
+func TestStoreRestartMidCanaryResumes(t *testing.T) {
+	dir := t.TempDir()
+
+	srv1 := newServer(600, 300, 2)
+	srv1.store = dir
+	h1 := srv1.routes()
+	rec := post(t, h1, "/api/sketches", createReq{
+		Name: "mid canary", Dataset: "imdb",
+		SampleSize: 24, TrainQueries: 100, Epochs: 1, HiddenUnits: 8, Seed: 2,
+	})
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("create: %d %s", rec.Code, rec.Body)
+	}
+	awaitStatus(t, h1, 1, "ready")
+	rec = post(t, h1, "/api/sketches/1/canary", map[string]any{
+		"fraction": 0.25, "queries": 120, "epochs": 1, "workers": 2,
+	})
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("canary: %d %s", rec.Code, rec.Body)
+	}
+	awaitStatus(t, h1, 1, "canarying")
+
+	// "Restart": a fresh server over the same store directory.
+	srv2 := newServer(600, 300, 2)
+	srv2.store = dir
+	n, err := srv2.loadStore()
+	if err != nil || n != 1 {
+		t.Fatalf("restore: n=%d err=%v", n, err)
+	}
+	h2 := srv2.routes()
+	status, version, canary := entryState(t, h2, 1)
+	if status != "canarying" || version != 1 {
+		t.Fatalf("restored entry: status=%s version=%d, want canarying v1", status, version)
+	}
+	if canary == nil || canary.Version != 2 || canary.BaseVersion != 1 || canary.Fraction != 0.25 {
+		t.Fatalf("restored canary: %+v, want v2 at 25%% over v1", canary)
+	}
+	if vs, err := srv2.registries["imdb"].Versions("mid canary"); err != nil || len(vs) != 2 || !vs[0].Live || !vs[1].Canary {
+		t.Fatalf("restored history: %+v, %v", vs, err)
+	}
+	// The drift controller adopted the resumed canary: were the automatic
+	// loop running, its gate would finish the rollout.
+	if cy := srv2.controllers["imdb"].Cycle("mid canary"); cy.State != "canarying" {
+		t.Fatalf("controller did not adopt the resumed canary: %+v", cy)
+	}
+
+	// The resumed rollout finishes on the restarted daemon.
+	if rec := post(t, h2, "/api/sketches/1/promote", nil); rec.Code != http.StatusOK {
+		t.Fatalf("promote on restarted daemon: %d %s", rec.Code, rec.Body)
+	}
+	status, version, canary = entryState(t, h2, 1)
+	if status != "ready" || version != 2 || canary != nil {
+		t.Fatalf("post-promote: status=%s version=%d canary=%+v", status, version, canary)
+	}
+	rec = post(t, h2, "/api/estimate", estimateReq{
+		SketchID: 1, SQL: "SELECT COUNT(*) FROM title t WHERE t.production_year>2000",
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("estimate after resumed promote: %d %s", rec.Code, rec.Body)
+	}
+
+	// Third start: the promoted state persisted — live v2, no canary.
+	srv3 := newServer(600, 300, 2)
+	srv3.store = dir
+	if n, err := srv3.loadStore(); err != nil || n != 1 {
+		t.Fatalf("second restore: n=%d err=%v", n, err)
+	}
+	h3 := srv3.routes()
+	status, version, canary = entryState(t, h3, 1)
+	if status != "ready" || version != 2 || canary != nil {
+		t.Fatalf("after promote restart: status=%s version=%d canary=%+v", status, version, canary)
+	}
+}
+
+// TestLegacyFlatStoreMigration: a flat pre-versioned <name>.dsk migrates
+// to the directory layout the moment it is loaded (not on its first
+// change), so a later refresh + restart restores the refreshed version —
+// the flat leftover can never shadow it.
+func TestLegacyFlatStoreMigration(t *testing.T) {
+	dir := t.TempDir()
+	d := deepsketch.NewIMDb(deepsketch.IMDbConfig{Seed: 2, Titles: 600})
+	sk, err := deepsketch.Build(d, deepsketch.Config{
+		Name: "legacy", SampleSize: 24, TrainQueries: 80, Seed: 2, Workers: 2,
+		Model: deepsketch.ModelConfig{HiddenUnits: 8, Epochs: 1, BatchSize: 32, Seed: 2},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := deepsketch.SaveFile(sk, filepath.Join(dir, "legacy.dsk")); err != nil {
+		t.Fatal(err)
+	}
+
+	srv1 := newServer(600, 300, 2)
+	srv1.store = dir
+	if n, err := srv1.loadStore(); err != nil || n != 1 {
+		t.Fatalf("flat restore: n=%d err=%v", n, err)
+	}
+	// Loading migrated the flat file to the directory layout.
+	if _, err := os.Stat(filepath.Join(dir, "legacy", "v1.dsk")); err != nil {
+		t.Fatalf("flat file was not migrated to the versioned layout: %v", err)
+	}
+	h1 := srv1.routes()
+	if rec := post(t, h1, "/api/sketches/1/refresh", map[string]any{"queries": 80, "epochs": 1, "workers": 2}); rec.Code != http.StatusAccepted {
+		t.Fatalf("refresh: %d %s", rec.Code, rec.Body)
+	}
+	awaitStatus(t, h1, 1, "ready")
+	if _, ver, _ := entryState(t, h1, 1); ver != 2 {
+		t.Fatalf("refresh did not land v2")
+	}
+
+	// Restart: the refreshed v2 must survive; the flat leftover is skipped.
+	srv2 := newServer(600, 300, 2)
+	srv2.store = dir
+	if n, err := srv2.loadStore(); err != nil || n != 1 {
+		t.Fatalf("second restore: n=%d err=%v", n, err)
+	}
+	h2 := srv2.routes()
+	if _, ver, _ := entryState(t, h2, 1); ver != 2 {
+		t.Fatalf("restored serving version %d, want the refreshed 2", ver)
+	}
+	if vs, err := srv2.registries["imdb"].Versions("legacy"); err != nil || len(vs) != 2 || !vs[1].Live {
+		t.Fatalf("restored history: %+v, %v", vs, err)
 	}
 }
 

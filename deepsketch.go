@@ -62,6 +62,7 @@ import (
 	"deepsketch/internal/core"
 	"deepsketch/internal/datagen"
 	"deepsketch/internal/db"
+	"deepsketch/internal/drift"
 	"deepsketch/internal/estimator"
 	"deepsketch/internal/lifecycle"
 	"deepsketch/internal/metrics"
@@ -205,6 +206,60 @@ type (
 // NewSketchRegistry returns an empty versioned sketch registry (with its
 // own Router, reachable via the registry's Router method).
 func NewSketchRegistry() *SketchRegistry { return lifecycle.New() }
+
+// SketchCanary describes a registry's active canary rollout: the candidate
+// version, the live version it is compared against, and its traffic
+// fraction.
+type SketchCanary = lifecycle.CanaryInfo
+
+// CanarySplit reports whether a query signature belongs to the canary arm
+// at the given traffic fraction — the deterministic hash split the Router
+// and registries route by. Stable per signature, monotone in the fraction.
+func CanarySplit(sig string, fraction float64) bool { return router.CanarySplit(sig, fraction) }
+
+// Drift monitoring: the closed loop that turns live q-error degradation
+// into automatic warm refreshes rolled out behind a canary.
+type (
+	// DriftMonitor samples live estimates, ground-truths them
+	// asynchronously, and fires triggers on windowed q-error degradation or
+	// staleness (see internal/drift).
+	DriftMonitor = drift.Monitor
+	// DriftConfig parameterizes a DriftMonitor (sampling rate, window,
+	// thresholds, staleness clock, cooldown).
+	DriftConfig = drift.Config
+	// DriftReason describes why a drift trigger fired.
+	DriftReason = drift.Reason
+	// DriftStatus is a sketch's monitoring snapshot.
+	DriftStatus = drift.Status
+	// DriftController closes the loop over a SketchRegistry: trigger →
+	// warm refresh → canary → comparative q-error gate → promote/abort.
+	DriftController = drift.Controller
+	// DriftControllerConfig parameterizes a DriftController (canary
+	// fraction, promote gate, refresh budget, delta-workload source).
+	DriftControllerConfig = drift.ControllerConfig
+	// DriftEvent is one controller state transition.
+	DriftEvent = drift.Event
+	// DriftCycleStatus reports a sketch's controller cycle state.
+	DriftCycleStatus = drift.CycleStatus
+)
+
+// NewDriftMonitor returns a drift monitor that obtains ground truth from
+// truth — TruthEstimator(d) for exact counts, PostgresEstimator(d) for a
+// cheap approximation, or EstimatorFunc over logged actuals.
+func NewDriftMonitor(cfg DriftConfig, truth Estimator) *DriftMonitor {
+	return drift.NewMonitor(cfg, truth)
+}
+
+// NewDriftController wires a controller to the registry and monitor and
+// installs itself as the monitor's trigger handler.
+func NewDriftController(reg *SketchRegistry, mon *DriftMonitor, cfg DriftControllerConfig) *DriftController {
+	return drift.NewController(reg, mon, cfg)
+}
+
+// ObserveEstimates returns middleware that reports every computed estimate
+// flowing through it to the drift monitor. Stack it between the cache and
+// the backend so cache hits are not re-counted.
+func ObserveEstimates(e Estimator, m *DriftMonitor) Estimator { return drift.Observe(e, m) }
 
 // Refresh warm-start retrains a sketch on a labeled drift-delta workload
 // and returns the refreshed sketch; the input sketch keeps serving

@@ -1,0 +1,109 @@
+package deepsketch
+
+// Documentation gates, run by the CI docs job:
+//
+//   - TestDocsLinks: every relative markdown link in README.md and docs/
+//     resolves to an existing file.
+//   - TestPackageDocs: every package in the module (root, internal/*,
+//     cmd/*) carries a package-level doc comment.
+
+import (
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// mdLink matches [text](target) links, excluding images' leading !.
+var mdLink = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
+
+func TestDocsLinks(t *testing.T) {
+	files := []string{"README.md"}
+	docEntries, err := os.ReadDir("docs")
+	if err != nil {
+		t.Fatalf("docs/ directory: %v", err)
+	}
+	for _, ent := range docEntries {
+		if strings.HasSuffix(ent.Name(), ".md") {
+			files = append(files, filepath.Join("docs", ent.Name()))
+		}
+	}
+	if len(files) < 3 {
+		t.Fatalf("expected README.md plus at least two docs/*.md, found %v", files)
+	}
+	for _, file := range files {
+		blob, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatalf("%s: %v", file, err)
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(blob), -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+				continue // external; the offline check covers repo-relative links
+			}
+			target, _, _ = strings.Cut(target, "#")
+			if target == "" {
+				continue // intra-document anchor
+			}
+			resolved := filepath.Join(filepath.Dir(file), target)
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s: broken link %q (%v)", file, m[1], err)
+			}
+		}
+	}
+}
+
+func TestPackageDocs(t *testing.T) {
+	var pkgDirs []string
+	err := filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if strings.HasPrefix(d.Name(), ".") && path != "." {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+			dir := filepath.Dir(path)
+			if len(pkgDirs) == 0 || pkgDirs[len(pkgDirs)-1] != dir {
+				pkgDirs = append(pkgDirs, dir)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	for _, dir := range pkgDirs {
+		ents, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		documented := false
+		var pkgName string
+		for _, ent := range ents {
+			if !strings.HasSuffix(ent.Name(), ".go") || strings.HasSuffix(ent.Name(), "_test.go") {
+				continue
+			}
+			f, err := parser.ParseFile(fset, filepath.Join(dir, ent.Name()), nil, parser.ParseComments|parser.PackageClauseOnly)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", dir, ent.Name(), err)
+			}
+			pkgName = f.Name.Name
+			if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+				documented = true
+				break
+			}
+		}
+		if pkgName != "" && !documented {
+			t.Errorf("package %s (in %s) has no package-level doc comment", pkgName, dir)
+		}
+	}
+}

@@ -37,6 +37,11 @@ type Estimate struct {
 	// CacheHit is true when the estimate was served from an estimate cache
 	// rather than computed.
 	CacheHit bool `json:"cache_hit,omitempty"`
+	// Version is the registry version of the sketch that answered, when the
+	// answering backend is versioned (a sketch behind a lifecycle registry's
+	// router, including a canary split). 0 means unversioned: a bare sketch,
+	// a traditional estimator, or a fallback backend.
+	Version int `json:"version,omitempty"`
 }
 
 // Estimator is the single estimation entry point: anything that can

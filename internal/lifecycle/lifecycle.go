@@ -15,11 +15,34 @@
 //     previous version. Both are one router copy-on-write mutation.
 //   - Refresh warm-start retrains the live version on a drift-delta
 //     workload (resuming its Adam state via core.Refresh) and swaps the
-//     result in.
+//     result in — or, with RefreshOptions.Canary set, installs it as a
+//     canary instead of swapping.
+//
+// # Canary state machine
+//
+// A refreshed version does not have to take 100% of traffic at once. The
+// canary state machine de-risks the transition:
+//
+//	publish/refresh ──StartCanary(f)──▶ canarying ──PromoteCanary──▶ live
+//	                                       │
+//	                                       └──AbortCanary──▶ previous live keeps serving
+//
+// StartCanary appends the candidate to the version history (so an aborted
+// canary is never lost from the record) and routes fraction f of the name's
+// traffic to it via the router's deterministic per-query hash split;
+// SetCanaryFraction widens or narrows the split; PromoteCanary makes the
+// candidate live for all traffic; AbortCanary withdraws it. At most one
+// canary per name is active at a time, and a direct Publish/Swap/Rollback
+// aborts an active canary first — the history it was being compared against
+// has changed. Restore and ResumeCanary rebuild the same state from a
+// persistent store after a restart, so an interrupted canary resumes where
+// it left off.
 //
 // Every mutation bumps the underlying router's generation; serving caches
 // wired with serve.Cache.WatchGeneration(reg.Generation) therefore drop
 // stale estimates on the first request after a swap — no manual resets.
+// Caches additionally keyed with serve.Cache.KeyFunc(router.CacheKey) stay
+// correct per canary split without wholesale invalidation.
 package lifecycle
 
 import (
@@ -29,6 +52,8 @@ import (
 	"sync"
 
 	"deepsketch/internal/core"
+	"deepsketch/internal/db"
+	"deepsketch/internal/estimator"
 	"deepsketch/internal/router"
 	"deepsketch/internal/trainmon"
 	"deepsketch/internal/workload"
@@ -41,23 +66,49 @@ type Registry struct {
 
 	mu      sync.Mutex
 	entries map[string]*history
+	serial  uint64 // hands out history incarnations; guarded by mu
 }
 
 // history is one name's version chain. versions[i] is version i+1; live
 // indexes the currently serving version. Rollback moves live backwards;
 // Publish always appends, so history is monotone and a rollback is never
-// lost from the record.
+// lost from the record. canary, when non-nil, indexes the version serving
+// the canary split and records its traffic fraction.
 type history struct {
 	versions []*core.Sketch
 	live     int
+	canary   *canaryState
+	// inc is the name's registration incarnation (see router.entry.inc):
+	// fresh per Unregister+re-Publish, embedded in version-aware cache keys
+	// so the restarted version numbering cannot collide with the previous
+	// sketch's cached answers.
+	inc uint64
+}
+
+// canaryState is one active canary: which history entry serves the split
+// and how much traffic it takes.
+type canaryState struct {
+	idx      int
+	fraction float64
 }
 
 // VersionInfo describes one version of a registered sketch.
 type VersionInfo struct {
 	Version  int     `json:"version"`
 	Live     bool    `json:"live"`
+	Canary   bool    `json:"canary,omitempty"`     // serving the canary split
 	Epochs   int     `json:"epochs"`               // cumulative training epochs recorded
 	ValMeanQ float64 `json:"val_mean_q,omitempty"` // last recorded validation mean q-error
+}
+
+// CanaryInfo describes a name's active canary.
+type CanaryInfo struct {
+	// Version is the canary's version number in the name's history.
+	Version int `json:"version"`
+	// BaseVersion is the live version the canary is being compared against.
+	BaseVersion int `json:"base_version"`
+	// Fraction is the share of traffic hash-routed to the canary.
+	Fraction float64 `json:"fraction"`
 }
 
 // New returns an empty registry over its own router.
@@ -107,13 +158,18 @@ func (g *Registry) publishLocked(name string, s *core.Sketch, install bool) (int
 		if !install {
 			return 0, fmt.Errorf("lifecycle: no sketch named %q to swap", name)
 		}
-		g.entries[name] = &history{versions: []*core.Sketch{s}}
-		g.r.Register(s)
+		g.serial++
+		g.entries[name] = &history{versions: []*core.Sketch{s}, inc: g.serial}
+		g.r.RegisterVersion(s, 1)
 		return 1, nil
 	}
-	if err := g.r.Swap(name, s); err != nil {
+	ver := len(h.versions) + 1
+	if err := g.r.SwapVersion(name, s, ver); err != nil {
 		return 0, err
 	}
+	// The router's SwapVersion dropped any canary arm; mirror that here — a
+	// direct publish replaces whatever the canary was being compared against.
+	h.canary = nil
 	h.versions = append(h.versions, s)
 	h.live = len(h.versions) - 1
 	return len(h.versions), nil
@@ -155,6 +211,7 @@ func (g *Registry) Versions(name string) ([]VersionInfo, error) {
 	out := make([]VersionInfo, len(h.versions))
 	for i, s := range h.versions {
 		vi := VersionInfo{Version: i + 1, Live: i == h.live, Epochs: len(s.Epochs)}
+		vi.Canary = h.canary != nil && h.canary.idx == i
 		if n := len(s.Epochs); n > 0 {
 			vi.ValMeanQ = s.Epochs[n-1].ValMeanQ
 		}
@@ -178,7 +235,8 @@ func (g *Registry) Names() []string {
 // Rollback reverts name to the version before the live one and makes it
 // serve, returning the now-live version number and sketch. History is
 // kept: a later Publish appends the next version number, it does not
-// overwrite. Rolling back past version 1 is an error.
+// overwrite. An active canary is aborted — its comparison base is gone.
+// Rolling back past version 1 is an error.
 func (g *Registry) Rollback(name string) (int, *core.Sketch, error) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
@@ -190,11 +248,280 @@ func (g *Registry) Rollback(name string) (int, *core.Sketch, error) {
 		return 0, nil, fmt.Errorf("lifecycle: %q is at version 1, nothing to roll back to", name)
 	}
 	target := h.versions[h.live-1]
-	if err := g.r.Swap(name, target); err != nil {
+	if err := g.r.SwapVersion(name, target, h.live); err != nil {
 		return 0, nil, err
 	}
+	h.canary = nil
 	h.live--
 	return h.live + 1, target, nil
+}
+
+// StartCanary publishes s as the newest version of name WITHOUT making it
+// live: the version is appended to the history, and fraction of the name's
+// traffic is hash-routed to it while the live version keeps the rest.
+// Returns the canary's version number. At most one canary per name may be
+// active; promote or abort the current one first.
+func (g *Registry) StartCanary(name string, s *core.Sketch, fraction float64) (int, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	h, ok := g.entries[name]
+	if !ok {
+		return 0, fmt.Errorf("lifecycle: no sketch named %q to canary", name)
+	}
+	if h.canary != nil {
+		return 0, fmt.Errorf("lifecycle: %q already has a canary at version %d — promote or abort it first", name, h.canary.idx+1)
+	}
+	if s.Name() != name {
+		return 0, fmt.Errorf("lifecycle: sketch is named %q, registry name is %q — set Cfg.Name before canarying", s.Name(), name)
+	}
+	ver := len(h.versions) + 1
+	if err := g.r.SetCanary(name, s, ver, fraction); err != nil {
+		return 0, err
+	}
+	h.versions = append(h.versions, s)
+	h.canary = &canaryState{idx: ver - 1, fraction: fraction}
+	return ver, nil
+}
+
+// SetCanaryFraction widens or narrows the active canary's traffic split.
+// The hash split is monotone in the fraction: widening only moves new query
+// signatures onto the canary, it never moves one off.
+func (g *Registry) SetCanaryFraction(name string, fraction float64) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	h, ok := g.entries[name]
+	if !ok {
+		return fmt.Errorf("lifecycle: no sketch named %q", name)
+	}
+	if h.canary == nil {
+		return fmt.Errorf("lifecycle: %q has no active canary", name)
+	}
+	if err := g.r.SetCanary(name, h.versions[h.canary.idx], h.canary.idx+1, fraction); err != nil {
+		return err
+	}
+	h.canary.fraction = fraction
+	return nil
+}
+
+// PromoteCanary makes the active canary the live version for 100% of
+// traffic and ends the canary, returning the promoted version number. The
+// previous live version stays in the history, one Rollback away.
+func (g *Registry) PromoteCanary(name string) (int, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	h, ok := g.entries[name]
+	if !ok {
+		return 0, fmt.Errorf("lifecycle: no sketch named %q", name)
+	}
+	if h.canary == nil {
+		return 0, fmt.Errorf("lifecycle: %q has no active canary to promote", name)
+	}
+	if err := g.r.PromoteCanary(name); err != nil {
+		return 0, err
+	}
+	h.live = h.canary.idx
+	h.canary = nil
+	return h.live + 1, nil
+}
+
+// AbortCanary withdraws the active canary: the live version resumes
+// answering all traffic. The aborted version stays in the history (not
+// live) so the record of the failed candidate is kept.
+func (g *Registry) AbortCanary(name string) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	h, ok := g.entries[name]
+	if !ok {
+		return fmt.Errorf("lifecycle: no sketch named %q", name)
+	}
+	if h.canary == nil {
+		return fmt.Errorf("lifecycle: %q has no active canary to abort", name)
+	}
+	if err := g.r.ClearCanary(name); err != nil {
+		return err
+	}
+	h.canary = nil
+	return nil
+}
+
+// Canary reports the name's active canary, with ok=false when none is.
+func (g *Registry) Canary(name string) (CanaryInfo, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	h, ok := g.entries[name]
+	if !ok || h.canary == nil {
+		return CanaryInfo{}, false
+	}
+	return CanaryInfo{
+		Version:     h.canary.idx + 1,
+		BaseVersion: h.live + 1,
+		Fraction:    h.canary.fraction,
+	}, true
+}
+
+// ServingVersion reports which version of name answers a query with the
+// given canonical signature right now: the canary version when a canary is
+// active and the signature hashes into its split, the live version
+// otherwise. ok=false when the name is unknown.
+func (g *Registry) ServingVersion(name, sig string) (int, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	h, ok := g.entries[name]
+	if !ok {
+		return 0, false
+	}
+	if h.canary != nil && router.CanarySplit(sig, h.canary.fraction) {
+		return h.canary.idx + 1, true
+	}
+	return h.live + 1, true
+}
+
+// Sketch returns one version of name from the history (1-based).
+func (g *Registry) Sketch(name string, version int) (*core.Sketch, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	h, ok := g.entries[name]
+	if !ok {
+		return nil, fmt.Errorf("lifecycle: no sketch named %q", name)
+	}
+	if version < 1 || version > len(h.versions) {
+		return nil, fmt.Errorf("lifecycle: %q has no version %d (history 1..%d)", name, version, len(h.versions))
+	}
+	return h.versions[version-1], nil
+}
+
+// servingSketch picks the sketch and version that answer a query with the
+// given signature for name: the canary when active and the signature is in
+// its split, the live version otherwise.
+func (g *Registry) servingSketch(name, sig string) (*core.Sketch, int, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	h, ok := g.entries[name]
+	if !ok {
+		return nil, 0, fmt.Errorf("lifecycle: no sketch named %q", name)
+	}
+	if c := h.canary; c != nil && router.CanarySplit(sig, c.fraction) {
+		return h.versions[c.idx], c.idx + 1, nil
+	}
+	return h.versions[h.live], h.live + 1, nil
+}
+
+// Serving returns an estimator view pinned to one registered name that
+// honours the canary split: each query is answered by whichever version
+// its signature selects right now, and estimates carry that version. It is
+// how a serving stack dedicated to one sketch (rather than the coverage-
+// routing Router) takes part in canary rollouts. Pair the stack's cache
+// with CacheKey(name) so entries are version-coherent.
+func (g *Registry) Serving(name string) estimator.Estimator {
+	return &namedView{g: g, name: name}
+}
+
+// CacheKey returns a cache-key function for a Serving(name) stack: the
+// query signature qualified by the version that would answer it (the same
+// router.VersionedCacheKey shape the Router's CacheKey produces).
+func (g *Registry) CacheKey(name string) func(db.Query) string {
+	return func(q db.Query) string {
+		sig := q.Signature()
+		g.mu.Lock()
+		h, ok := g.entries[name]
+		if !ok {
+			g.mu.Unlock()
+			return sig
+		}
+		inc := h.inc
+		ver := h.live + 1
+		if c := h.canary; c != nil && router.CanarySplit(sig, c.fraction) {
+			ver = c.idx + 1
+		}
+		g.mu.Unlock()
+		return router.VersionedCacheKey(sig, name, inc, ver)
+	}
+}
+
+// namedView serves one registered name through the registry's canary
+// split.
+type namedView struct {
+	g    *Registry
+	name string
+}
+
+func (v *namedView) Name() string { return v.name }
+
+func (v *namedView) Estimate(ctx context.Context, q db.Query) (estimator.Estimate, error) {
+	s, ver, err := v.g.servingSketch(v.name, q.Signature())
+	if err != nil {
+		return estimator.Estimate{}, err
+	}
+	est, err := s.Estimate(ctx, q)
+	if err != nil {
+		return estimator.Estimate{}, err
+	}
+	est.Version = ver
+	return est, nil
+}
+
+// EstimateBatch groups the batch by answering version (at most two groups:
+// primary and canary) so each side keeps its packed batched forward pass.
+func (v *namedView) EstimateBatch(ctx context.Context, qs []db.Query) ([]estimator.Estimate, error) {
+	return router.EstimateGrouped(ctx, qs, func(q db.Query) (*core.Sketch, int, error) {
+		return v.g.servingSketch(v.name, q.Signature())
+	})
+}
+
+// Restore installs a full version history for name in one step — the
+// store-loading path after a daemon restart. versions[i] becomes version
+// i+1, liveVersion (1-based) serves. The name must not already be
+// registered. Use ResumeCanary afterwards to re-arm an interrupted canary.
+func (g *Registry) Restore(name string, versions []*core.Sketch, liveVersion int) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if name == "" {
+		return fmt.Errorf("lifecycle: empty sketch name")
+	}
+	if _, ok := g.entries[name]; ok {
+		return fmt.Errorf("lifecycle: %q is already registered", name)
+	}
+	if len(versions) == 0 {
+		return fmt.Errorf("lifecycle: restore of %q with no versions", name)
+	}
+	if liveVersion < 1 || liveVersion > len(versions) {
+		return fmt.Errorf("lifecycle: live version %d outside history 1..%d", liveVersion, len(versions))
+	}
+	for i, s := range versions {
+		if s == nil || s.Name() != name {
+			return fmt.Errorf("lifecycle: restored version %d of %q is missing or misnamed", i+1, name)
+		}
+	}
+	g.serial++
+	g.entries[name] = &history{versions: versions, live: liveVersion - 1, inc: g.serial}
+	g.r.RegisterVersion(versions[liveVersion-1], liveVersion)
+	return nil
+}
+
+// ResumeCanary re-arms a canary from the restored history — the restart
+// path that lets a daemon interrupted mid-canary pick the rollout back up.
+// version (1-based) must be a non-live history entry.
+func (g *Registry) ResumeCanary(name string, version int, fraction float64) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	h, ok := g.entries[name]
+	if !ok {
+		return fmt.Errorf("lifecycle: no sketch named %q", name)
+	}
+	if h.canary != nil {
+		return fmt.Errorf("lifecycle: %q already has a canary", name)
+	}
+	if version < 1 || version > len(h.versions) {
+		return fmt.Errorf("lifecycle: canary version %d outside history 1..%d", version, len(h.versions))
+	}
+	if version-1 == h.live {
+		return fmt.Errorf("lifecycle: version %d is live, cannot also be the canary", version)
+	}
+	if err := g.r.SetCanary(name, h.versions[version-1], version, fraction); err != nil {
+		return err
+	}
+	h.canary = &canaryState{idx: version - 1, fraction: fraction}
+	return nil
 }
 
 // Unregister removes name and its whole version history; in-flight batches
@@ -227,10 +554,16 @@ type RefreshOptions struct {
 	Workers int
 	// Monitor receives stage/epoch events (nil for none).
 	Monitor *trainmon.Monitor
+	// Canary, when in (0, 1], installs the refreshed sketch as a canary at
+	// that traffic fraction instead of swapping it live — the de-risked
+	// rollout path: promote it with PromoteCanary once its comparative
+	// q-error holds up, or withdraw it with AbortCanary. 0 swaps directly.
+	Canary float64
 }
 
 // Refresh warm-start retrains the live version of o.Name on the delta
-// workload and swaps the result in, returning the new version number and
+// workload and swaps the result in (or, with o.Canary set, installs it as
+// a canary at that traffic fraction), returning the new version number and
 // sketch. The live sketch serves untouched for the whole fine-tune; the
 // swap at the end is the same atomic copy-on-write mutation as Publish.
 // Two concurrent refreshes of one name both fine-tune from the version
@@ -246,7 +579,12 @@ func (g *Registry) Refresh(ctx context.Context, o RefreshOptions) (int, *core.Sk
 	if err != nil {
 		return 0, nil, err
 	}
-	v, err := g.Swap(o.Name, ns)
+	var v int
+	if o.Canary > 0 {
+		v, err = g.StartCanary(o.Name, ns, o.Canary)
+	} else {
+		v, err = g.Swap(o.Name, ns)
+	}
 	if err != nil {
 		return 0, nil, err
 	}

@@ -1,0 +1,57 @@
+package metrics
+
+// Window is a fixed-capacity ring buffer of observations supporting rolling
+// summary statistics — the windowed q-error distribution the drift monitor
+// keeps per serving sketch version. Once full, each Add evicts the oldest
+// observation, so Summary always describes the most recent cap samples.
+// Window is not safe for concurrent use; callers wrap it in their own lock.
+type Window struct {
+	buf   []float64
+	n     int // observations currently held (≤ cap(buf))
+	next  int // ring write position
+	total uint64
+}
+
+// NewWindow returns an empty window holding at most capacity observations.
+// Capacity <= 0 defaults to 256.
+func NewWindow(capacity int) *Window {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	return &Window{buf: make([]float64, capacity)}
+}
+
+// Add records one observation, evicting the oldest when full.
+func (w *Window) Add(v float64) {
+	w.buf[w.next] = v
+	w.next = (w.next + 1) % len(w.buf)
+	if w.n < len(w.buf) {
+		w.n++
+	}
+	w.total++
+}
+
+// Len returns the number of observations currently in the window.
+func (w *Window) Len() int { return w.n }
+
+// Cap returns the window capacity.
+func (w *Window) Cap() int { return len(w.buf) }
+
+// Total returns the lifetime observation count, including evicted ones —
+// the denominator a monitor needs to tell "window full and churning" from
+// "window full and frozen".
+func (w *Window) Total() uint64 { return w.total }
+
+// Values returns a copy of the current observations. Order is not
+// meaningful; the window models a distribution, not a sequence.
+func (w *Window) Values() []float64 {
+	out := make([]float64, w.n)
+	copy(out, w.buf[:w.n])
+	return out
+}
+
+// Summary computes the Table-1-style statistics over the window's current
+// contents (zero Summary when empty).
+func (w *Window) Summary() Summary {
+	return Summarize(w.buf[:w.n])
+}

@@ -1,0 +1,47 @@
+package metrics
+
+import "testing"
+
+func TestWindowRolling(t *testing.T) {
+	w := NewWindow(4)
+	if w.Len() != 0 || w.Cap() != 4 {
+		t.Fatalf("empty window: len=%d cap=%d", w.Len(), w.Cap())
+	}
+	if s := w.Summary(); s.Count != 0 {
+		t.Errorf("empty summary count = %d", s.Count)
+	}
+	for _, v := range []float64{1, 2, 3} {
+		w.Add(v)
+	}
+	if s := w.Summary(); s.Count != 3 || s.Median != 2 {
+		t.Errorf("partial window summary = %+v", s)
+	}
+	// Fill past capacity: 1 and 2 are evicted, window holds {3,4,5,6}.
+	w.Add(4)
+	w.Add(5)
+	w.Add(6)
+	if w.Len() != 4 {
+		t.Fatalf("full window len = %d", w.Len())
+	}
+	if w.Total() != 6 {
+		t.Errorf("total = %d, want 6", w.Total())
+	}
+	s := w.Summary()
+	if s.Count != 4 || s.Median != 4.5 || s.Max != 6 {
+		t.Errorf("rolled summary = %+v, want median 4.5 max 6 over {3,4,5,6}", s)
+	}
+	vals := w.Values()
+	sum := 0.0
+	for _, v := range vals {
+		sum += v
+	}
+	if len(vals) != 4 || sum != 3+4+5+6 {
+		t.Errorf("values = %v", vals)
+	}
+}
+
+func TestWindowDefaultCapacity(t *testing.T) {
+	if w := NewWindow(0); w.Cap() != 256 {
+		t.Errorf("default capacity = %d", w.Cap())
+	}
+}

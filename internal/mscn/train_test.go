@@ -182,9 +182,9 @@ func TestQBetterNaN(t *testing.T) {
 		cur, best float64
 		want      bool
 	}{
-		{1.5, nan, true},    // first real epoch beats the no-best sentinel
-		{nan, nan, false},   // NaN epoch 1 must not become the snapshot
-		{nan, 2.0, false},   // NaN never beats a real best
+		{1.5, nan, true},  // first real epoch beats the no-best sentinel
+		{nan, nan, false}, // NaN epoch 1 must not become the snapshot
+		{nan, 2.0, false}, // NaN never beats a real best
 		{1.0, 2.0, true},
 		{2.0, 1.0, false},
 		{1.0, 1.0, false}, // strictly better only

@@ -1,0 +1,216 @@
+package router
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"testing"
+
+	"deepsketch/internal/datagen"
+	"deepsketch/internal/db"
+)
+
+// TestCanarySplitStability: the split is a pure function of (signature,
+// fraction) — the same signature always lands on the same side at a fixed
+// fraction, across calls and router instances.
+func TestCanarySplitStability(t *testing.T) {
+	const fraction = 0.25
+	for i := 0; i < 500; i++ {
+		sig := fmt.Sprintf("sig-%d", i)
+		first := CanarySplit(sig, fraction)
+		for rep := 0; rep < 5; rep++ {
+			if CanarySplit(sig, fraction) != first {
+				t.Fatalf("split of %q flapped at fixed fraction", sig)
+			}
+		}
+	}
+	if CanarySplit("anything", 0) || CanarySplit("anything", -0.5) {
+		t.Error("fraction <= 0 must never select the canary")
+	}
+	if !CanarySplit("anything", 1) || !CanarySplit("anything", 1.5) {
+		t.Error("fraction >= 1 must always select the canary")
+	}
+}
+
+// TestCanarySplitFractionMoves: raising the fraction from f1 to f2 moves
+// only the expected share of signatures onto the canary and moves none off
+// it (monotonicity); the canary share tracks the fraction.
+func TestCanarySplitFractionMoves(t *testing.T) {
+	const n = 5000
+	sigs := make([]string, n)
+	for i := range sigs {
+		sigs[i] = fmt.Sprintf("SELECT-shape-%d#pred%d", i, i%7)
+	}
+	share := func(f float64) (int, map[string]bool) {
+		in := make(map[string]bool)
+		for _, s := range sigs {
+			if CanarySplit(s, f) {
+				in[s] = true
+			}
+		}
+		return len(in), in
+	}
+	for _, f := range []float64{0.1, 0.3, 0.5} {
+		got, _ := share(f)
+		if frac := float64(got) / n; math.Abs(frac-f) > 0.03 {
+			t.Errorf("canary share at fraction %v = %.3f, want within ±0.03", f, frac)
+		}
+	}
+	n1, in1 := share(0.1)
+	n2, in2 := share(0.3)
+	for s := range in1 {
+		if !in2[s] {
+			t.Fatalf("signature %q left the canary when the fraction grew 0.1→0.3", s)
+		}
+	}
+	moved := n2 - n1
+	if frac := float64(moved) / n; math.Abs(frac-0.2) > 0.03 {
+		t.Errorf("fraction change 0.1→0.3 moved %.3f of signatures, want ≈0.2", frac)
+	}
+}
+
+// TestRouterCanaryRouting: with a canary arm installed, the hash split
+// decides which version answers, estimates carry the answering version,
+// cache keys differ per split, and promote/clear transition atomically.
+func TestRouterCanaryRouting(t *testing.T) {
+	d := datagen.IMDb(datagen.IMDbConfig{Seed: 53, Titles: 400, Keywords: 30, Companies: 15, Persons: 60})
+	v1 := buildSub(t, d, "imdb", nil)
+	v2 := buildSub(t, d, "imdb", nil)
+
+	r := New()
+	r.RegisterVersion(v1, 1)
+	if err := r.SetCanary("imdb", v2, 2, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.SetCanary("imdb", v2, 2, 0); err == nil {
+		t.Error("fraction 0 should be rejected")
+	}
+	if ver, f, ok := r.Canary("imdb"); !ok || ver != 2 || f != 0.5 {
+		t.Fatalf("Canary = v%d f=%v ok=%v", ver, f, ok)
+	}
+
+	// Queries with varied signatures: each must route to the sketch its
+	// split selects, and the estimate must carry that version.
+	ctx := context.Background()
+	years := []int64{1950, 1960, 1970, 1980, 1990, 2000, 2005, 2010}
+	sawPrimary, sawCanary := false, false
+	var qs []db.Query
+	for _, y := range years {
+		q := db.Query{
+			Tables: []db.TableRef{{Table: "title", Alias: "t"}},
+			Preds:  []db.Predicate{{Alias: "t", Col: "production_year", Op: db.OpGt, Val: y}},
+		}
+		qs = append(qs, q)
+		wantCanary := CanarySplit(q.Signature(), 0.5)
+		s, ver, err := r.RouteVersion(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wantCanary {
+			sawCanary = true
+			if s != v2 || ver != 2 {
+				t.Errorf("year %d: canary-split query routed to v%d", y, ver)
+			}
+		} else {
+			sawPrimary = true
+			if s != v1 || ver != 1 {
+				t.Errorf("year %d: primary-split query routed to v%d", y, ver)
+			}
+		}
+		est, err := r.Estimate(ctx, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if est.Version != ver {
+			t.Errorf("estimate version %d, want %d", est.Version, ver)
+		}
+		want, err := s.Cardinality(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if est.Cardinality != want {
+			t.Errorf("estimate %v, split sketch answers %v", est.Cardinality, want)
+		}
+		// The cache key embeds the answering version (incarnation 1: the
+		// fresh router's first registration).
+		key := r.CacheKey(q)
+		if wantKey := VersionedCacheKey(q.Signature(), "imdb", 1, ver); key != wantKey {
+			t.Errorf("cache key %q, want %q", key, wantKey)
+		}
+	}
+	if !sawPrimary || !sawCanary {
+		t.Fatalf("probe years did not exercise both splits (primary=%v canary=%v) — pick different predicates", sawPrimary, sawCanary)
+	}
+
+	// Batched path agrees with the single path, version included.
+	ests, err := r.EstimateBatch(ctx, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range qs {
+		one, err := r.Estimate(ctx, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ests[i].Cardinality != one.Cardinality || ests[i].Version != one.Version {
+			t.Errorf("batch[%d] = (%v, v%d), single = (%v, v%d)",
+				i, ests[i].Cardinality, ests[i].Version, one.Cardinality, one.Version)
+		}
+	}
+
+	// Promote: canary becomes primary at 100%, arm removed, generation bumps.
+	gen := r.Generation()
+	if err := r.PromoteCanary("imdb"); err != nil {
+		t.Fatal(err)
+	}
+	if r.Generation() <= gen {
+		t.Error("promote did not bump the generation")
+	}
+	if _, _, ok := r.Canary("imdb"); ok {
+		t.Error("canary arm survived promotion")
+	}
+	for _, q := range qs {
+		s, ver, err := r.RouteVersion(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s != v2 || ver != 2 {
+			t.Errorf("post-promote route = v%d, want promoted v2 for all traffic", ver)
+		}
+	}
+	if err := r.PromoteCanary("imdb"); err == nil {
+		t.Error("promote without a canary should fail")
+	}
+
+	// Clear: installing and aborting restores the primary for all traffic.
+	if err := r.SetCanary("imdb", v1, 3, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.ClearCanary("imdb"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.ClearCanary("imdb"); err == nil {
+		t.Error("double clear should fail")
+	}
+	for _, q := range qs {
+		if _, ver, _ := r.RouteVersion(q); ver != 2 {
+			t.Errorf("post-clear route = v%d, want primary v2", ver)
+		}
+	}
+}
+
+// TestRouterCanaryCoverageMismatch: a canary whose table set differs from
+// the primary's is rejected — the split must never change coverage.
+func TestRouterCanaryCoverageMismatch(t *testing.T) {
+	d := datagen.IMDb(datagen.IMDbConfig{Seed: 54, Titles: 300, Keywords: 20, Companies: 10, Persons: 50})
+	full := buildSub(t, d, "imdb", nil)
+	sub := buildSub(t, d, "imdb", []string{"title", "movie_keyword", "keyword"})
+	r := New()
+	r.RegisterVersion(full, 1)
+	if err := r.SetCanary("imdb", sub, 2, 0.5); err == nil {
+		t.Error("coverage-shrinking canary should be rejected")
+	}
+	if err := r.SetCanary("missing", full, 2, 0.5); err == nil {
+		t.Error("canary on unknown name should be rejected")
+	}
+}

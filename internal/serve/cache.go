@@ -17,10 +17,19 @@ import (
 // estimates never go stale; when the backend is a mutable registry (a
 // Router whose sketches swap under traffic), tie the cache to the
 // registry's generation with WatchGeneration so a swap drops every cached
-// answer from the previous registry view.
+// answer from the previous registry view. When the backend additionally
+// splits traffic between versions of one sketch (a canary rollout), the
+// bare signature is no longer a sound key — the same query's correct
+// answer depends on which version its split selects — so key the cache
+// with KeyFunc(router.CacheKey), which qualifies the signature with the
+// answering version.
 type Cache struct {
 	inner estimator.Estimator
 	cap   int
+	// keyFn derives the cache key for a query; nil means Query.Signature.
+	// Set via KeyFunc. Immutable after construction-time wiring, so the
+	// estimate paths read it without the mutex.
+	keyFn func(db.Query) string
 
 	mu      sync.Mutex
 	entries map[string]*list.Element
@@ -43,6 +52,7 @@ type cacheEntry struct {
 	key  string
 	card float64
 	src  string
+	ver  int
 }
 
 // NewCache wraps inner with an LRU of the given capacity (entries).
@@ -94,6 +104,26 @@ func (c *Cache) invalidateLocked() {
 
 // Reset is the historical name of Invalidate.
 func (c *Cache) Reset() { c.Invalidate() }
+
+// KeyFunc sets the function that derives a query's cache key, replacing
+// the default Query.Signature. Wire it to the backing router's CacheKey
+// when the backend serves multiple versions of a sketch (swaps, canary
+// splits): the key then embeds the version that would answer, so a version
+// transition makes the old entry unreachable instead of stale — canary
+// traffic can never be answered from the previous version's cache line.
+// Call during stack construction, before traffic; returns c for chaining.
+func (c *Cache) KeyFunc(fn func(db.Query) string) *Cache {
+	c.keyFn = fn
+	return c
+}
+
+// key derives the cache key for q.
+func (c *Cache) key(q db.Query) string {
+	if c.keyFn != nil {
+		return c.keyFn(q)
+	}
+	return q.Signature()
+}
 
 // WatchGeneration ties the cache's lifetime to a registry generation
 // counter (e.g. Router.Generation or a lifecycle Registry's): at every
@@ -151,6 +181,7 @@ func (c *Cache) lookup(key string, start time.Time) (estimator.Estimate, bool) {
 	return estimator.Estimate{
 		Cardinality: ent.card,
 		Source:      ent.src,
+		Version:     ent.ver,
 		Latency:     time.Since(start),
 		CacheHit:    true,
 	}, true
@@ -172,11 +203,11 @@ func (c *Cache) insert(key string, e estimator.Estimate, gen uint64) {
 	}
 	if el, ok := c.entries[key]; ok {
 		ent := el.Value.(*cacheEntry)
-		ent.card, ent.src = e.Cardinality, e.Source
+		ent.card, ent.src, ent.ver = e.Cardinality, e.Source, e.Version
 		c.lru.MoveToFront(el)
 		return
 	}
-	c.entries[key] = c.lru.PushFront(&cacheEntry{key: key, card: e.Cardinality, src: e.Source})
+	c.entries[key] = c.lru.PushFront(&cacheEntry{key: key, card: e.Cardinality, src: e.Source, ver: e.Version})
 	for c.lru.Len() > c.cap {
 		oldest := c.lru.Back()
 		c.lru.Remove(oldest)
@@ -191,7 +222,7 @@ func (c *Cache) Estimate(ctx context.Context, q db.Query) (estimator.Estimate, e
 		return estimator.Estimate{}, err
 	}
 	start := time.Now()
-	key := q.Signature()
+	key := c.key(q)
 	if est, ok := c.lookup(key, start); ok {
 		return est, nil
 	}
@@ -200,8 +231,22 @@ func (c *Cache) Estimate(ctx context.Context, q db.Query) (estimator.Estimate, e
 	if err != nil {
 		return estimator.Estimate{}, err
 	}
-	c.insert(key, est, gen)
+	if c.keyStable(q, key) {
+		c.insert(key, est, gen)
+	}
 	return est, nil
+}
+
+// keyStable re-derives the query's cache key after a computation and
+// reports whether it still matches the pre-computation key. With a
+// version-aware KeyFunc, the key and the answer come from two separate
+// routing decisions: a swap/promote/rollback between them would store the
+// new version's answer under the old version's key — served as a stale
+// hit if the registry later returns to that version. Such racing results
+// are simply not cached (the next request recomputes under the new key).
+// The default signature key cannot change, so the check short-circuits.
+func (c *Cache) keyStable(q db.Query, key string) bool {
+	return c.keyFn == nil || c.key(q) == key
 }
 
 // EstimateBatch implements estimator.Estimator: hits are answered from the
@@ -215,7 +260,7 @@ func (c *Cache) EstimateBatch(ctx context.Context, qs []db.Query) ([]estimator.E
 	keys := make([]string, len(qs))
 	var missIdx []int
 	for i, q := range qs {
-		keys[i] = q.Signature()
+		keys[i] = c.key(q)
 		if est, ok := c.lookup(keys[i], start); ok {
 			out[i] = est
 		} else {
@@ -236,7 +281,9 @@ func (c *Cache) EstimateBatch(ctx context.Context, qs []db.Query) ([]estimator.E
 	}
 	for j, i := range missIdx {
 		out[i] = ests[j]
-		c.insert(keys[i], ests[j], gen)
+		if c.keyStable(qs[i], keys[i]) {
+			c.insert(keys[i], ests[j], gen)
+		}
 	}
 	return out, nil
 }

@@ -1,7 +1,9 @@
 // Package serve is the serving layer stacked on top of estimation backends:
 // composable middleware that turns any estimator.Estimator into a
 // production-shaped service. It provides an LRU estimate cache keyed on the
-// canonical query fingerprint, a micro-batching coalescer that merges
+// canonical query fingerprint (optionally qualified by the answering sketch
+// version via Cache.KeyFunc, so swaps and canary splits never surface a
+// stale version's answer), a micro-batching coalescer that merges
 // concurrent single-query requests into one batched MSCN forward pass (the
 // daemon's hot path under heavy traffic), sanity clamping of estimates into
 // [1, |DB|], and fallback chains so an uncovered query falls through to the
