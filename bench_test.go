@@ -51,7 +51,7 @@ var (
 	benchErr  error
 )
 
-func fixtureB(b *testing.B) *benchFixture {
+func fixtureB(b testing.TB) *benchFixture {
 	b.Helper()
 	benchOnce.Do(func() {
 		d := deepsketch.NewIMDb(deepsketch.IMDbConfig{Seed: 17, Titles: 4000})

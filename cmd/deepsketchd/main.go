@@ -84,8 +84,10 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"path/filepath"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"deepsketch"
@@ -110,6 +112,13 @@ func main() {
 	canaryFraction := flag.Float64("canary-fraction", 0.1, "traffic fraction automatic refreshes canary at")
 	canaryPromote := flag.Int("canary-promote-after", 20, "ground-truthed canary samples before the gate judges")
 	canaryRatio := flag.Float64("canary-max-ratio", 1.1, "promote iff canary median q-error ≤ ratio × live median")
+	walDir := flag.String("wal", "", "directory for the observation WAL (empty = no durable feedback log)")
+	driftTruth := flag.Bool("drift-truth", true, "ground-truth sampled estimates with the in-process exact executor; false relies on actuals POSTed to /api/sketches/{id}/actuals")
+	actualsPerMin := flag.Int("actuals-per-min", 600, "per-client admission cap on POSTed actuals per minute (0 = unlimited)")
+	actualsSample := flag.Int("actuals-sample", 0, "admit every Nth POSTed actual per client (<= 1 admits all)")
+	walDelta := flag.Int("wal-delta", 512, "max WAL-logged actuals drawn into a refresh delta workload")
+	retainVersions := flag.Int("retain-versions", 0, "persisted non-live version files kept per sketch after a promote (0 = keep all)")
+	retainWALBytes := flag.Int64("retain-wal-bytes", 0, "WAL size budget; checkpointed segments are pruned down to it after a promote (0 = keep all)")
 	flag.Parse()
 
 	driftCfg := deepsketch.DriftConfig{
@@ -132,10 +141,22 @@ func main() {
 		}
 		driftCfg.MaxMedianQ, driftCfg.MaxP95Q, driftCfg.MaxStaleness = 0, 0, 0
 	}
-	srv := newServerWithDrift(*titles, *orders, *seed, driftCfg,
-		deepsketch.DriftControllerConfig{
+	srv := newServerOpts(serverOptions{
+		titles: *titles, orders: *orders, seed: *seed,
+		driftCfg: driftCfg,
+		ctrlCfg: deepsketch.DriftControllerConfig{
 			CanaryFraction: *canaryFraction, PromoteAfter: *canaryPromote, MaxQRatio: *canaryRatio,
-		})
+		},
+		walDir:         *walDir,
+		driftTruth:     *driftTruth,
+		admitCfg:       deepsketch.AdmitConfig{PerClientPerMin: *actualsPerMin, SampleEvery: *actualsSample},
+		walDelta:       *walDelta,
+		retainVersions: *retainVersions,
+		retainWALBytes: *retainWALBytes,
+	})
+	if !*driftTruth {
+		log.Printf("deepsketchd: exact executor off the serving path — ground truth via POST /api/sketches/{id}/actuals only")
+	}
 	srv.store = *store
 	if srv.store != "" {
 		if n, err := srv.loadStore(); err != nil {
@@ -144,6 +165,9 @@ func main() {
 			log.Printf("deepsketchd: restored %d sketches from %s", n, srv.store)
 		}
 	}
+	// WAL replay must follow the store load: it rebuilds the drift monitors'
+	// q-error windows and pending observations for the restored sketches.
+	srv.replayWAL()
 	if *prebuilt {
 		srv.startPrebuilt()
 	}
@@ -219,6 +243,22 @@ type server struct {
 	monitors    map[string]*deepsketch.DriftMonitor
 	controllers map[string]*deepsketch.DriftController
 
+	// wals hold each dataset's observation WAL (nil entries when -wal is
+	// unset): the durable log of served estimates and observed actuals the
+	// drift monitors journal to and are rebuilt from at startup.
+	wals map[string]*deepsketch.ObservationLog
+	// admit rate-limits the logged-actuals ingest path per client.
+	admit *deepsketch.ActualsAdmitter
+	// walDelta caps how many WAL-logged actuals a refresh delta workload
+	// draws; retainVersions / retainWALBytes are the retention knobs applied
+	// after a promote.
+	walDelta       int
+	retainVersions int
+	retainWALBytes int64
+	// walWorkloads counts refreshes whose delta workload came from the WAL
+	// (vs synthetic generation) — observability for the feedback loop.
+	walWorkloads atomic.Uint64
+
 	// store, when non-empty, is a directory where ready sketches are
 	// persisted and from which they are restored at startup.
 	store string
@@ -228,24 +268,59 @@ type server struct {
 	nextID   int
 }
 
+// serverOptions parameterizes newServerOpts.
+type serverOptions struct {
+	titles, orders int
+	seed           int64
+	driftCfg       deepsketch.DriftConfig
+	ctrlCfg        deepsketch.DriftControllerConfig
+	// walDir, when non-empty, roots per-dataset observation WALs at
+	// walDir/<dataset>.
+	walDir string
+	// driftTruth keeps the exact executor as the monitors' in-process
+	// ground-truth source; false drops it from the serving path entirely —
+	// actuals arrive only via POST /api/sketches/{id}/actuals.
+	driftTruth     bool
+	admitCfg       deepsketch.AdmitConfig
+	walDelta       int
+	retainVersions int
+	retainWALBytes int64
+}
+
 func newServer(titles, orders int, seed int64) *server {
 	return newServerWithDrift(titles, orders, seed, deepsketch.DriftConfig{}, deepsketch.DriftControllerConfig{})
 }
 
 func newServerWithDrift(titles, orders int, seed int64, driftCfg deepsketch.DriftConfig, ctrlCfg deepsketch.DriftControllerConfig) *server {
+	return newServerOpts(serverOptions{
+		titles: titles, orders: orders, seed: seed,
+		driftCfg: driftCfg, ctrlCfg: ctrlCfg, driftTruth: true,
+	})
+}
+
+func newServerOpts(opts serverOptions) *server {
 	s := &server{
 		datasets: map[string]*deepsketch.DB{
-			"imdb": deepsketch.NewIMDb(deepsketch.IMDbConfig{Seed: seed, Titles: titles}),
-			"tpch": deepsketch.NewTPCH(deepsketch.TPCHConfig{Seed: seed, Orders: orders}),
+			"imdb": deepsketch.NewIMDb(deepsketch.IMDbConfig{Seed: opts.seed, Titles: opts.titles}),
+			"tpch": deepsketch.NewTPCH(deepsketch.TPCHConfig{Seed: opts.seed, Orders: opts.orders}),
 		},
-		baseline:    map[string]baseline{},
-		registries:  map[string]*deepsketch.SketchRegistry{},
-		auto:        map[string]*deepsketch.EstimateCache{},
-		monitors:    map[string]*deepsketch.DriftMonitor{},
-		controllers: map[string]*deepsketch.DriftController{},
-		sketches:    map[int]*sketchEntry{},
-		nextID:      1,
+		baseline:       map[string]baseline{},
+		registries:     map[string]*deepsketch.SketchRegistry{},
+		auto:           map[string]*deepsketch.EstimateCache{},
+		monitors:       map[string]*deepsketch.DriftMonitor{},
+		controllers:    map[string]*deepsketch.DriftController{},
+		wals:           map[string]*deepsketch.ObservationLog{},
+		admit:          deepsketch.NewActualsAdmitter(opts.admitCfg),
+		walDelta:       opts.walDelta,
+		retainVersions: opts.retainVersions,
+		retainWALBytes: opts.retainWALBytes,
+		sketches:       map[int]*sketchEntry{},
+		nextID:         1,
 	}
+	if s.walDelta <= 0 {
+		s.walDelta = 512
+	}
+	seed, driftCfg, ctrlCfg := opts.seed, opts.driftCfg, opts.ctrlCfg
 	for name, d := range s.datasets {
 		hyper, err := deepsketch.HyperEstimator(d, 1000, seed)
 		if err != nil {
@@ -255,11 +330,29 @@ func newServerWithDrift(titles, orders int, seed int64, driftCfg deepsketch.Drif
 		s.baseline[name] = baseline{hyper: hyper, pg: pg}
 		reg := deepsketch.NewSketchRegistry()
 		s.registries[name] = reg
-		// The drift monitor ground-truths sampled estimates against the
-		// exact executor (the demo's HyPer role) and windows q-errors per
-		// sketch version; the controller turns its triggers into automatic
-		// refresh+canary cycles over freshly generated delta workloads.
-		mon := deepsketch.NewDriftMonitor(driftCfg, deepsketch.TruthEstimator(d))
+		// The observation WAL journals every pending/resolved monitor
+		// transition for this dataset; replayWAL rebuilds monitor state from
+		// it after a restart.
+		if opts.walDir != "" {
+			l, err := deepsketch.OpenObservationLog(filepath.Join(opts.walDir, name), deepsketch.WALOptions{})
+			if err != nil {
+				log.Fatalf("wal for %s: %v", name, err)
+			}
+			s.wals[name] = l
+			driftCfg.Journal = &walJournal{d: d, log: l}
+		} else {
+			driftCfg.Journal = nil
+		}
+		// The drift monitor windows q-errors per sketch version; with
+		// -drift-truth it ground-truths sampled estimates against the exact
+		// executor (the demo's HyPer role), without it every sampled estimate
+		// parks pending until a logged actual arrives. The controller turns
+		// monitor triggers into automatic refresh+canary cycles.
+		var truth deepsketch.Estimator
+		if opts.driftTruth {
+			truth = deepsketch.TruthEstimator(d)
+		}
+		mon := deepsketch.NewDriftMonitor(driftCfg, truth)
 		s.monitors[name] = mon
 		dcc := ctrlCfg
 		dataset := name
@@ -307,16 +400,29 @@ func newServerWithDrift(titles, orders int, seed int64, driftCfg deepsketch.Drif
 	return s
 }
 
-// deltaWorkload generates and labels a fresh drift-delta workload over a
-// sketch's tables — the controller's fine-tune input for automatic
-// refreshes. The seed advances with the history length so consecutive
-// cycles see fresh queries.
+// walDeltaMin is the fewest distinct logged actuals worth fine-tuning on;
+// below it the synthetic generator produces a better-covered workload.
+const walDeltaMin = 32
+
+// deltaWorkload assembles the controller's fine-tune input for automatic
+// refreshes. When the observation WAL holds enough logged actuals for the
+// sketch, the delta workload IS the observed traffic — the most recent
+// distinct query signatures with their actual cardinalities, no synthetic
+// generation and no exact executor in the loop. Otherwise it falls back to
+// generating and labeling a fresh synthetic workload over the sketch's
+// tables, seeded by the history length so consecutive cycles see fresh
+// queries.
 func (s *server) deltaWorkload(_ context.Context, dataset, sketchName string) ([]deepsketch.LabeledQuery, error) {
 	d := s.datasets[dataset]
 	reg := s.registries[dataset]
 	live, _, err := reg.Live(sketchName)
 	if err != nil {
 		return nil, err
+	}
+	if lw := s.walWorkload(dataset, sketchName); len(lw) >= walDeltaMin {
+		s.walWorkloads.Add(1)
+		log.Printf("deepsketchd: refresh of %q fine-tuning on %d WAL-logged actuals", sketchName, len(lw))
+		return lw, nil
 	}
 	histLen := 0
 	if vs, err := reg.Versions(sketchName); err == nil {
@@ -365,6 +471,7 @@ func (s *server) onDriftEvent(dataset string, ev deepsketch.DriftEvent) {
 		if sk, err := reg.Sketch(ev.Name, ev.Version); err == nil {
 			s.installVersion(e, sk, ev.Version, "ready", "")
 			s.persistState(e)
+			s.applyRetention(dataset, e)
 		}
 		e.adminMu.Unlock()
 	case "aborted":
@@ -450,6 +557,7 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("POST /api/sketches/{id}/refresh", s.handleSketchRefresh)
 	mux.HandleFunc("POST /api/sketches/{id}/rollback", s.handleSketchRollback)
 	mux.HandleFunc("GET /api/sketches/{id}/drift", s.handleSketchDrift)
+	mux.HandleFunc("POST /api/sketches/{id}/actuals", s.handleSketchActuals)
 	mux.HandleFunc("POST /api/sketches/{id}/canary", s.handleSketchCanary)
 	mux.HandleFunc("POST /api/sketches/{id}/promote", s.handleSketchPromote)
 	mux.HandleFunc("DELETE /api/sketches/{id}/canary", s.handleSketchCanaryAbort)
@@ -963,6 +1071,7 @@ func (s *server) handleSketchPromote(w http.ResponseWriter, r *http.Request) {
 	}
 	s.installVersion(e, sk, ver, "ready", "")
 	s.persistState(e)
+	s.applyRetention(e.Dataset, e)
 	log.Printf("deepsketchd: canary v%d of %q promoted by operator", ver, e.Name)
 	s.writeEntry(w, http.StatusOK, e)
 }
@@ -1013,6 +1122,11 @@ func (s *server) handleSketchDrift(w http.ResponseWriter, r *http.Request) {
 	}
 	if ci, ok := s.registries[e.Dataset].Canary(e.Name); ok {
 		resp["canary"] = ci
+	}
+	if l := s.wals[e.Dataset]; l != nil {
+		resp["wal"] = l.Stats()
+		resp["wal_actuals"] = l.ActualCount(e.Name)
+		resp["wal_workloads"] = s.walWorkloads.Load()
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

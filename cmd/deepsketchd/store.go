@@ -169,13 +169,21 @@ func (s *server) loadVersionedDir(dir string) error {
 	if _, ok := s.datasets[st.Dataset]; !ok {
 		return fmt.Errorf("unknown dataset %q", st.Dataset)
 	}
-	// Versions are contiguous from 1: a version file is written for every
-	// publish/refresh/canary, and never deleted.
-	var versions []*deepsketch.Sketch
-	for ver := 1; ; ver++ {
-		path := filepath.Join(dir, fmt.Sprintf("v%d.dsk", ver))
-		if _, err := os.Stat(path); err != nil {
-			break
+	// A version file is written for every publish/refresh/canary, but
+	// retention (-retain-versions) may have pruned old ones: scan whatever
+	// v*.dsk files survive and restore the history with nil gaps for the
+	// pruned versions. Version numbers are preserved — they key estimate
+	// caches and WAL records — so a gap must not renumber later versions.
+	found := map[int]*deepsketch.Sketch{}
+	maxVer := 0
+	files, err := filepath.Glob(filepath.Join(dir, "v*.dsk"))
+	if err != nil {
+		return err
+	}
+	for _, path := range files {
+		var ver int
+		if _, err := fmt.Sscanf(filepath.Base(path), "v%d.dsk", &ver); err != nil || ver < 1 {
+			continue
 		}
 		sk, err := deepsketch.LoadFile(path)
 		if err != nil {
@@ -184,13 +192,23 @@ func (s *server) loadVersionedDir(dir string) error {
 		if sk.Name() != st.Name {
 			return fmt.Errorf("v%d.dsk is named %q, state says %q", ver, sk.Name(), st.Name)
 		}
-		versions = append(versions, sk)
+		found[ver] = sk
+		if ver > maxVer {
+			maxVer = ver
+		}
 	}
-	if len(versions) == 0 {
+	if maxVer == 0 {
 		return fmt.Errorf("no version files")
 	}
-	if st.Live < 1 || st.Live > len(versions) {
-		return fmt.Errorf("live version %d outside stored history 1..%d", st.Live, len(versions))
+	versions := make([]*deepsketch.Sketch, maxVer)
+	for ver, sk := range found {
+		versions[ver-1] = sk
+	}
+	if st.Live < 1 || st.Live > maxVer {
+		return fmt.Errorf("live version %d outside stored history 1..%d", st.Live, maxVer)
+	}
+	if versions[st.Live-1] == nil {
+		return fmt.Errorf("live version file v%d.dsk missing", st.Live)
 	}
 	reg := s.registries[st.Dataset]
 	if err := reg.Restore(st.Name, versions, st.Live); err != nil {
@@ -219,6 +237,46 @@ func (s *server) loadVersionedDir(dir string) error {
 	e.Created = time.Now()
 	s.mu.Unlock()
 	return nil
+}
+
+// pruneVersionFiles applies -retain-versions to one sketch's store
+// directory after a promote: the live version's file plus the newest
+// retainVersions other version files are kept, older ones are deleted.
+// The in-memory registry keeps the full history (pruning only reclaims
+// disk); after a restart the pruned versions restore as nil gaps that
+// rollback refuses to land on. Caller holds e.adminMu.
+func (s *server) pruneVersionFiles(e *sketchEntry) {
+	if s.store == "" {
+		return
+	}
+	live, ok := s.registries[e.Dataset].LiveVersion(e.Name)
+	if !ok {
+		return
+	}
+	dir := filepath.Join(s.store, sanitizeName(e.Name))
+	files, err := filepath.Glob(filepath.Join(dir, "v*.dsk"))
+	if err != nil {
+		return
+	}
+	var vers []int
+	for _, path := range files {
+		var ver int
+		if _, err := fmt.Sscanf(filepath.Base(path), "v%d.dsk", &ver); err == nil && ver >= 1 && ver != live {
+			vers = append(vers, ver)
+		}
+	}
+	if len(vers) <= s.retainVersions {
+		return
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(vers)))
+	for _, ver := range vers[s.retainVersions:] {
+		path := filepath.Join(dir, fmt.Sprintf("v%d.dsk", ver))
+		if err := os.Remove(path); err != nil {
+			log.Printf("deepsketchd: prune %s: %v", path, err)
+			continue
+		}
+		log.Printf("deepsketchd: pruned sketch %q v%d (retain-versions %d)", e.Name, ver, s.retainVersions)
+	}
 }
 
 // sanitizeName makes a sketch name safe as a file name.

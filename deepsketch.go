@@ -72,6 +72,7 @@ import (
 	"deepsketch/internal/serve"
 	"deepsketch/internal/sqlparse"
 	"deepsketch/internal/trainmon"
+	"deepsketch/internal/wal"
 	"deepsketch/internal/workload"
 )
 
@@ -245,10 +246,80 @@ type (
 
 // NewDriftMonitor returns a drift monitor that obtains ground truth from
 // truth — TruthEstimator(d) for exact counts, PostgresEstimator(d) for a
-// cheap approximation, or EstimatorFunc over logged actuals.
+// cheap approximation, or EstimatorFunc over logged actuals. A nil truth
+// runs the monitor without any in-process ground truth: every sampled
+// estimate parks as pending until DriftMonitor.ResolveActual reports the
+// observed actual (the logged-actuals serving mode).
 func NewDriftMonitor(cfg DriftConfig, truth Estimator) *DriftMonitor {
 	return drift.NewMonitor(cfg, truth)
 }
+
+// Logged-actuals feedback loop: the observation WAL that lets serving run
+// without the exact executor, with ground truth POSTed by clients that ran
+// the queries for real.
+type (
+	// ObservationLog is a segmented, CRC-checked, fsync-batched WAL of
+	// observation records (see internal/wal): served estimates awaiting
+	// ground truth and observed actuals. Replay rebuilds drift-monitor
+	// state after a restart; RecentActuals supplies WAL-derived delta
+	// workloads for warm refreshes.
+	ObservationLog = wal.Log
+	// WALRecord is one observation log entry.
+	WALRecord = wal.Record
+	// WALOptions parameterizes OpenObservationLog.
+	WALOptions = wal.Options
+	// WALStats is an ObservationLog snapshot.
+	WALStats = wal.Stats
+	// WALKind distinguishes observation records from actual records.
+	WALKind = wal.Kind
+	// ActualsAdmitter rate-limits and samples the logged-actuals ingest
+	// path per client, bounding any one feedback source's influence on the
+	// training distribution.
+	ActualsAdmitter = wal.Admitter
+	// AdmitConfig parameterizes an ActualsAdmitter.
+	AdmitConfig = wal.AdmitConfig
+	// AdmitDecision is an ActualsAdmitter verdict (admitted, sampled out,
+	// or capped).
+	AdmitDecision = wal.Decision
+	// ClientAdmitStats is one ingest client's admission counters.
+	ClientAdmitStats = wal.ClientStats
+	// DriftJournal receives pending/resolved monitor transitions for
+	// durable logging (DriftConfig.Journal).
+	DriftJournal = drift.Journal
+	// ActualsSource is the drift monitor's ground-truth seam; nil means
+	// logged actuals only.
+	ActualsSource = drift.ActualsSource
+)
+
+// WAL record kinds and admission decisions.
+const (
+	WALObservation = wal.KindObservation
+	WALActual      = wal.KindActual
+
+	AdmitAdmitted = wal.Admitted
+	AdmitSampled  = wal.Sampled
+	AdmitCapped   = wal.Capped
+)
+
+// OpenObservationLog opens (creating if needed) an observation WAL rooted
+// at dir.
+func OpenObservationLog(dir string, opts WALOptions) (*ObservationLog, error) {
+	return wal.Open(dir, opts)
+}
+
+// NewActualsAdmitter returns an admission controller for the actuals
+// ingest path.
+func NewActualsAdmitter(cfg AdmitConfig) *ActualsAdmitter { return wal.NewAdmitter(cfg) }
+
+// NewDriftMonitorSource is NewDriftMonitor with an explicit ActualsSource
+// (EstimatorActualsSource adapts an Estimator; nil parks everything).
+func NewDriftMonitorSource(cfg DriftConfig, src ActualsSource) *DriftMonitor {
+	return drift.NewMonitorSource(cfg, src)
+}
+
+// EstimatorActualsSource adapts an Estimator into an ActualsSource that
+// always answers.
+func EstimatorActualsSource(est Estimator) ActualsSource { return drift.EstimatorSource(est) }
 
 // NewDriftController wires a controller to the registry and monitor and
 // installs itself as the monitor's trigger handler.

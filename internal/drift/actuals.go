@@ -1,0 +1,169 @@
+package drift
+
+import (
+	"context"
+
+	"deepsketch/internal/db"
+	"deepsketch/internal/estimator"
+	"deepsketch/internal/metrics"
+)
+
+// ActualsSource is where a Monitor obtains ground truth for a sampled
+// estimate. The classic source is the exact Truth executor (wrapped via
+// EstimatorSource) — but ground truth can also arrive later, out of band,
+// as logged actuals POSTed by clients that ran the query for real. A
+// source returns ok=false when it has no answer for the query *right
+// now*; the monitor then parks the observation as pending, to be matched
+// against a future ResolveActual call. A nil source parks everything —
+// that is the serving mode with no exact executor at all.
+type ActualsSource interface {
+	Actual(ctx context.Context, q db.Query) (actual float64, ok bool, err error)
+}
+
+// EstimatorSource adapts an estimator (typically estimator.Truth) into an
+// ActualsSource that always answers.
+func EstimatorSource(est estimator.Estimator) ActualsSource {
+	if est == nil {
+		return nil
+	}
+	return estimatorSource{est}
+}
+
+type estimatorSource struct{ est estimator.Estimator }
+
+func (s estimatorSource) Actual(ctx context.Context, q db.Query) (float64, bool, error) {
+	e, err := s.est.Estimate(ctx, q)
+	if err != nil {
+		return 0, false, err
+	}
+	return e.Cardinality, true, nil
+}
+
+// Journal receives every monitoring transition worth persisting: an
+// observation parked pending (estimate served, actual unknown) and an
+// observation resolved (q-error recorded). The daemon points this at the
+// observation WAL so the monitor's windows and pending queue can be
+// rebuilt by replay after a restart. Calls arrive without monitor locks
+// held and must not call back into the monitor.
+type Journal interface {
+	Pending(name string, version int, q db.Query, estimate float64)
+	Resolved(name string, version int, q db.Query, estimate, actual float64)
+}
+
+// pendingKey identifies one parked observation: a sketch name and a
+// canonical query signature.
+type pendingKey struct {
+	name string
+	sig  string
+}
+
+// pendingObs is one parked observation awaiting an out-of-band actual.
+type pendingObs struct {
+	key pendingKey
+	obs observation
+}
+
+// park stores an observation awaiting ground truth, keyed by (name,
+// signature) with the latest estimate winning, evicting the oldest
+// entries beyond Config.QueueSize. journal=false on replay restore.
+func (m *Monitor) park(obs observation, journal bool) {
+	key := pendingKey{obs.name, obs.q.Signature()}
+	m.mu.Lock()
+	if el, ok := m.pending[key]; ok {
+		el.Value.(*pendingObs).obs = obs
+		m.pendingOrder.MoveToBack(el)
+	} else {
+		m.pending[key] = m.pendingOrder.PushBack(&pendingObs{key: key, obs: obs})
+		for m.pendingOrder.Len() > m.cfg.QueueSize {
+			front := m.pendingOrder.Front()
+			m.pendingOrder.Remove(front)
+			delete(m.pending, front.Value.(*pendingObs).key)
+			m.pendingEvicted.Add(1)
+		}
+	}
+	j := m.journal
+	m.mu.Unlock()
+	if journal && j != nil {
+		j.Pending(obs.name, obs.version, obs.q, obs.estimate)
+	}
+}
+
+// takePending pops the parked observation for (name, signature).
+func (m *Monitor) takePending(name, signature string) (observation, bool) {
+	key := pendingKey{name, signature}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	el, ok := m.pending[key]
+	if !ok {
+		return observation{}, false
+	}
+	m.pendingOrder.Remove(el)
+	delete(m.pending, key)
+	return el.Value.(*pendingObs).obs, true
+}
+
+// ResolveActual reports an out-of-band observed actual for (name,
+// signature) — the logged-actuals ingest path. If a parked observation
+// matches, its q-error is recorded in the answering version's window
+// (evaluating drift triggers exactly as the in-process source would) and
+// the observation's version, estimate and q-error are returned. An
+// unmatched actual is counted and ignored here — it carries no estimate
+// to grade, though it is still training signal for the WAL.
+func (m *Monitor) ResolveActual(name, signature string, actual float64) (version int, estimate, qerr float64, matched bool) {
+	obs, ok := m.takePending(name, signature)
+	if !ok {
+		m.unmatched.Add(1)
+		return 0, 0, 0, false
+	}
+	m.record(obs.name, obs.version, obs.estimate, actual, true)
+	return obs.version, obs.estimate, metrics.QError(obs.estimate, actual), true
+}
+
+// RestorePending re-parks an observation during WAL replay — no trigger
+// evaluation, no journaling (the record is already durable).
+func (m *Monitor) RestorePending(name string, version int, q db.Query, estimate float64) {
+	m.park(observation{name: name, version: version, q: q, estimate: estimate}, false)
+}
+
+// RestoreActual matches a replayed actual against the pending queue and
+// records its q-error without evaluating triggers — replay must rebuild
+// windows, not fire refresh cycles at boot. Reports whether it matched.
+func (m *Monitor) RestoreActual(name, signature string, actual float64) bool {
+	obs, ok := m.takePending(name, signature)
+	if !ok {
+		return false
+	}
+	m.record(obs.name, obs.version, obs.estimate, actual, false)
+	return true
+}
+
+// RecordResolved records an already-matched (estimate, actual) pair into
+// a version's window without trigger evaluation — the replay path for
+// durable records that captured both halves.
+func (m *Monitor) RecordResolved(name string, version int, estimate, actual float64) {
+	m.record(name, version, estimate, actual, false)
+}
+
+// record lands one resolved observation's q-error in the (name, version)
+// window; evaluate=true additionally runs the trigger thresholds.
+func (m *Monitor) record(name string, version int, estimate, actual float64, evaluate bool) {
+	qerr := metrics.QError(estimate, actual)
+	ns := m.state(name)
+	m.mu.Lock()
+	vw := ns.windowLocked(version, m.cfg.Window)
+	vw.win.Add(qerr)
+	vw.samples++
+	var reason Reason
+	var fire bool
+	var handler func(string, Reason)
+	if evaluate {
+		reason, fire = m.evaluateLocked(ns, version, vw)
+		if fire {
+			handler = m.onTrig
+		}
+	}
+	m.mu.Unlock()
+	if fire && handler != nil {
+		handler(name, reason)
+	}
+}

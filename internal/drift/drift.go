@@ -14,12 +14,17 @@
 //
 // A Monitor taps the serving path (Observe, or wrap a backend with the
 // Observe middleware), samples every Nth estimate per sketch, and obtains
-// the true cardinality asynchronously from a ground-truth estimator — the
-// exact Truth executor, a PostgreSQL-style estimator, or logged actuals
-// adapted via estimator.Func. Each sampled query's q-error lands in a
-// rolling window per (sketch, version); when the windowed median or p95
-// exceeds its threshold, or a staleness clock expires, the monitor fires a
-// trigger (subject to a cooldown).
+// the true cardinality asynchronously from an ActualsSource — classically
+// the exact Truth executor (EstimatorSource), but the source is a seam:
+// with a nil source the monitor runs without any exact executor at all,
+// parking each sampled estimate as *pending* until a logged actual
+// arrives out of band (ResolveActual) from a client that ran the query
+// for real. Each resolved query's q-error lands in a rolling window per
+// (sketch, version); when the windowed median or p95 exceeds its
+// threshold, or a staleness clock expires, the monitor fires a trigger
+// (subject to a cooldown). Every pending/resolved transition is reported
+// to an optional Journal — the daemon points it at the observation WAL,
+// and rebuilds windows and the pending queue by replay after a restart.
 //
 // # Controller
 //
@@ -32,6 +37,7 @@
 package drift
 
 import (
+	"container/list"
 	"context"
 	"fmt"
 	"slices"
@@ -90,8 +96,13 @@ type Config struct {
 	// (default 1 minute).
 	Cooldown time.Duration
 	// QueueSize bounds the pending ground-truth queue; estimates sampled
-	// while it is full are dropped and counted (default 1024).
+	// while it is full are dropped and counted (default 1024). It also
+	// bounds the parked-pending table of observations awaiting out-of-band
+	// actuals, evicting oldest-first.
 	QueueSize int
+	// Journal, when set, receives every pending/resolved transition so it
+	// can be made durable (the daemon passes the observation WAL).
+	Journal Journal
 }
 
 func (c Config) withDefaults() Config {
@@ -153,28 +164,45 @@ type nameState struct {
 // the serving path — touches only per-name atomics and a channel send,
 // never the monitor mutex.
 type Monitor struct {
-	cfg   Config
-	truth estimator.Estimator
+	cfg     Config
+	source  ActualsSource
+	journal Journal
 
 	names sync.Map // string → *nameState
 
-	mu        sync.Mutex // guards the cold-path nameState fields + onTrig
-	onTrig    func(name string, r Reason)
-	queue     chan observation
-	dropped   atomic.Uint64
-	truthErrs atomic.Uint64
+	mu           sync.Mutex // guards cold-path nameState fields, onTrig, pending
+	onTrig       func(name string, r Reason)
+	pending      map[pendingKey]*list.Element
+	pendingOrder *list.List // front = oldest; values are *pendingObs
+
+	queue          chan observation
+	dropped        atomic.Uint64
+	truthErrs      atomic.Uint64
+	unmatched      atomic.Uint64 // ResolveActual calls with no parked match
+	pendingEvicted atomic.Uint64 // parked observations evicted at capacity
 }
 
 // NewMonitor returns a monitor that obtains ground truth from truth — the
 // exact executor (estimator.Truth), a statistics estimator, or logged
-// actuals behind estimator.Func. Call Run (or Drain, in tests) to process
-// sampled queries; set the trigger handler with OnTrigger.
+// actuals behind estimator.Func. A nil truth runs the monitor without any
+// in-process ground truth: every sampled estimate parks as pending until
+// ResolveActual reports the observed actual. Call Run (or Drain, in
+// tests) to process sampled queries; set the trigger handler with
+// OnTrigger.
 func NewMonitor(cfg Config, truth estimator.Estimator) *Monitor {
+	return NewMonitorSource(cfg, EstimatorSource(truth))
+}
+
+// NewMonitorSource is NewMonitor with an explicit ActualsSource.
+func NewMonitorSource(cfg Config, src ActualsSource) *Monitor {
 	cfg = cfg.withDefaults()
 	return &Monitor{
-		cfg:   cfg,
-		truth: truth,
-		queue: make(chan observation, cfg.QueueSize),
+		cfg:          cfg,
+		source:       src,
+		journal:      cfg.Journal,
+		pending:      make(map[pendingKey]*list.Element),
+		pendingOrder: list.New(),
+		queue:        make(chan observation, cfg.QueueSize),
 	}
 }
 
@@ -255,27 +283,39 @@ func (m *Monitor) Drain(ctx context.Context) int {
 	}
 }
 
-// process ground-truths one observation and records its q-error.
+// process resolves one observation against the actuals source: an answer
+// records its q-error, no answer (or no source) parks it pending.
 func (m *Monitor) process(ctx context.Context, obs observation) {
-	truth, err := m.truth.Estimate(ctx, obs.q)
-	if err != nil {
-		m.truthErrs.Add(1)
-		return
+	if m.source != nil {
+		actual, ok, err := m.source.Actual(ctx, obs.q)
+		if err != nil {
+			m.truthErrs.Add(1)
+			return
+		}
+		if ok {
+			m.record(obs.name, obs.version, obs.estimate, actual, true)
+			if j := m.journal; j != nil {
+				j.Resolved(obs.name, obs.version, obs.q, obs.estimate, actual)
+			}
+			return
+		}
 	}
-	qerr := metrics.QError(obs.estimate, truth.Cardinality)
+	m.park(obs, true)
+}
 
-	ns := m.state(obs.name)
-	m.mu.Lock()
-	vw, ok := ns.windows[obs.version]
+// windowLocked returns (creating if needed) the version's q-error window;
+// Monitor.mu held.
+func (ns *nameState) windowLocked(version, capacity int) *versionWindow {
+	vw, ok := ns.windows[version]
 	if !ok {
-		vw = &versionWindow{win: metrics.NewWindow(m.cfg.Window)}
-		ns.windows[obs.version] = vw
+		vw = &versionWindow{win: metrics.NewWindow(capacity)}
+		ns.windows[version] = vw
 		// Bound retention: versions accrue across refresh cycles, but only
 		// the recent ones (live, canary, rollback candidates) are ever
 		// compared — drop the oldest windows beyond a small working set so
 		// a long-lived sketch's monitoring state cannot grow without bound.
 		for len(ns.windows) > maxVersionWindows {
-			oldest := obs.version
+			oldest := version
 			for ver := range ns.windows {
 				if ver < oldest {
 					oldest = ver
@@ -284,18 +324,7 @@ func (m *Monitor) process(ctx context.Context, obs observation) {
 			delete(ns.windows, oldest)
 		}
 	}
-	vw.win.Add(qerr)
-	vw.samples++
-	reason, fire := m.evaluateLocked(ns, obs.version, vw)
-	var handler func(string, Reason)
-	if fire {
-		handler = m.onTrig
-	}
-	m.mu.Unlock()
-
-	if fire && handler != nil {
-		handler(obs.name, reason)
-	}
+	return vw
 }
 
 // evaluateLocked checks the just-updated window against the q-error
@@ -372,8 +401,11 @@ type Status struct {
 	Name        string         `json:"name"`
 	Observed    uint64         `json:"observed"`
 	Sampled     uint64         `json:"sampled"`
-	Dropped     uint64         `json:"dropped"`      // monitor-wide queue-full drops
-	TruthErrors uint64         `json:"truth_errors"` // monitor-wide ground-truth failures
+	Dropped     uint64         `json:"dropped"`           // monitor-wide queue-full drops
+	TruthErrors uint64         `json:"truth_errors"`      // monitor-wide ground-truth failures
+	Pending     int            `json:"pending"`           // parked observations awaiting an actual
+	Unmatched   uint64         `json:"unmatched"`         // monitor-wide actuals with no parked match
+	Evicted     uint64         `json:"evicted,omitempty"` // monitor-wide pending evictions at capacity
 	Versions    []VersionStats `json:"versions,omitempty"`
 	LastTrigger *Reason        `json:"last_trigger,omitempty"`
 	LastRefresh time.Time      `json:"last_refresh"`
@@ -384,7 +416,13 @@ type Status struct {
 func (m *Monitor) Status(name string) Status {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	st := Status{Name: name, Dropped: m.dropped.Load(), TruthErrors: m.truthErrs.Load()}
+	st := Status{Name: name, Dropped: m.dropped.Load(), TruthErrors: m.truthErrs.Load(),
+		Unmatched: m.unmatched.Load(), Evicted: m.pendingEvicted.Load()}
+	for key := range m.pending {
+		if key.name == name {
+			st.Pending++
+		}
+	}
 	v, ok := m.names.Load(name)
 	if !ok {
 		return st

@@ -312,3 +312,54 @@ func TestCacheKeysAcrossUnregisterRepublish(t *testing.T) {
 		t.Error("both sketches answered identically on every probe — the collision check has no power")
 	}
 }
+
+// TestRestoreWithPrunedVersions is the retention path: old version
+// artifacts are deleted from the store, their numbers stay in the
+// history, and everything that would need the missing artifact fails
+// loudly instead of panicking.
+func TestRestoreWithPrunedVersions(t *testing.T) {
+	d := fixture(t)
+	v3 := buildNamed(t, d, "imdb", 48)
+	v4 := buildNamed(t, d, "imdb", 49)
+
+	reg := New()
+	if err := reg.Restore("imdb", []*core.Sketch{nil, nil, v3, v4}, 2); err == nil {
+		t.Error("restore with a pruned live version should fail")
+	}
+	if err := reg.Restore("imdb", []*core.Sketch{nil, nil, v3, v4}, 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, lv, err := reg.Live("imdb"); err != nil || lv != 3 {
+		t.Fatalf("restored live = v%d, %v", lv, err)
+	}
+	vs, err := reg.Versions("imdb")
+	if err != nil || len(vs) != 4 {
+		t.Fatalf("history = %+v, %v", vs, err)
+	}
+	if !vs[0].Pruned || !vs[1].Pruned || vs[2].Pruned || vs[3].Pruned {
+		t.Fatalf("pruned flags = %+v", vs)
+	}
+	if _, err := reg.Sketch("imdb", 1); err == nil {
+		t.Error("fetching a pruned version should fail")
+	}
+	if _, err := reg.Sketch("imdb", 3); err != nil {
+		t.Errorf("fetching a present version failed: %v", err)
+	}
+	if err := reg.ResumeCanary("imdb", 2, 0.25); err == nil {
+		t.Error("resuming a pruned version as canary should fail")
+	}
+	if err := reg.ResumeCanary("imdb", 4, 0.25); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.PromoteCanary("imdb"); err != nil {
+		t.Fatal(err)
+	}
+	// Live is now v4; rolling back to present v3 works, then the next
+	// rollback would target pruned v2 and must refuse.
+	if ver, _, err := reg.Rollback("imdb"); err != nil || ver != 3 {
+		t.Fatalf("rollback to v3 = v%d, %v", ver, err)
+	}
+	if _, _, err := reg.Rollback("imdb"); err == nil {
+		t.Error("rollback onto a pruned version should fail")
+	}
+}

@@ -97,6 +97,7 @@ type VersionInfo struct {
 	Version  int     `json:"version"`
 	Live     bool    `json:"live"`
 	Canary   bool    `json:"canary,omitempty"`     // serving the canary split
+	Pruned   bool    `json:"pruned,omitempty"`     // artifact removed by retention; number kept
 	Epochs   int     `json:"epochs"`               // cumulative training epochs recorded
 	ValMeanQ float64 `json:"val_mean_q,omitempty"` // last recorded validation mean q-error
 }
@@ -210,10 +211,15 @@ func (g *Registry) Versions(name string) ([]VersionInfo, error) {
 	}
 	out := make([]VersionInfo, len(h.versions))
 	for i, s := range h.versions {
-		vi := VersionInfo{Version: i + 1, Live: i == h.live, Epochs: len(s.Epochs)}
+		vi := VersionInfo{Version: i + 1, Live: i == h.live}
 		vi.Canary = h.canary != nil && h.canary.idx == i
-		if n := len(s.Epochs); n > 0 {
-			vi.ValMeanQ = s.Epochs[n-1].ValMeanQ
+		if s == nil {
+			vi.Pruned = true
+		} else {
+			vi.Epochs = len(s.Epochs)
+			if n := len(s.Epochs); n > 0 {
+				vi.ValMeanQ = s.Epochs[n-1].ValMeanQ
+			}
 		}
 		out[i] = vi
 	}
@@ -248,6 +254,9 @@ func (g *Registry) Rollback(name string) (int, *core.Sketch, error) {
 		return 0, nil, fmt.Errorf("lifecycle: %q is at version 1, nothing to roll back to", name)
 	}
 	target := h.versions[h.live-1]
+	if target == nil {
+		return 0, nil, fmt.Errorf("lifecycle: version %d of %q was pruned by retention, cannot roll back to it", h.live, name)
+	}
 	if err := g.r.SwapVersion(name, target, h.live); err != nil {
 		return 0, nil, err
 	}
@@ -387,6 +396,9 @@ func (g *Registry) Sketch(name string, version int) (*core.Sketch, error) {
 	if version < 1 || version > len(h.versions) {
 		return nil, fmt.Errorf("lifecycle: %q has no version %d (history 1..%d)", name, version, len(h.versions))
 	}
+	if h.versions[version-1] == nil {
+		return nil, fmt.Errorf("lifecycle: version %d of %q was pruned by retention", version, name)
+	}
 	return h.versions[version-1], nil
 }
 
@@ -470,8 +482,12 @@ func (v *namedView) EstimateBatch(ctx context.Context, qs []db.Query) ([]estimat
 
 // Restore installs a full version history for name in one step — the
 // store-loading path after a daemon restart. versions[i] becomes version
-// i+1, liveVersion (1-based) serves. The name must not already be
-// registered. Use ResumeCanary afterwards to re-arm an interrupted canary.
+// i+1, liveVersion (1-based) serves. A nil entry is a version whose
+// artifact was pruned by retention: its number is preserved in the
+// history (so later version numbers, cache keys and WAL records stay
+// coherent) but it cannot serve, be rolled back to, or canary. The live
+// version must be present, and the name must not already be registered.
+// Use ResumeCanary afterwards to re-arm an interrupted canary.
 func (g *Registry) Restore(name string, versions []*core.Sketch, liveVersion int) error {
 	g.mu.Lock()
 	defer g.mu.Unlock()
@@ -487,9 +503,15 @@ func (g *Registry) Restore(name string, versions []*core.Sketch, liveVersion int
 	if liveVersion < 1 || liveVersion > len(versions) {
 		return fmt.Errorf("lifecycle: live version %d outside history 1..%d", liveVersion, len(versions))
 	}
+	if versions[liveVersion-1] == nil {
+		return fmt.Errorf("lifecycle: live version %d of %q is missing", liveVersion, name)
+	}
 	for i, s := range versions {
-		if s == nil || s.Name() != name {
-			return fmt.Errorf("lifecycle: restored version %d of %q is missing or misnamed", i+1, name)
+		// nil entries are versions pruned by retention — the number stays in
+		// the history (so new versions never collide with old cache keys or
+		// WAL records), the artifact is gone.
+		if s != nil && s.Name() != name {
+			return fmt.Errorf("lifecycle: restored version %d of %q is misnamed %q", i+1, name, s.Name())
 		}
 	}
 	g.serial++
@@ -516,6 +538,9 @@ func (g *Registry) ResumeCanary(name string, version int, fraction float64) erro
 	}
 	if version-1 == h.live {
 		return fmt.Errorf("lifecycle: version %d is live, cannot also be the canary", version)
+	}
+	if h.versions[version-1] == nil {
+		return fmt.Errorf("lifecycle: canary version %d of %q was pruned by retention", version, name)
 	}
 	if err := g.r.SetCanary(name, h.versions[version-1], version, fraction); err != nil {
 		return err

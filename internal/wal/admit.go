@@ -1,0 +1,153 @@
+package wal
+
+import (
+	"sync"
+	"time"
+)
+
+// Admission control for the logged-actuals ingest path. Retrain-on-observed-
+// traffic is exactly the adaptive channel studied in "Cardinality Sketches
+// under Adaptive Inputs" (Ahmadian & Cohen, 2024): a client that controls
+// which (query, actual) pairs enter the log controls the refresh workload,
+// and with it the next model. The Admitter caps what any one client may
+// contribute — per-client sampling thins every client's stream, and a
+// per-client rate cap bounds the worst case — so no single feedback source
+// can steer the training distribution.
+
+// Decision is an Admitter verdict for one ingest attempt.
+type Decision int
+
+const (
+	// Admitted lets the record into the log.
+	Admitted Decision = iota
+	// Sampled drops the record by per-client sampling (not an error; the
+	// client is within its cap).
+	Sampled
+	// Capped rejects the record because the client exceeded its per-minute
+	// admission cap.
+	Capped
+)
+
+func (d Decision) String() string {
+	switch d {
+	case Admitted:
+		return "admitted"
+	case Sampled:
+		return "sampled"
+	case Capped:
+		return "capped"
+	default:
+		return "unknown"
+	}
+}
+
+// AdmitConfig parameterizes an Admitter.
+type AdmitConfig struct {
+	// PerClientPerMin caps how many records one client may have admitted
+	// per minute (0 = unlimited).
+	PerClientPerMin int
+	// SampleEvery admits every Nth record per client (<= 1 admits all).
+	// Sampling applies before the cap, so a sampled-out record does not
+	// consume cap budget.
+	SampleEvery int
+	// MaxClients bounds the tracked-client table (default 4096); beyond
+	// it, the least recently seen client's counters are evicted.
+	MaxClients int
+}
+
+func (c AdmitConfig) withDefaults() AdmitConfig {
+	if c.MaxClients <= 0 {
+		c.MaxClients = 4096
+	}
+	return c
+}
+
+// clientState is one client's admission counters.
+type clientState struct {
+	seen     uint64 // lifetime attempts (sampling numerator)
+	admitted uint64 // lifetime admitted
+	capped   uint64 // lifetime cap rejections
+	window   int64  // minute bucket of windowN (unix minutes)
+	windowN  int    // admitted in the current minute bucket
+	lastSeen int64  // unix nanos, for eviction
+}
+
+// ClientStats is one client's admission record.
+type ClientStats struct {
+	Client   string `json:"client"`
+	Seen     uint64 `json:"seen"`
+	Admitted uint64 `json:"admitted"`
+	Capped   uint64 `json:"capped,omitempty"`
+}
+
+// Admitter applies per-client sampling and rate caps to the actuals ingest
+// path. Safe for concurrent use.
+type Admitter struct {
+	cfg AdmitConfig
+
+	mu      sync.Mutex
+	clients map[string]*clientState
+}
+
+// NewAdmitter returns an Admitter with the given config.
+func NewAdmitter(cfg AdmitConfig) *Admitter {
+	return &Admitter{cfg: cfg.withDefaults(), clients: make(map[string]*clientState)}
+}
+
+// Admit decides one ingest attempt by client at the given time. An empty
+// client ID is a client like any other ("" — unattributed feedback shares
+// one budget rather than dodging the cap).
+func (a *Admitter) Admit(client string, now time.Time) Decision {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	cs, ok := a.clients[client]
+	if !ok {
+		if len(a.clients) >= a.cfg.MaxClients {
+			a.evictOldestLocked()
+		}
+		cs = &clientState{}
+		a.clients[client] = cs
+	}
+	cs.lastSeen = now.UnixNano()
+	cs.seen++
+	if a.cfg.SampleEvery > 1 && cs.seen%uint64(a.cfg.SampleEvery) != 0 {
+		return Sampled
+	}
+	if a.cfg.PerClientPerMin > 0 {
+		minute := now.Unix() / 60
+		if cs.window != minute {
+			cs.window, cs.windowN = minute, 0
+		}
+		if cs.windowN >= a.cfg.PerClientPerMin {
+			cs.capped++
+			return Capped
+		}
+		cs.windowN++
+	}
+	cs.admitted++
+	return Admitted
+}
+
+// evictOldestLocked drops the least recently seen client; a.mu held.
+func (a *Admitter) evictOldestLocked() {
+	var oldest string
+	var oldestAt int64
+	first := true
+	for c, cs := range a.clients {
+		if first || cs.lastSeen < oldestAt {
+			oldest, oldestAt, first = c, cs.lastSeen, false
+		}
+	}
+	delete(a.clients, oldest)
+}
+
+// Stats snapshots every tracked client's counters (map ordered by caller).
+func (a *Admitter) Stats() []ClientStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]ClientStats, 0, len(a.clients))
+	for c, cs := range a.clients {
+		out = append(out, ClientStats{Client: c, Seen: cs.seen, Admitted: cs.admitted, Capped: cs.capped})
+	}
+	return out
+}

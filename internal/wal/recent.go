@@ -1,0 +1,79 @@
+package wal
+
+import "container/list"
+
+// recentIndex is one sketch name's in-memory view of its most recently
+// observed actuals: at most Options.RecentPerName distinct query
+// signatures, each holding the latest KindActual record seen for it,
+// ordered by recency. It is rebuilt from the surviving segments at Open
+// and updated on every Append — the refresh path's delta workload
+// (RecentActuals) reads it instead of scanning segments.
+type recentIndex struct {
+	order *list.List               // front = most recent; values are Record
+	bySig map[string]*list.Element // signature → element in order
+	limit int
+}
+
+func newRecentIndex(limit int) *recentIndex {
+	return &recentIndex{order: list.New(), bySig: make(map[string]*list.Element), limit: limit}
+}
+
+// note records the latest actual for a signature, evicting the least
+// recently observed signature beyond the limit.
+func (ri *recentIndex) note(r Record) {
+	if el, ok := ri.bySig[r.Signature]; ok {
+		el.Value = r
+		ri.order.MoveToFront(el)
+		return
+	}
+	ri.bySig[r.Signature] = ri.order.PushFront(r)
+	for ri.order.Len() > ri.limit {
+		back := ri.order.Back()
+		ri.order.Remove(back)
+		delete(ri.bySig, back.Value.(Record).Signature)
+	}
+}
+
+// noteActualLocked indexes one actual record under its sketch name; l.mu
+// held (or exclusive at Open).
+func (l *Log) noteActualLocked(r Record) {
+	ri, ok := l.recent[r.Name]
+	if !ok {
+		ri = newRecentIndex(l.opts.RecentPerName)
+		l.recent[r.Name] = ri
+	}
+	ri.note(r)
+}
+
+// RecentActuals returns up to n of name's most recently observed distinct
+// query signatures with actuals, newest first — the WAL-derived delta
+// workload for a warm refresh. n <= 0 returns all indexed signatures.
+func (l *Log) RecentActuals(name string, n int) []Record {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	ri, ok := l.recent[name]
+	if !ok {
+		return nil
+	}
+	if n <= 0 || n > ri.order.Len() {
+		n = ri.order.Len()
+	}
+	out := make([]Record, 0, n)
+	for el := ri.order.Front(); el != nil && len(out) < n; el = el.Next() {
+		out = append(out, el.Value.(Record))
+	}
+	return out
+}
+
+// ActualCount reports how many distinct signatures with actuals the index
+// holds for name — the cheap "is there enough logged traffic to refresh
+// from" check.
+func (l *Log) ActualCount(name string) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	ri, ok := l.recent[name]
+	if !ok {
+		return 0
+	}
+	return ri.order.Len()
+}

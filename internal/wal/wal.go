@@ -1,0 +1,607 @@
+// Package wal is the observation write-ahead log: the durable record of
+// what the serving path estimated and what the host database actually
+// observed. It is the storage layer of the logged-actuals feedback loop —
+// the paper trains Deep Sketches from query feedback, and the WAL is where
+// that feedback lives between a query's execution and the next warm
+// refresh.
+//
+// Three consumers read it:
+//
+//   - the drift monitor, whose q-error windows and pending ground-truth
+//     queue are rebuilt from Replay at startup, so a restart mid-episode
+//     resumes with history intact;
+//   - the refresh path, which draws its delta workload from RecentActuals —
+//     the most recently observed distinct query signatures with actuals —
+//     so real traffic becomes training data with no synthetic workload
+//     generation in the loop;
+//   - operators, via Stats.
+//
+// # Format
+//
+// The log is a directory of segment files (wal-00000001.log, ...), the
+// influxdb segment+snapshot idiom: appends go to the active segment, a
+// segment rolls when it crosses Options.SegmentBytes, and fsyncs are
+// batched (every Options.SyncEvery appends). Each segment starts with an
+// 8-byte magic header and holds length-prefixed, CRC-checked records:
+//
+//	u32 payload length | u32 CRC-32C of payload | payload
+//
+// Replay reads segments oldest-first and stops a segment at the first
+// torn or corrupt record — a crash mid-append loses at most the unsynced
+// tail, never the log. Open always starts a fresh active segment, so an
+// inherited torn tail is never appended after.
+//
+// # Checkpoints and retention
+//
+// Checkpoint marks everything appended so far as consumed (folded into a
+// refreshed model version): it rolls the active segment and records the
+// boundary durably. Checkpointed segments are the only ones Prune may
+// delete, oldest-first, until the log fits the retention budget — which is
+// what keeps Replay bounded.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Kind distinguishes the two record types of the feedback loop.
+type Kind uint8
+
+const (
+	// KindObservation is a served estimate whose actual is not yet known —
+	// the pending half of a ground-truth pair.
+	KindObservation Kind = 1
+	// KindActual is an observed actual row count, with the estimate and
+	// answering version when the observation was matched (Version 0 and
+	// Estimate 0 record an unmatched actual — still training data).
+	KindActual Kind = 2
+)
+
+// Record is one observation log entry.
+type Record struct {
+	// Kind is KindObservation or KindActual.
+	Kind Kind
+	// Name is the sketch the record concerns.
+	Name string
+	// Version is the sketch version that served the estimate (0 unknown).
+	Version int
+	// Signature is the query's canonical signature (db.Query.Signature).
+	Signature string
+	// SQL is the canonical SQL text, re-parseable against the dataset at
+	// replay time.
+	SQL string
+	// Estimate is the served cardinality estimate (0 when unmatched).
+	Estimate float64
+	// Actual is the observed actual row count (KindActual only).
+	Actual float64
+	// Client identifies the ingest client that supplied the actual ("" for
+	// internal sources, e.g. the exact executor).
+	Client string
+	// Unix is the record time in Unix nanoseconds.
+	Unix int64
+}
+
+// Options parameterizes Open.
+type Options struct {
+	// SegmentBytes is the size threshold at which the active segment rolls
+	// (default 1 MiB).
+	SegmentBytes int64
+	// SyncEvery batches fsyncs: the active segment is synced after every
+	// N appends (default 64; 1 syncs every append). Close, Checkpoint and
+	// segment rolls always sync.
+	SyncEvery int
+	// RecentPerName bounds the in-memory recent-actuals index per sketch
+	// name (default 4096 distinct signatures).
+	RecentPerName int
+}
+
+func (o Options) withDefaults() Options {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 1 << 20
+	}
+	if o.SyncEvery <= 0 {
+		o.SyncEvery = 64
+	}
+	if o.RecentPerName <= 0 {
+		o.RecentPerName = 4096
+	}
+	return o
+}
+
+// Stats is a point-in-time snapshot of the log.
+type Stats struct {
+	// Segments is the number of segment files on disk (including active).
+	Segments int `json:"segments"`
+	// Bytes is the total on-disk size of all segments.
+	Bytes int64 `json:"bytes"`
+	// Appends is the lifetime append count of this Log handle.
+	Appends uint64 `json:"appends"`
+	// Syncs is the lifetime fsync count of this Log handle.
+	Syncs uint64 `json:"syncs"`
+	// CheckpointSeq is the highest segment sequence marked consumed
+	// (segments at or below it are prunable; 0 = no checkpoint yet).
+	CheckpointSeq int `json:"checkpoint_seq"`
+	// Replayed is the number of valid records the last Replay returned.
+	Replayed uint64 `json:"replayed"`
+	// Truncated counts segments whose replay stopped early at a torn or
+	// corrupt record (across all Replay calls on this handle).
+	Truncated uint64 `json:"truncated"`
+}
+
+const (
+	segPrefix = "wal-"
+	segSuffix = ".log"
+	// segMagic identifies a segment file; version bumps rename it.
+	segMagic = "DSWAL001"
+	// maxRecordBytes caps one record's payload — a length prefix beyond it
+	// is corruption, not a record (canonical SQL is bounded far below this).
+	maxRecordBytes = 1 << 20
+	// checkpointFile persists the checkpoint boundary (atomic tmp+rename).
+	checkpointFile = "checkpoint"
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Log is a segmented observation WAL rooted at one directory. All methods
+// are safe for concurrent use.
+type Log struct {
+	dir  string
+	opts Options
+
+	mu            sync.Mutex
+	active        *os.File
+	activeSeq     int
+	activeSize    int64
+	unsynced      int
+	checkpointSeq int
+	recent        map[string]*recentIndex // per sketch name
+	appends       uint64
+	syncs         uint64
+	replayed      uint64
+	truncated     uint64
+}
+
+// Open opens (creating if needed) the log rooted at dir, scans the existing
+// segments to rebuild the recent-actuals index, and starts a fresh active
+// segment — an inherited torn tail is tolerated at replay, never appended
+// after.
+func Open(dir string, opts Options) (*Log, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	l := &Log{dir: dir, opts: opts, recent: make(map[string]*recentIndex)}
+	if blob, err := os.ReadFile(filepath.Join(dir, checkpointFile)); err == nil {
+		if seq, err := strconv.Atoi(strings.TrimSpace(string(blob))); err == nil && seq > 0 {
+			l.checkpointSeq = seq
+		}
+	}
+	seqs, err := l.segmentSeqs()
+	if err != nil {
+		return nil, err
+	}
+	// Rebuild the recent-actuals index from what survives on disk.
+	last := 0
+	for _, seq := range seqs {
+		l.readSegment(seq, func(r Record) {
+			if r.Kind == KindActual {
+				l.noteActualLocked(r)
+			}
+		})
+		last = seq
+	}
+	if err := l.rollLocked(last + 1); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// segmentSeqs lists the on-disk segment sequence numbers, ascending.
+func (l *Log) segmentSeqs() ([]int, error) {
+	ents, err := os.ReadDir(l.dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	var seqs []int
+	for _, ent := range ents {
+		name := ent.Name()
+		if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+			continue
+		}
+		seq, err := strconv.Atoi(strings.TrimPrefix(strings.TrimSuffix(name, segSuffix), segPrefix))
+		if err != nil || seq <= 0 {
+			continue
+		}
+		seqs = append(seqs, seq)
+	}
+	sort.Ints(seqs)
+	return seqs, nil
+}
+
+func (l *Log) segPath(seq int) string {
+	return filepath.Join(l.dir, fmt.Sprintf("%s%08d%s", segPrefix, seq, segSuffix))
+}
+
+// rollLocked syncs and closes the active segment (if any) and opens a new
+// one with the given sequence number. l.mu held (or exclusive at Open).
+func (l *Log) rollLocked(seq int) error {
+	if l.active != nil {
+		if err := l.syncLocked(); err != nil {
+			return err
+		}
+		if err := l.active.Close(); err != nil {
+			return fmt.Errorf("wal: close segment %d: %w", l.activeSeq, err)
+		}
+	}
+	f, err := os.OpenFile(l.segPath(seq), os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: create segment %d: %w", seq, err)
+	}
+	if _, err := f.WriteString(segMagic); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: segment %d header: %w", seq, err)
+	}
+	l.active, l.activeSeq, l.activeSize, l.unsynced = f, seq, int64(len(segMagic)), 0
+	return nil
+}
+
+func (l *Log) syncLocked() error {
+	if l.unsynced == 0 {
+		return nil
+	}
+	if err := l.active.Sync(); err != nil {
+		return fmt.Errorf("wal: sync segment %d: %w", l.activeSeq, err)
+	}
+	l.unsynced = 0
+	l.syncs++
+	return nil
+}
+
+// Append writes one record to the active segment, rolling it at the size
+// threshold and fsyncing every Options.SyncEvery appends.
+func (l *Log) Append(r Record) error {
+	if r.Kind != KindObservation && r.Kind != KindActual {
+		return fmt.Errorf("wal: bad record kind %d", r.Kind)
+	}
+	if r.Name == "" || r.Signature == "" {
+		return errors.New("wal: record needs a sketch name and a query signature")
+	}
+	if r.Unix == 0 {
+		r.Unix = time.Now().UnixNano()
+	}
+	buf := encodeRecord(r)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.active == nil {
+		return errors.New("wal: log is closed")
+	}
+	if l.activeSize+int64(len(buf)) > l.opts.SegmentBytes && l.activeSize > int64(len(segMagic)) {
+		if err := l.rollLocked(l.activeSeq + 1); err != nil {
+			return err
+		}
+	}
+	if _, err := l.active.Write(buf); err != nil {
+		return fmt.Errorf("wal: append to segment %d: %w", l.activeSeq, err)
+	}
+	l.activeSize += int64(len(buf))
+	l.appends++
+	l.unsynced++
+	if l.unsynced >= l.opts.SyncEvery {
+		if err := l.syncLocked(); err != nil {
+			return err
+		}
+	}
+	if r.Kind == KindActual {
+		l.noteActualLocked(r)
+	}
+	return nil
+}
+
+// Sync forces an fsync of the active segment.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.active == nil {
+		return nil
+	}
+	return l.syncLocked()
+}
+
+// Close syncs and closes the active segment; the log rejects appends after.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.active == nil {
+		return nil
+	}
+	err := l.syncLocked()
+	if cerr := l.active.Close(); err == nil {
+		err = cerr
+	}
+	l.active = nil
+	return err
+}
+
+// Replay streams every valid on-disk record, oldest segment first, to fn.
+// A torn or corrupt record ends that segment's replay (counted in
+// Stats.Truncated) and replay moves on to the next segment — corruption
+// never surfaces as an error; the log yields what it can prove intact.
+func (l *Log) Replay(fn func(Record)) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	// The active segment's buffered bytes must be visible to the reader.
+	if l.active != nil {
+		if err := l.syncLocked(); err != nil {
+			return err
+		}
+	}
+	seqs, err := l.segmentSeqs()
+	if err != nil {
+		return err
+	}
+	l.replayed = 0
+	for _, seq := range seqs {
+		l.readSegment(seq, fn)
+	}
+	return nil
+}
+
+// readSegment reads one segment, calling fn per valid record, stopping at
+// the first torn or corrupt one. l.mu held.
+func (l *Log) readSegment(seq int, fn func(Record)) {
+	f, err := os.Open(l.segPath(seq))
+	if err != nil {
+		l.truncated++
+		return
+	}
+	defer f.Close()
+	magic := make([]byte, len(segMagic))
+	if _, err := io.ReadFull(f, magic); err != nil || string(magic) != segMagic {
+		l.truncated++
+		return
+	}
+	var hdr [8]byte
+	for {
+		if _, err := io.ReadFull(f, hdr[:]); err != nil {
+			if err != io.EOF {
+				l.truncated++ // torn length/CRC header
+			}
+			return
+		}
+		n := binary.LittleEndian.Uint32(hdr[0:4])
+		sum := binary.LittleEndian.Uint32(hdr[4:8])
+		if n == 0 || n > maxRecordBytes {
+			l.truncated++
+			return
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(f, payload); err != nil {
+			l.truncated++ // torn payload
+			return
+		}
+		if crc32.Checksum(payload, crcTable) != sum {
+			l.truncated++ // bit rot or a torn overwrite
+			return
+		}
+		r, err := decodePayload(payload)
+		if err != nil {
+			l.truncated++
+			return
+		}
+		l.replayed++
+		fn(r)
+	}
+}
+
+// Checkpoint marks everything appended so far as consumed: the active
+// segment rolls, and all segments up to it become prunable. The boundary
+// persists (atomically) so it survives restarts. Call it after a refresh
+// has folded the logged feedback into a new model version.
+func (l *Log) Checkpoint() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.active == nil {
+		return errors.New("wal: log is closed")
+	}
+	consumed := l.activeSeq
+	if err := l.rollLocked(l.activeSeq + 1); err != nil {
+		return err
+	}
+	l.checkpointSeq = consumed
+	tmp := filepath.Join(l.dir, checkpointFile+".tmp")
+	if err := os.WriteFile(tmp, []byte(strconv.Itoa(consumed)+"\n"), 0o644); err != nil {
+		return fmt.Errorf("wal: checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(l.dir, checkpointFile)); err != nil {
+		return fmt.Errorf("wal: checkpoint: %w", err)
+	}
+	return nil
+}
+
+// Prune deletes checkpointed segments, oldest first, until the log's total
+// on-disk size fits retainBytes (<= 0 prunes nothing). The active segment
+// and segments past the checkpoint are never deleted. Returns how many
+// segments were removed.
+func (l *Log) Prune(retainBytes int64) (int, error) {
+	if retainBytes <= 0 {
+		return 0, nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	seqs, err := l.segmentSeqs()
+	if err != nil {
+		return 0, err
+	}
+	type segInfo struct {
+		seq  int
+		size int64
+	}
+	var total int64
+	infos := make([]segInfo, 0, len(seqs))
+	for _, seq := range seqs {
+		fi, err := os.Stat(l.segPath(seq))
+		if err != nil {
+			continue
+		}
+		infos = append(infos, segInfo{seq, fi.Size()})
+		total += fi.Size()
+	}
+	removed := 0
+	for _, si := range infos {
+		if total <= retainBytes {
+			break
+		}
+		if si.seq > l.checkpointSeq || si.seq == l.activeSeq {
+			break // only consumed history is disposable, oldest-first
+		}
+		if err := os.Remove(l.segPath(si.seq)); err != nil {
+			return removed, fmt.Errorf("wal: prune segment %d: %w", si.seq, err)
+		}
+		total -= si.size
+		removed++
+	}
+	return removed, nil
+}
+
+// Stats snapshots the log's counters and on-disk shape.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	st := Stats{
+		Appends: l.appends, Syncs: l.syncs,
+		CheckpointSeq: l.checkpointSeq, Replayed: l.replayed, Truncated: l.truncated,
+	}
+	seqs, err := l.segmentSeqs()
+	if err != nil {
+		return st
+	}
+	st.Segments = len(seqs)
+	for _, seq := range seqs {
+		if fi, err := os.Stat(l.segPath(seq)); err == nil {
+			st.Bytes += fi.Size()
+		}
+	}
+	return st
+}
+
+// encodeRecord frames one record: u32 payload length, u32 CRC-32C, payload.
+func encodeRecord(r Record) []byte {
+	n := 1 + 4 + 8 + 8 + 8 +
+		2 + len(r.Name) + 2 + len(r.Client) +
+		4 + len(r.Signature) + 4 + len(r.SQL)
+	buf := make([]byte, 8, 8+n)
+	buf = append(buf, byte(r.Kind))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(r.Version))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(r.Estimate))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(r.Actual))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(r.Unix))
+	buf = appendString16(buf, r.Name)
+	buf = appendString16(buf, r.Client)
+	buf = appendString32(buf, r.Signature)
+	buf = appendString32(buf, r.SQL)
+	payload := buf[8:]
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.Checksum(payload, crcTable))
+	return buf
+}
+
+func decodePayload(p []byte) (Record, error) {
+	d := payloadReader{buf: p}
+	var r Record
+	r.Kind = Kind(d.u8())
+	r.Version = int(int32(d.u32()))
+	r.Estimate = math.Float64frombits(d.u64())
+	r.Actual = math.Float64frombits(d.u64())
+	r.Unix = int64(d.u64())
+	r.Name = d.str16()
+	r.Client = d.str16()
+	r.Signature = d.str32()
+	r.SQL = d.str32()
+	if d.err != nil {
+		return Record{}, d.err
+	}
+	if len(d.buf) != d.off {
+		return Record{}, fmt.Errorf("wal: %d trailing payload bytes", len(d.buf)-d.off)
+	}
+	if r.Kind != KindObservation && r.Kind != KindActual {
+		return Record{}, fmt.Errorf("wal: bad record kind %d", r.Kind)
+	}
+	return r, nil
+}
+
+func appendString16(buf []byte, s string) []byte {
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(s)))
+	return append(buf, s...)
+}
+
+func appendString32(buf []byte, s string) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s)))
+	return append(buf, s...)
+}
+
+// payloadReader decodes a record payload with sticky error handling.
+type payloadReader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *payloadReader) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if d.off+n > len(d.buf) {
+		d.err = errors.New("wal: short record payload")
+		return nil
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+func (d *payloadReader) u8() uint8 {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (d *payloadReader) u32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (d *payloadReader) u64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (d *payloadReader) str16() string { return string(d.take(int(d.u16()))) }
+func (d *payloadReader) str32() string { return string(d.take(int(d.u32()))) }
+
+func (d *payloadReader) u16() uint16 {
+	b := d.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}

@@ -1,0 +1,376 @@
+package wal
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func rec(kind Kind, name, sig string, version int, est, actual float64, client string) Record {
+	return Record{
+		Kind: kind, Name: name, Version: version, Signature: sig,
+		SQL:      "SELECT COUNT(*) FROM title t WHERE t.id>" + sig,
+		Estimate: est, Actual: actual, Client: client,
+	}
+}
+
+func TestAppendReplayRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SyncEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Record{
+		rec(KindObservation, "imdb", "sig-1", 3, 120, 0, ""),
+		rec(KindActual, "imdb", "sig-1", 3, 120, 95, "host-db"),
+		rec(KindActual, "tpch", "sig-2", 1, 7, 9, "etl"),
+	}
+	for i := range want {
+		want[i].Unix = int64(1000 + i)
+		if err := l.Append(want[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []Record
+	if err := l.Replay(func(r Record) { got = append(got, r) }); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("record %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh handle over the same directory replays the same records.
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	got = nil
+	if err := l2.Replay(func(r Record) { got = append(got, r) }); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) || got[0] != want[0] || got[2] != want[2] {
+		t.Fatalf("reopen replayed %+v, want %+v", got, want)
+	}
+}
+
+func TestAppendValidation(t *testing.T) {
+	l, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if err := l.Append(Record{Kind: 9, Name: "x", Signature: "s"}); err == nil {
+		t.Error("bad kind accepted")
+	}
+	if err := l.Append(Record{Kind: KindActual, Signature: "s"}); err == nil {
+		t.Error("empty name accepted")
+	}
+	if err := l.Append(Record{Kind: KindActual, Name: "x"}); err == nil {
+		t.Error("empty signature accepted")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(rec(KindActual, "x", "s", 1, 1, 1, "")); err == nil {
+		t.Error("append after Close accepted")
+	}
+}
+
+func TestSegmentRollAndStats(t *testing.T) {
+	l, err := Open(t.TempDir(), Options{SegmentBytes: 256, SyncEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for i := 0; i < 40; i++ {
+		if err := l.Append(rec(KindActual, "imdb", fmt.Sprintf("sig-%03d", i), 1, 10, 12, "c")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := l.Stats()
+	if st.Segments < 3 {
+		t.Fatalf("only %d segments after 40 appends at a 256-byte threshold", st.Segments)
+	}
+	if st.Appends != 40 {
+		t.Fatalf("appends = %d, want 40", st.Appends)
+	}
+	n := 0
+	if err := l.Replay(func(Record) { n++ }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 40 {
+		t.Fatalf("replayed %d records across rolled segments, want 40", n)
+	}
+}
+
+func TestCheckpointAndPrune(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SegmentBytes: 256, SyncEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		if err := l.Append(rec(KindActual, "imdb", fmt.Sprintf("a-%03d", i), 1, 10, 12, "c")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Nothing checkpointed: even an aggressive budget prunes nothing.
+	if n, err := l.Prune(1); err != nil || n != 0 {
+		t.Fatalf("prune before checkpoint removed %d segments (err %v), want 0", n, err)
+	}
+	if err := l.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	cpSeq := l.Stats().CheckpointSeq
+	if cpSeq == 0 {
+		t.Fatal("checkpoint recorded no boundary")
+	}
+	for i := 30; i < 40; i++ {
+		if err := l.Append(rec(KindActual, "imdb", fmt.Sprintf("b-%03d", i), 1, 10, 12, "c")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pre := l.Stats()
+	n, err := l.Prune(600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatalf("prune removed nothing (pre: %+v)", pre)
+	}
+	post := l.Stats()
+	if post.Bytes >= pre.Bytes {
+		t.Fatalf("prune did not shrink the log: %d -> %d bytes", pre.Bytes, post.Bytes)
+	}
+	// Post-checkpoint records all survive pruning.
+	kept := map[string]bool{}
+	if err := l.Replay(func(r Record) { kept[r.Signature] = true }); err != nil {
+		t.Fatal(err)
+	}
+	for i := 30; i < 40; i++ {
+		if sig := fmt.Sprintf("b-%03d", i); !kept[sig] {
+			t.Errorf("post-checkpoint record %s pruned", sig)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The checkpoint boundary survives a reopen.
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if got := l2.Stats().CheckpointSeq; got != cpSeq {
+		t.Fatalf("reopened checkpoint seq = %d, want %d", got, cpSeq)
+	}
+}
+
+func TestRecentActualsIndex(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{RecentPerName: 8, SyncEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Observations never enter the index; actuals do, newest-first,
+	// deduplicated by signature with the latest record winning.
+	if err := l.Append(rec(KindObservation, "imdb", "obs-only", 1, 5, 0, "")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		if err := l.Append(rec(KindActual, "imdb", fmt.Sprintf("s-%02d", i), 1, 10, float64(i), "c")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Append(rec(KindActual, "imdb", "s-07", 2, 11, 700, "c")); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.ActualCount("imdb"); got != 8 {
+		t.Fatalf("ActualCount = %d, want 8 (limit)", got)
+	}
+	recent := l.RecentActuals("imdb", 3)
+	if len(recent) != 3 {
+		t.Fatalf("RecentActuals(3) returned %d", len(recent))
+	}
+	if recent[0].Signature != "s-07" || recent[0].Actual != 700 || recent[0].Version != 2 {
+		t.Fatalf("newest = %+v, want the re-observed s-07 with actual 700", recent[0])
+	}
+	if recent[1].Signature != "s-11" {
+		t.Fatalf("second newest = %q, want s-11", recent[1].Signature)
+	}
+	if l.RecentActuals("unknown", 10) != nil {
+		t.Error("unknown name returned records")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen rebuilds the index from the segments.
+	l2, err := Open(dir, Options{RecentPerName: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	recent2 := l2.RecentActuals("imdb", 1)
+	if len(recent2) != 1 || recent2[0].Signature != "s-07" || recent2[0].Actual != 700 {
+		t.Fatalf("rebuilt index newest = %+v, want s-07/700", recent2)
+	}
+}
+
+// TestConcurrentAppendReplayCheckpoint is the race-detector workout the CI
+// race step runs: appends from many goroutines interleaved with replays,
+// checkpoints, prunes and stats reads must be linearizable and lose no
+// admitted record.
+func TestConcurrentAppendReplayCheckpoint(t *testing.T) {
+	l, err := Open(t.TempDir(), Options{SegmentBytes: 2048, SyncEvery: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	const writers, perWriter = 4, 50
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				r := rec(KindActual, "imdb", fmt.Sprintf("w%d-%03d", w, i), 1, 10, 12, fmt.Sprintf("client-%d", w))
+				if err := l.Append(r); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			if err := l.Replay(func(Record) {}); err != nil {
+				t.Error(err)
+				return
+			}
+			_ = l.Stats()
+			_ = l.RecentActuals("imdb", 16)
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 5; i++ {
+			if err := l.Checkpoint(); err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := l.Prune(1 << 30); err != nil {
+				t.Error(err)
+			}
+		}
+	}()
+	wg.Wait()
+	n := 0
+	if err := l.Replay(func(Record) { n++ }); err != nil {
+		t.Fatal(err)
+	}
+	if n != writers*perWriter {
+		t.Fatalf("replayed %d records, want %d — concurrent appends lost", n, writers*perWriter)
+	}
+}
+
+func TestAdmitter(t *testing.T) {
+	now := time.Unix(1_000_000, 0)
+	a := NewAdmitter(AdmitConfig{PerClientPerMin: 3, SampleEvery: 2})
+	// Sampling admits every 2nd attempt; the cap then allows 3 per minute.
+	var got []Decision
+	for i := 0; i < 10; i++ {
+		got = append(got, a.Admit("c1", now))
+	}
+	want := []Decision{Sampled, Admitted, Sampled, Admitted, Sampled, Admitted, Sampled, Capped, Sampled, Capped}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("attempt %d = %v, want %v (all: %v)", i, got[i], want[i], got)
+		}
+	}
+	// Another client has its own budget.
+	if d := a.Admit("c2", now); d != Sampled {
+		t.Fatalf("c2 first attempt = %v, want sampled", d)
+	}
+	if d := a.Admit("c2", now); d != Admitted {
+		t.Fatalf("c2 second attempt = %v, want admitted", d)
+	}
+	// The cap window resets the next minute.
+	if d := a.Admit("c1", now.Add(time.Minute)); d != Sampled {
+		t.Fatalf("c1 next-minute (sampled phase) = %v", d)
+	}
+	if d := a.Admit("c1", now.Add(time.Minute)); d != Admitted {
+		t.Fatalf("c1 next-minute = %v, want admitted after window reset", d)
+	}
+	st := a.Stats()
+	if len(st) != 2 {
+		t.Fatalf("stats tracks %d clients, want 2", len(st))
+	}
+	for _, cs := range st {
+		if cs.Client == "c1" && cs.Capped != 2 {
+			t.Errorf("c1 capped = %d, want 2", cs.Capped)
+		}
+	}
+}
+
+func TestAdmitterUnlimitedAndEviction(t *testing.T) {
+	now := time.Unix(1_000_000, 0)
+	a := NewAdmitter(AdmitConfig{MaxClients: 2})
+	for i := 0; i < 5; i++ {
+		if d := a.Admit("c", now); d != Admitted {
+			t.Fatalf("unlimited config rejected attempt %d: %v", i, d)
+		}
+	}
+	a.Admit("d", now.Add(time.Second))
+	a.Admit("e", now.Add(2*time.Second)) // evicts c (least recently seen)
+	names := map[string]bool{}
+	for _, cs := range a.Stats() {
+		names[cs.Client] = true
+	}
+	if len(names) != 2 || names["c"] || !names["d"] || !names["e"] {
+		t.Fatalf("tracked clients = %v, want d and e after evicting c", names)
+	}
+}
+
+func TestOpenRejectsUnrelatedFiles(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SyncEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(rec(KindActual, "imdb", "s", 1, 1, 2, "")); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	// Files that merely look segment-ish must not break open or replay.
+	for _, name := range []string{"wal-abc.log", "notes.txt", "wal-00000099.bak"} {
+		if err := writeFile(filepath.Join(dir, name), []byte("junk")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	n := 0
+	if err := l2.Replay(func(Record) { n++ }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("replayed %d records with junk files present, want 1", n)
+	}
+}
