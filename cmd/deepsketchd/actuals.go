@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log"
 	"net/http"
@@ -60,8 +61,17 @@ type actualsReq struct {
 	Client string `json:"client,omitempty"`
 }
 
+const (
+	// maxActualsBody bounds the POST .../actuals request body — the ingest
+	// path is client-facing and must not buffer arbitrarily large payloads.
+	maxActualsBody = 1 << 20
+	// maxClientIDBytes bounds the self-reported client ID: it keys the
+	// admission table and is stored verbatim in every WAL record.
+	maxClientIDBytes = 256
+)
+
 // handleSketchActuals ingests one observed actual: admission control
-// first (per-client sampling, then the per-minute cap), then the monitor
+// first (per-client sampling, then the rate cap), then the monitor
 // matches it against the pending observation for the query's signature,
 // and the pair — or the unmatched actual, which is still training data —
 // is appended to the observation WAL.
@@ -71,13 +81,23 @@ func (s *server) handleSketchActuals(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusNotFound, err)
 		return
 	}
+	r.Body = http.MaxBytesReader(w, r.Body, maxActualsBody)
 	var req actualsReq
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeErr(w, http.StatusRequestEntityTooLarge, err)
+			return
+		}
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
 	if req.Actual < 0 {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("actual cardinality %g is negative", req.Actual))
+		return
+	}
+	if len(req.Client) > maxClientIDBytes {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("client ID is %d bytes, limit %d", len(req.Client), maxClientIDBytes))
 		return
 	}
 	d := s.datasets[e.Dataset]
@@ -149,7 +169,10 @@ func (s *server) replayWAL() {
 					resolved++
 					return
 				}
-				if r.Version > 0 && r.Estimate > 0 {
+				// Version > 0 marks a record that captured both halves of
+				// the pair (Version 0 is the unmatched-actual marker); an
+				// Estimate of exactly 0 is a valid served estimate.
+				if r.Version > 0 {
 					mon.RecordResolved(r.Name, r.Version, r.Estimate, r.Actual)
 					resolved++
 					return

@@ -60,6 +60,19 @@ func TestActualsEndpointSemantics(t *testing.T) {
 	if rec := postActual(t, h, id, "SELECT COUNT(*) FROM title", -5, ""); rec.Code != http.StatusBadRequest {
 		t.Errorf("negative actual: %d, want 400", rec.Code)
 	}
+	// Oversized payloads: the body is capped at maxActualsBody and the
+	// self-reported client ID at maxClientIDBytes — neither may reach the
+	// admission table or the WAL.
+	req = httptest.NewRequest("POST", fmt.Sprintf("/api/sketches/%d/actuals", id),
+		strings.NewReader(`{"sql":"`+strings.Repeat("x", maxActualsBody+1)+`"}`))
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized body: %d, want 413", rec.Code)
+	}
+	if rec := postActual(t, h, id, "SELECT COUNT(*) FROM title", 1, strings.Repeat("c", maxClientIDBytes+1)); rec.Code != http.StatusBadRequest {
+		t.Errorf("oversized client ID: %d, want 400", rec.Code)
+	}
 
 	// Serve one estimate so its observation parks pending, then resolve it.
 	sql := "SELECT COUNT(*) FROM title t WHERE t.production_year>2000"
@@ -222,6 +235,26 @@ func TestDriftStateSurvivesRestart(t *testing.T) {
 		if rec := post(t, h2, "/api/estimate", estimateReq{SketchID: id, SQL: sql}); rec.Code != http.StatusOK {
 			t.Fatalf("estimate after restart: %d %s", rec.Code, rec.Body)
 		}
+	}
+}
+
+// TestReplayResolvedZeroEstimate: an in-process-resolved pair whose served
+// estimate was exactly 0 is still a graded observation — replay must land
+// its q-error in the rebuilt window (Version 0, not Estimate 0, is the
+// unmatched-actual marker).
+func TestReplayResolvedZeroEstimate(t *testing.T) {
+	srv := noTruthServer(deepsketch.DriftConfig{SampleEvery: 1, Window: 64, QueueSize: 4096}, deepsketch.DriftControllerConfig{}, t.TempDir())
+	err := srv.wals["imdb"].Append(deepsketch.WALRecord{
+		Kind: deepsketch.WALActual, Name: "zero-est", Version: 1,
+		Signature: "sig-0", SQL: "SELECT COUNT(*) FROM title", Estimate: 0, Actual: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.replayWAL()
+	st := srv.monitors["imdb"].Status("zero-est")
+	if len(st.Versions) != 1 || st.Versions[0].Samples != 1 {
+		t.Fatalf("zero-estimate resolved record dropped at replay: %+v", st.Versions)
 	}
 }
 

@@ -1,6 +1,7 @@
 package wal
 
 import (
+	"math"
 	"sync"
 	"time"
 )
@@ -11,8 +12,15 @@ import (
 // which (query, actual) pairs enter the log controls the refresh workload,
 // and with it the next model. The Admitter caps what any one client may
 // contribute — per-client sampling thins every client's stream, and a
-// per-client rate cap bounds the worst case — so no single feedback source
-// can steer the training distribution.
+// per-client token-bucket rate cap bounds the worst case — so no single
+// feedback source can steer the training distribution.
+//
+// Scope: client IDs are self-reported, so per-client control here is a
+// volume bound on well-behaved feedback sources, not an authentication
+// boundary. A client free to mint fresh IDs gets a fresh budget per ID
+// (and, past MaxClients, churns other clients' counters out of the
+// table); holding a hostile client to its cap requires authenticated
+// client identities enforced upstream of Admit.
 
 // Decision is an Admitter verdict for one ingest attempt.
 type Decision int
@@ -43,8 +51,10 @@ func (d Decision) String() string {
 
 // AdmitConfig parameterizes an Admitter.
 type AdmitConfig struct {
-	// PerClientPerMin caps how many records one client may have admitted
-	// per minute (0 = unlimited).
+	// PerClientPerMin caps one client's admitted-records rate (0 =
+	// unlimited): a token bucket holding at most PerClientPerMin tokens,
+	// refilled at PerClientPerMin per minute. Unlike fixed minute buckets,
+	// a burst straddling a bucket boundary cannot double the cap.
 	PerClientPerMin int
 	// SampleEvery admits every Nth record per client (<= 1 admits all).
 	// Sampling applies before the cap, so a sampled-out record does not
@@ -64,12 +74,12 @@ func (c AdmitConfig) withDefaults() AdmitConfig {
 
 // clientState is one client's admission counters.
 type clientState struct {
-	seen     uint64 // lifetime attempts (sampling numerator)
-	admitted uint64 // lifetime admitted
-	capped   uint64 // lifetime cap rejections
-	window   int64  // minute bucket of windowN (unix minutes)
-	windowN  int    // admitted in the current minute bucket
-	lastSeen int64  // unix nanos, for eviction
+	seen     uint64  // lifetime attempts (sampling numerator)
+	admitted uint64  // lifetime admitted
+	capped   uint64  // lifetime cap rejections
+	tokens   float64 // rate-cap token bucket level
+	refillAt int64   // unix nanos of the last bucket refill
+	lastSeen int64   // unix nanos, for eviction
 }
 
 // ClientStats is one client's admission record.
@@ -105,7 +115,8 @@ func (a *Admitter) Admit(client string, now time.Time) Decision {
 		if len(a.clients) >= a.cfg.MaxClients {
 			a.evictOldestLocked()
 		}
-		cs = &clientState{}
+		// A new client starts with a full bucket (burst = one minute's cap).
+		cs = &clientState{tokens: float64(a.cfg.PerClientPerMin), refillAt: now.UnixNano()}
 		a.clients[client] = cs
 	}
 	cs.lastSeen = now.UnixNano()
@@ -114,15 +125,16 @@ func (a *Admitter) Admit(client string, now time.Time) Decision {
 		return Sampled
 	}
 	if a.cfg.PerClientPerMin > 0 {
-		minute := now.Unix() / 60
-		if cs.window != minute {
-			cs.window, cs.windowN = minute, 0
+		limit := float64(a.cfg.PerClientPerMin)
+		if dt := now.UnixNano() - cs.refillAt; dt > 0 {
+			cs.tokens = math.Min(limit, cs.tokens+float64(dt)*limit/float64(time.Minute))
+			cs.refillAt = now.UnixNano()
 		}
-		if cs.windowN >= a.cfg.PerClientPerMin {
+		if cs.tokens < 1 {
 			cs.capped++
 			return Capped
 		}
-		cs.windowN++
+		cs.tokens--
 	}
 	cs.admitted++
 	return Admitted

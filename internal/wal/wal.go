@@ -270,7 +270,12 @@ func (l *Log) syncLocked() error {
 }
 
 // Append writes one record to the active segment, rolling it at the size
-// threshold and fsyncing every Options.SyncEvery appends.
+// threshold and fsyncing every Options.SyncEvery appends. Records whose
+// fields overflow their framing (Name/Client beyond 64 KiB, or a payload
+// beyond maxRecordBytes) are rejected up front: an oversized field would
+// otherwise be silently truncated by the length prefix, producing a frame
+// whose CRC passes but whose payload no longer decodes — which replay must
+// treat as corruption, discarding every later record in the segment.
 func (l *Log) Append(r Record) error {
 	if r.Kind != KindObservation && r.Kind != KindActual {
 		return fmt.Errorf("wal: bad record kind %d", r.Kind)
@@ -278,10 +283,19 @@ func (l *Log) Append(r Record) error {
 	if r.Name == "" || r.Signature == "" {
 		return errors.New("wal: record needs a sketch name and a query signature")
 	}
+	if len(r.Name) > math.MaxUint16 {
+		return fmt.Errorf("wal: sketch name is %d bytes, over the 64 KiB field limit", len(r.Name))
+	}
+	if len(r.Client) > math.MaxUint16 {
+		return fmt.Errorf("wal: client ID is %d bytes, over the 64 KiB field limit", len(r.Client))
+	}
 	if r.Unix == 0 {
 		r.Unix = time.Now().UnixNano()
 	}
 	buf := encodeRecord(r)
+	if payload := len(buf) - 8; payload > maxRecordBytes {
+		return fmt.Errorf("wal: record payload is %d bytes, over the %d-byte limit", payload, maxRecordBytes)
+	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.active == nil {
@@ -419,7 +433,10 @@ func (l *Log) Checkpoint() error {
 	if err := l.rollLocked(l.activeSeq + 1); err != nil {
 		return err
 	}
-	l.checkpointSeq = consumed
+	// Persist the boundary before advancing the in-memory one: Prune only
+	// honors checkpointSeq, and deleting segments against a boundary that
+	// never became durable would leave the restored checkpoint pointing at
+	// already-deleted history after a crash.
 	tmp := filepath.Join(l.dir, checkpointFile+".tmp")
 	if err := os.WriteFile(tmp, []byte(strconv.Itoa(consumed)+"\n"), 0o644); err != nil {
 		return fmt.Errorf("wal: checkpoint: %w", err)
@@ -427,6 +444,7 @@ func (l *Log) Checkpoint() error {
 	if err := os.Rename(tmp, filepath.Join(l.dir, checkpointFile)); err != nil {
 		return fmt.Errorf("wal: checkpoint: %w", err)
 	}
+	l.checkpointSeq = consumed
 	return nil
 }
 

@@ -3,6 +3,7 @@ package wal
 import (
 	"fmt"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -78,6 +79,30 @@ func TestAppendValidation(t *testing.T) {
 	}
 	if err := l.Append(Record{Kind: KindActual, Name: "x"}); err == nil {
 		t.Error("empty signature accepted")
+	}
+	// Oversized fields must be rejected, not silently truncated by the
+	// length prefix into a frame whose payload no longer decodes.
+	big := strings.Repeat("x", 1<<16)
+	if err := l.Append(Record{Kind: KindActual, Name: big, Signature: "s"}); err == nil {
+		t.Error("64 KiB name accepted")
+	}
+	if err := l.Append(Record{Kind: KindActual, Name: "x", Signature: "s", Client: big}); err == nil {
+		t.Error("64 KiB client ID accepted")
+	}
+	if err := l.Append(Record{Kind: KindActual, Name: "x", Signature: "s", SQL: strings.Repeat("q", maxRecordBytes)}); err == nil {
+		t.Error("payload over maxRecordBytes accepted")
+	}
+	// Rejected records must leave the log intact: a good record appended
+	// after them still replays, with nothing flagged as torn.
+	if err := l.Append(rec(KindActual, "x", "s", 1, 10, 12, "c")); err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	if err := l.Replay(func(Record) { n++ }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 || l.Stats().Truncated != 0 {
+		t.Fatalf("after rejected appends: replayed %d records (want 1), truncated %d (want 0)", n, l.Stats().Truncated)
 	}
 	if err := l.Close(); err != nil {
 		t.Fatal(err)
@@ -323,6 +348,37 @@ func TestAdmitter(t *testing.T) {
 		if cs.Client == "c1" && cs.Capped != 2 {
 			t.Errorf("c1 capped = %d, want 2", cs.Capped)
 		}
+	}
+}
+
+func TestAdmitterNoBoundaryBurst(t *testing.T) {
+	// A fixed minute bucket lets a client land 2x the cap by bursting just
+	// before and just after a boundary; the token bucket must not. Cap 3:
+	// 3 admitted at t=59s drain the bucket, and 2s of refill (0.1 tokens)
+	// buys nothing at t=61s.
+	a := NewAdmitter(AdmitConfig{PerClientPerMin: 3})
+	before := time.Unix(59, 0)
+	for i := 0; i < 3; i++ {
+		if d := a.Admit("c", before); d != Admitted {
+			t.Fatalf("attempt %d before the boundary = %v, want admitted", i, d)
+		}
+	}
+	if d := a.Admit("c", before); d != Capped {
+		t.Fatalf("4th attempt = %v, want capped", d)
+	}
+	after := time.Unix(61, 0)
+	if d := a.Admit("c", after); d != Capped {
+		t.Fatalf("burst across the minute boundary = %v, want capped", d)
+	}
+	// A full minute of refill restores the full budget — and no more.
+	later := time.Unix(121, 0)
+	for i := 0; i < 3; i++ {
+		if d := a.Admit("c", later); d != Admitted {
+			t.Fatalf("attempt %d after refill = %v, want admitted", i, d)
+		}
+	}
+	if d := a.Admit("c", later); d != Capped {
+		t.Fatalf("attempt past the refilled budget = %v, want capped", d)
 	}
 }
 
