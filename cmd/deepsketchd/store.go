@@ -192,6 +192,10 @@ func (s *server) loadVersionedDir(dir string) error {
 		if sk.Name() != st.Name {
 			return fmt.Errorf("v%d.dsk is named %q, state says %q", ver, sk.Name(), st.Name)
 		}
+		// The live version passes through installVersion below, but a resumed
+		// canary serves traffic straight from the registry — set the daemon's
+		// engine precision on every restored version.
+		sk.SetEnginePrecision(s.engine)
 		found[ver] = sk
 		if ver > maxVer {
 			maxVer = ver

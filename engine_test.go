@@ -1,0 +1,80 @@
+package deepsketch_test
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"deepsketch"
+	"deepsketch/internal/metrics"
+	"deepsketch/internal/workload"
+)
+
+// TestEngineF32QErrorGate is the reduced-precision equivalence gate on the
+// JOB-light workload: for every query, the q-error of the f32 engine must
+// deviate from the f64 reference q-error by less than 1%. This is the
+// accuracy contract that lets deployments flip -engine=f32 for the latency
+// win without re-validating model quality.
+func TestEngineF32QErrorGate(t *testing.T) {
+	d, s := fixture(t)
+	qs, err := workload.JOBLight(d, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s32 := s.Clone()
+	s32.SetEnginePrecision(deepsketch.EngineF32)
+	if s.EnginePrecision() != deepsketch.EngineF64 {
+		t.Fatal("Clone+SetEnginePrecision mutated the original sketch")
+	}
+	for i, q := range qs {
+		truth, err := deepsketch.TrueCardinality(d, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e64, err := s.Cardinality(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e32, err := s32.Cardinality(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q64 := metrics.QError(e64, float64(truth))
+		q32 := metrics.QError(e32, float64(truth))
+		if dev := math.Abs(q32-q64) / q64; dev >= 0.01 {
+			t.Errorf("query %d (%s): f32 q-error %.6g deviates %.3g%% from f64 q-error %.6g",
+				i, q.SQL(d), q32, dev*100, q64)
+		}
+	}
+}
+
+// TestEngineTagPublicAPI checks the estimate envelope reports the precision
+// that computed it, across the single and batched paths.
+func TestEngineTagPublicAPI(t *testing.T) {
+	d, s := fixture(t)
+	q, err := deepsketch.ParseSQL(d, "SELECT COUNT(*) FROM title t WHERE t.production_year>2000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s32 := s.Clone()
+	s32.SetEnginePrecision(deepsketch.EngineF32)
+	for _, tc := range []struct {
+		sk   *deepsketch.Sketch
+		want string
+	}{{s, "f64"}, {s32, "f32"}} {
+		est, err := tc.sk.Estimate(context.Background(), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if est.Engine != tc.want {
+			t.Errorf("Estimate engine tag = %q, want %q", est.Engine, tc.want)
+		}
+		batch, err := tc.sk.EstimateBatch(context.Background(), []deepsketch.Query{q})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if batch[0].Engine != tc.want {
+			t.Errorf("EstimateBatch engine tag = %q, want %q", batch[0].Engine, tc.want)
+		}
+	}
+}

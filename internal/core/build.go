@@ -170,7 +170,7 @@ func BuildFromData(td *TrainingData, mon *trainmon.Monitor) (*Sketch, error) {
 	// Cfg.Workers bounds every parallel stage of sketch creation: query
 	// labeling earlier, data-parallel training here (0 = GOMAXPROCS).
 	stats, err := model.TrainWithOptions(td.Examples, enc.Norm, mon,
-		mscn.TrainOptions{Parallelism: cfg.Workers})
+		mscn.TrainOptions{Parallelism: cfg.Workers, PipelineVal: true})
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,219 @@
+package mscn
+
+import "deepsketch/internal/nn"
+
+// Reduced-precision forwards for the packed Engine. The f64 weights stay
+// the single source of truth; these paths read converted snapshots that are
+// built once per weight generation (Model.WeightGen) — never per forward —
+// and rebuilt automatically when a Refresh/Swap/ReadWeights replaces the
+// weights. The pipeline mirrors Engine.Forward layer for layer; only the
+// element type (and, for int8, per-layer dynamic activation quantization)
+// differs. Output q-error deviation vs the f64 path is bounded by the
+// equivalence tests in engine32_test.go and the JOB-light fixture gate.
+
+// weights32 is a float32 snapshot of all eight layers, tagged with the
+// weight generation it was converted from.
+type weights32 struct {
+	gen            uint64
+	table1, table2 *nn.Linear32
+	join1, join2   *nn.Linear32
+	pred1, pred2   *nn.Linear32
+	out1, out2     *nn.Linear32
+}
+
+// weights8 is the experimental int8 snapshot (per-layer symmetric weight
+// scales), tagged like weights32.
+type weights8 struct {
+	gen            uint64
+	table1, table2 *nn.Linear8
+	join1, join2   *nn.Linear8
+	pred1, pred2   *nn.Linear8
+	out1, out2     *nn.Linear8
+}
+
+// snapshot32 returns the cached f32 snapshot for the current weight
+// generation, converting the weights once under convMu on a miss. The
+// double-checked load keeps the hot path to one atomic read.
+func (e *Engine) snapshot32() *weights32 {
+	gen := e.m.WeightGen()
+	if s := e.w32.Load(); s != nil && s.gen == gen {
+		return s
+	}
+	e.convMu.Lock()
+	defer e.convMu.Unlock()
+	if s := e.w32.Load(); s != nil && s.gen == gen {
+		return s
+	}
+	m := e.m
+	s := &weights32{
+		gen:    gen,
+		table1: nn.NewLinear32(m.table1), table2: nn.NewLinear32(m.table2),
+		join1: nn.NewLinear32(m.join1), join2: nn.NewLinear32(m.join2),
+		pred1: nn.NewLinear32(m.pred1), pred2: nn.NewLinear32(m.pred2),
+		out1: nn.NewLinear32(m.out1), out2: nn.NewLinear32(m.out2),
+	}
+	e.w32.Store(s)
+	return s
+}
+
+// snapshot8 mirrors snapshot32 for the int8 probe.
+func (e *Engine) snapshot8() *weights8 {
+	gen := e.m.WeightGen()
+	if s := e.w8.Load(); s != nil && s.gen == gen {
+		return s
+	}
+	e.convMu.Lock()
+	defer e.convMu.Unlock()
+	if s := e.w8.Load(); s != nil && s.gen == gen {
+		return s
+	}
+	m := e.m
+	s := &weights8{
+		gen:    gen,
+		table1: nn.NewLinear8(m.table1), table2: nn.NewLinear8(m.table2),
+		join1: nn.NewLinear8(m.join1), join2: nn.NewLinear8(m.join2),
+		pred1: nn.NewLinear8(m.pred1), pred2: nn.NewLinear8(m.pred2),
+		out1: nn.NewLinear8(m.out1), out2: nn.NewLinear8(m.out2),
+	}
+	e.w8.Store(s)
+	return s
+}
+
+// forward32 runs one packed forward pass in float32, writing normalized
+// predictions into out[:pb.B]. Packed feature rows convert f64→f32 once on
+// entry (each element touched once — negligible next to the GEMMs); the
+// final b×1 activations convert back on exit. Same zero-steady-state-
+// allocation property as Forward, on the scratch's Workspace32.
+func (e *Engine) forward32(pb *PackedBatch, s *engineScratch, out []float64) {
+	w := e.snapshot32()
+	m := e.m
+	h := m.Cfg.HiddenUnits
+	b := pb.B
+	nt, nj, np := pb.Rows()
+	ws := &s.ws32
+	ws.Reserve(nt*m.TDim + nj*m.JDim + np*m.PDim + (2*(nt+nj+np)+7*b)*h + b)
+
+	tx := ws.Alloc(nt, m.TDim)
+	nn.ConvertRows32(tx, pb.TX)
+	th1 := ws.Alloc(nt, h)
+	w.table1.ForwardFused(tx, th1, true)
+	th2 := ws.Alloc(nt, h)
+	w.table2.ForwardFused(th1, th2, true)
+	tPool := ws.Alloc(b, h)
+	nn.SegmentAvgPool32(th2, pb.TOff, tPool)
+
+	jx := ws.Alloc(nj, m.JDim)
+	nn.ConvertRows32(jx, pb.JX)
+	jh1 := ws.Alloc(nj, h)
+	w.join1.ForwardFused(jx, jh1, true)
+	jh2 := ws.Alloc(nj, h)
+	w.join2.ForwardFused(jh1, jh2, true)
+	jPool := ws.Alloc(b, h)
+	nn.SegmentAvgPool32(jh2, pb.JOff, jPool)
+
+	px := ws.Alloc(np, m.PDim)
+	nn.ConvertRows32(px, pb.PX)
+	ph1 := ws.Alloc(np, h)
+	w.pred1.ForwardFused(px, ph1, true)
+	ph2 := ws.Alloc(np, h)
+	w.pred2.ForwardFused(ph1, ph2, true)
+	pPool := ws.Alloc(b, h)
+	nn.SegmentAvgPool32(ph2, pb.POff, pPool)
+
+	concat := ws.Alloc(b, 3*h)
+	for bi := 0; bi < b; bi++ {
+		dst := concat.Row(bi)
+		copy(dst[:h], tPool.Row(bi))
+		copy(dst[h:2*h], jPool.Row(bi))
+		copy(dst[2*h:], pPool.Row(bi))
+	}
+
+	o1 := ws.Alloc(b, h)
+	w.out1.ForwardFused(concat, o1, true)
+	outM := ws.Alloc(b, 1)
+	w.out2.ForwardFused(o1, outM, false)
+	nn.SigmoidInPlace32(outM)
+	for i := 0; i < b; i++ {
+		out[i] = float64(outM.Data[i])
+	}
+}
+
+// quant8 quantizes x into the scratch's reusable int8 buffer, returning the
+// dequantization scale. The buffer is valid until the next quant8 call —
+// the serial layer-by-layer forward consumes it immediately.
+func (s *engineScratch) quant8(x nn.Matrix32) float32 {
+	n := x.Rows * x.Cols
+	if cap(s.xq) < n {
+		s.xq = make([]int8, n)
+	}
+	s.xq = s.xq[:n]
+	return nn.QuantizeRows8(x, s.xq)
+}
+
+// forward8 runs the experimental int8 forward: activations re-quantize
+// dynamically before every linear layer (one symmetric scale per matrix),
+// weights come from the per-generation int8 snapshot, pooling and the final
+// sigmoid stay float32.
+func (e *Engine) forward8(pb *PackedBatch, s *engineScratch, out []float64) {
+	w := e.snapshot8()
+	m := e.m
+	h := m.Cfg.HiddenUnits
+	b := pb.B
+	nt, nj, np := pb.Rows()
+	ws := &s.ws32
+	ws.Reserve(nt*m.TDim + nj*m.JDim + np*m.PDim + (2*(nt+nj+np)+7*b)*h + b)
+
+	// quant8 may grow s.xq, so the scale must be computed before s.xq is
+	// read for the call (Go evaluates arguments left to right).
+	tx := ws.Alloc(nt, m.TDim)
+	nn.ConvertRows32(tx, pb.TX)
+	th1 := ws.Alloc(nt, h)
+	sc := s.quant8(tx)
+	w.table1.ForwardFused(s.xq, nt, sc, th1, true)
+	th2 := ws.Alloc(nt, h)
+	sc = s.quant8(th1)
+	w.table2.ForwardFused(s.xq, nt, sc, th2, true)
+	tPool := ws.Alloc(b, h)
+	nn.SegmentAvgPool32(th2, pb.TOff, tPool)
+
+	jx := ws.Alloc(nj, m.JDim)
+	nn.ConvertRows32(jx, pb.JX)
+	jh1 := ws.Alloc(nj, h)
+	sc = s.quant8(jx)
+	w.join1.ForwardFused(s.xq, nj, sc, jh1, true)
+	jh2 := ws.Alloc(nj, h)
+	sc = s.quant8(jh1)
+	w.join2.ForwardFused(s.xq, nj, sc, jh2, true)
+	jPool := ws.Alloc(b, h)
+	nn.SegmentAvgPool32(jh2, pb.JOff, jPool)
+
+	px := ws.Alloc(np, m.PDim)
+	nn.ConvertRows32(px, pb.PX)
+	ph1 := ws.Alloc(np, h)
+	sc = s.quant8(px)
+	w.pred1.ForwardFused(s.xq, np, sc, ph1, true)
+	ph2 := ws.Alloc(np, h)
+	sc = s.quant8(ph1)
+	w.pred2.ForwardFused(s.xq, np, sc, ph2, true)
+	pPool := ws.Alloc(b, h)
+	nn.SegmentAvgPool32(ph2, pb.POff, pPool)
+
+	concat := ws.Alloc(b, 3*h)
+	for bi := 0; bi < b; bi++ {
+		dst := concat.Row(bi)
+		copy(dst[:h], tPool.Row(bi))
+		copy(dst[h:2*h], jPool.Row(bi))
+		copy(dst[2*h:], pPool.Row(bi))
+	}
+
+	o1 := ws.Alloc(b, h)
+	sc = s.quant8(concat)
+	w.out1.ForwardFused(s.xq, b, sc, o1, true)
+	outM := ws.Alloc(b, 1)
+	sc = s.quant8(o1)
+	w.out2.ForwardFused(s.xq, b, sc, outM, false)
+	nn.SigmoidInPlace32(outM)
+	for i := 0; i < b; i++ {
+		out[i] = float64(outM.Data[i])
+	}
+}

@@ -1,0 +1,154 @@
+package mscn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// requireBitwiseEqual compares two trained models' weights and optimizer
+// states bitwise — the pipelined-validation contract.
+func requireBitwiseEqual(t *testing.T, a, b *Model) {
+	t.Helper()
+	aw, bw := weightsOf(a), weightsOf(b)
+	for i := range aw {
+		for j := range aw[i] {
+			if aw[i][j] != bw[i][j] {
+				t.Fatalf("param %d[%d]: %v vs %v — pipelined validation must be bitwise identical",
+					i, j, aw[i][j], bw[i][j])
+			}
+		}
+	}
+	ao, bo := a.OptState(), b.OptState()
+	if (ao == nil) != (bo == nil) {
+		t.Fatalf("opt state presence differs: %v vs %v", ao != nil, bo != nil)
+	}
+	if ao == nil {
+		return
+	}
+	if ao.Step != bo.Step {
+		t.Fatalf("opt step %d vs %d", ao.Step, bo.Step)
+	}
+	for i := range ao.M {
+		for j := range ao.M[i] {
+			if ao.M[i][j] != bo.M[i][j] || ao.V[i][j] != bo.V[i][j] {
+				t.Fatalf("opt moment %d[%d] differs", i, j)
+			}
+		}
+	}
+}
+
+// requireSameValStats checks the per-epoch validation metrics agree — the
+// pipelined schedule reads boundary snapshots, so it must see the exact
+// values the serial schedule computes.
+func requireSameValStats(t *testing.T, serial, pipelined []EpochStats) {
+	t.Helper()
+	if len(serial) != len(pipelined) {
+		t.Fatalf("epoch count %d vs %d", len(serial), len(pipelined))
+	}
+	for i := range serial {
+		if serial[i].ValMeanQ != pipelined[i].ValMeanQ || serial[i].ValMedQ != pipelined[i].ValMedQ {
+			t.Fatalf("epoch %d val metrics: serial (%v, %v) vs pipelined (%v, %v)", i+1,
+				serial[i].ValMeanQ, serial[i].ValMedQ, pipelined[i].ValMeanQ, pipelined[i].ValMedQ)
+		}
+		if serial[i].TrainLoss != pipelined[i].TrainLoss {
+			t.Fatalf("epoch %d train loss: %v vs %v", i+1, serial[i].TrainLoss, pipelined[i].TrainLoss)
+		}
+	}
+}
+
+// TestPipelineValKeepBestBitwise: with KeepBest over a fixed epoch budget,
+// overlapping validation with the next epoch must restore exactly the
+// weights the serial schedule restores.
+func TestPipelineValKeepBestBitwise(t *testing.T) {
+	const tdim, jdim, pdim = 19, 4, 7
+	rng := rand.New(rand.NewSource(81))
+	examples, norm := trainExamples(rng, 80, tdim, jdim, pdim)
+	cfg := Config{HiddenUnits: 12, Epochs: 4, BatchSize: 16, Seed: 13, KeepBest: true, ValFrac: 0.2}
+
+	serial := New(cfg, tdim, jdim, pdim)
+	serialStats, err := serial.TrainWithOptions(examples, norm, nil, TrainOptions{Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	piped := New(cfg, tdim, jdim, pdim)
+	pipedStats, err := piped.TrainWithOptions(examples, norm, nil, TrainOptions{Parallelism: 2, PipelineVal: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameValStats(t, serialStats, pipedStats)
+	requireBitwiseEqual(t, serial, piped)
+}
+
+// TestPipelineValEarlyStopBitwise: a StopAtValQ trigger must leave the
+// pipelined run exactly where the serial run stops — same epoch count, same
+// weights, same optimizer state — even though the pipelined schedule has
+// already trained one speculative epoch past the boundary.
+func TestPipelineValEarlyStopBitwise(t *testing.T) {
+	const tdim, jdim, pdim = 17, 4, 6
+	rng := rand.New(rand.NewSource(82))
+	examples, norm := trainExamples(rng, 80, tdim, jdim, pdim)
+	cfg := Config{HiddenUnits: 12, Epochs: 6, BatchSize: 16, Seed: 17, ValFrac: 0.2}
+
+	// Probe run: find a threshold that triggers strictly before the last
+	// epoch, so the pipelined run must roll back a speculative epoch.
+	probe := New(cfg, tdim, jdim, pdim)
+	probeStats, err := probe.TrainWithOptions(examples, norm, nil, TrainOptions{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(probeStats) < 3 {
+		t.Fatalf("probe ran %d epochs, need ≥3", len(probeStats))
+	}
+	thr := probeStats[1].ValMeanQ // triggers at epoch ≤ 2 of 6
+	if math.IsNaN(thr) || thr <= 0 {
+		t.Fatalf("probe epoch-2 val mean q %v unusable as threshold", thr)
+	}
+
+	opts := TrainOptions{Parallelism: 1, StopAtValQ: thr}
+	serial := New(cfg, tdim, jdim, pdim)
+	serialStats, err := serial.TrainWithOptions(examples, norm, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serialStats) >= len(probeStats) {
+		t.Fatalf("early stop did not trigger before the epoch budget (%d epochs)", len(serialStats))
+	}
+	opts.PipelineVal = true
+	piped := New(cfg, tdim, jdim, pdim)
+	pipedStats, err := piped.TrainWithOptions(examples, norm, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameValStats(t, serialStats, pipedStats)
+	requireBitwiseEqual(t, serial, piped)
+
+	// The restored boundary state must be a valid warm start: resuming from
+	// both models must keep producing identical weights.
+	resume := func(m *Model) *Model {
+		if _, err := m.TrainWithOptions(examples, norm, nil, TrainOptions{Parallelism: 1, Epochs: 1, Resume: m.OptState()}); err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	requireBitwiseEqual(t, resume(serial), resume(piped))
+}
+
+// TestPipelineValNoVal: PipelineVal with no validation split must degrade
+// to the plain schedule instead of deadlocking or skipping epochs.
+func TestPipelineValNoVal(t *testing.T) {
+	const tdim, jdim, pdim = 11, 3, 5
+	rng := rand.New(rand.NewSource(83))
+	examples, norm := trainExamples(rng, 12, tdim, jdim, pdim)
+	// 12 examples at ValFrac 0.01 → nVal = 0: no split.
+	cfg := Config{HiddenUnits: 8, Epochs: 2, BatchSize: 8, Seed: 3, ValFrac: 0.01}
+	a := New(cfg, tdim, jdim, pdim)
+	if _, err := a.TrainWithOptions(examples, norm, nil, TrainOptions{Parallelism: 1, PipelineVal: true}); err != nil {
+		t.Fatal(err)
+	}
+	b := New(cfg, tdim, jdim, pdim)
+	if _, err := b.TrainWithOptions(examples, norm, nil, TrainOptions{Parallelism: 1}); err != nil {
+		t.Fatal(err)
+	}
+	requireBitwiseEqual(t, a, b)
+}

@@ -36,6 +36,16 @@ type TrainOptions struct {
 	// 0 disables). Refreshes use it to train "until as good as the old
 	// sketch" instead of a fixed epoch count.
 	StopAtValQ float64
+	// PipelineVal overlaps each epoch's validation pass with the next
+	// epoch's training instead of stalling between epochs. Validation reads
+	// a weight snapshot taken at the epoch boundary, so it sees exactly the
+	// values the serial schedule would; KeepBest snapshots come from that
+	// boundary copy, and a StopAtValQ trigger rolls the speculative extra
+	// epoch back to the boundary weights and optimizer state — final
+	// weights are bitwise-identical to the serial schedule for any fixed
+	// (seed, parallelism). Per-epoch validation metrics surface one epoch
+	// late. No effect without a validation split.
+	PipelineVal bool
 }
 
 func (o TrainOptions) workers() int {

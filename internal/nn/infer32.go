@@ -1,0 +1,274 @@
+package nn
+
+import "math"
+
+// Reduced-precision (float32) mirrors of the packed inference kernels in
+// infer.go. Halving the element size halves the weight-matrix footprint and
+// the memory traffic the GEMM pays per output unit — the first layer of
+// every set module streams a weight matrix whose input width is dominated
+// by the sample bitmap. Under Go's scalar codegen the fused GEMM is
+// execution-port-bound (float32 and float64 multiply-add have identical
+// scalar throughput), so the measured end-to-end win is modest — ~10% on
+// batched ragged shapes, parity on single-query shapes that fit in L2 —
+// and grows when weights spill cache (larger samples, wider hidden layers,
+// many resident sketches). The format is also the groundwork for a SIMD
+// backend, where lane width doubles the arithmetic rate. The kernels follow
+// the same shape contracts and ownership rules as their f64 counterparts:
+// serial, allocation-free, one Workspace32 per concurrent pass. Training
+// stays entirely float64 (Adam moments, gradient reduction, the fused
+// backward kernels): reduced precision is an inference-only trade, gated by
+// the q-error equivalence tests in the mscn package.
+
+// Matrix32 is a dense row-major float32 matrix — the inference-only sibling
+// of Matrix.
+type Matrix32 struct {
+	Rows, Cols int
+	Data       []float32
+}
+
+// NewMatrix32 allocates a zeroed Rows×Cols float32 matrix.
+func NewMatrix32(rows, cols int) Matrix32 {
+	return Matrix32{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
+}
+
+// Row returns the r-th row as a slice aliasing the matrix storage.
+func (m Matrix32) Row(r int) []float32 { return m.Data[r*m.Cols : (r+1)*m.Cols] }
+
+// Workspace32 is the float32 bump-allocated scratch arena for reduced-
+// precision forward passes — same Reserve/Alloc/Reset lifecycle and
+// steady-state zero-allocation behavior as Workspace, same ownership rule:
+// one pass at a time, pool for concurrency.
+type Workspace32 struct {
+	buf []float32
+	off int
+}
+
+// Reserve resets the arena and ensures capacity for n float32s, so that
+// subsequent Allocs totalling at most n cannot grow the buffer mid-pass.
+func (w *Workspace32) Reserve(n int) {
+	if cap(w.buf) < n {
+		w.buf = make([]float32, n)
+	} else {
+		w.buf = w.buf[:cap(w.buf)]
+	}
+	w.off = 0
+}
+
+// Reset recycles the arena, invalidating previously allocated matrices.
+func (w *Workspace32) Reset() { w.off = 0 }
+
+// Alloc returns a rows×cols matrix carved from the arena. Contents are
+// uninitialized — every kernel writing into it must overwrite or zero it.
+func (w *Workspace32) Alloc(rows, cols int) Matrix32 {
+	n := rows * cols
+	if w.off+n > len(w.buf) {
+		grow := 2 * len(w.buf)
+		if grow < n {
+			grow = n
+		}
+		w.buf = make([]float32, grow)
+		w.off = 0
+	}
+	m := Matrix32{Rows: rows, Cols: cols, Data: w.buf[w.off : w.off+n : w.off+n]}
+	w.off += n
+	return m
+}
+
+// Linear32 is an inference-only float32 snapshot of a Linear's weights:
+// y = x·Wᵀ + b with W row-major [out][in]. It holds no gradients and is
+// immutable after construction — build one per weight version (the mscn
+// engine converts once per Model weight generation, not per forward).
+type Linear32 struct {
+	In, Out int
+	W, B    []float32
+}
+
+// NewLinear32 converts a Linear's current weights to float32 once.
+func NewLinear32(l *Linear) *Linear32 {
+	s := &Linear32{In: l.In, Out: l.Out, W: make([]float32, len(l.W.Data)), B: make([]float32, len(l.B.Data))}
+	for i, v := range l.W.Data {
+		s.W[i] = float32(v)
+	}
+	for i, v := range l.B.Data {
+		s.B[i] = float32(v)
+	}
+	return s
+}
+
+// ForwardFused computes y = x·Wᵀ + b into the preallocated y, optionally
+// fusing ReLU — the float32 mirror of Linear.ForwardFused, with the same
+// 2×4 register tiling (the tile is sized by register count, which float32
+// does not change in scalar Go; the win is halved weight traffic). Serial,
+// no allocations; y must be x.Rows×l.Out and may not alias x.
+func (l *Linear32) ForwardFused(x, y Matrix32, relu bool) {
+	if x.Cols != l.In || y.Rows != x.Rows || y.Cols != l.Out {
+		panic("nn: Linear32.ForwardFused dimension mismatch")
+	}
+	gemmBias32(x, l.W, l.B, y, relu)
+}
+
+// gemmBias32 is the float32 twin of gemmBias: 2 rows × 4 output units per
+// tile, 8 independent accumulators, one streaming pass over the shared
+// inner dimension.
+func gemmBias32(x Matrix32, w, bias []float32, y Matrix32, relu bool) {
+	in, out, n := x.Cols, y.Cols, x.Rows
+	r := 0
+	for ; r+2 <= n; r += 2 {
+		x0 := x.Row(r)
+		x1 := x.Row(r + 1)
+		y0 := y.Row(r)
+		y1 := y.Row(r + 1)
+		o := 0
+		for ; o+4 <= out; o += 4 {
+			w0 := w[o*in : o*in+in]
+			w1 := w[(o+1)*in : (o+1)*in+in]
+			w2 := w[(o+2)*in : (o+2)*in+in]
+			w3 := w[(o+3)*in : (o+3)*in+in]
+			var a00, a01, a02, a03 float32
+			var a10, a11, a12, a13 float32
+			for k := 0; k < in; k++ {
+				xv0, xv1 := x0[k], x1[k]
+				wv0, wv1, wv2, wv3 := w0[k], w1[k], w2[k], w3[k]
+				a00 += xv0 * wv0
+				a01 += xv0 * wv1
+				a02 += xv0 * wv2
+				a03 += xv0 * wv3
+				a10 += xv1 * wv0
+				a11 += xv1 * wv1
+				a12 += xv1 * wv2
+				a13 += xv1 * wv3
+			}
+			b0, b1, b2, b3 := bias[o], bias[o+1], bias[o+2], bias[o+3]
+			a00 += b0
+			a01 += b1
+			a02 += b2
+			a03 += b3
+			a10 += b0
+			a11 += b1
+			a12 += b2
+			a13 += b3
+			if relu {
+				a00 = relu32(a00)
+				a01 = relu32(a01)
+				a02 = relu32(a02)
+				a03 = relu32(a03)
+				a10 = relu32(a10)
+				a11 = relu32(a11)
+				a12 = relu32(a12)
+				a13 = relu32(a13)
+			}
+			y0[o], y0[o+1], y0[o+2], y0[o+3] = a00, a01, a02, a03
+			y1[o], y1[o+1], y1[o+2], y1[o+3] = a10, a11, a12, a13
+		}
+		for ; o < out; o++ {
+			wo := w[o*in : o*in+in]
+			var a0, a1 float32
+			for k := 0; k < in; k++ {
+				wv := wo[k]
+				a0 += x0[k] * wv
+				a1 += x1[k] * wv
+			}
+			bo := bias[o]
+			a0, a1 = a0+bo, a1+bo
+			if relu {
+				a0, a1 = relu32(a0), relu32(a1)
+			}
+			y0[o], y1[o] = a0, a1
+		}
+	}
+	for ; r < n; r++ {
+		xr := x.Row(r)
+		yr := y.Row(r)
+		o := 0
+		for ; o+2 <= out; o += 2 {
+			w0 := w[o*in : o*in+in]
+			w1 := w[(o+1)*in : (o+1)*in+in]
+			var a0, a1 float32
+			for k := 0; k < in; k++ {
+				xv := xr[k]
+				a0 += xv * w0[k]
+				a1 += xv * w1[k]
+			}
+			a0, a1 = a0+bias[o], a1+bias[o+1]
+			if relu {
+				a0, a1 = relu32(a0), relu32(a1)
+			}
+			yr[o], yr[o+1] = a0, a1
+		}
+		for ; o < out; o++ {
+			wo := w[o*in : o*in+in]
+			var a float32
+			for k := 0; k < in; k++ {
+				a += xr[k] * wo[k]
+			}
+			a += bias[o]
+			if relu {
+				a = relu32(a)
+			}
+			yr[o] = a
+		}
+	}
+}
+
+func relu32(v float32) float32 {
+	if v > 0 {
+		return v
+	}
+	return 0
+}
+
+// SegmentAvgPool32 averages contiguous row segments of x into rows of out —
+// the float32 mirror of SegmentAvgPool, with identical CSR offset semantics
+// (empty segments yield a zero row; out is fully overwritten).
+func SegmentAvgPool32(x Matrix32, offsets []int, out Matrix32) {
+	b := out.Rows
+	if len(offsets) != b+1 || offsets[b] != x.Rows || out.Cols != x.Cols {
+		panic("nn: SegmentAvgPool32 shape mismatch")
+	}
+	for i := 0; i < b; i++ {
+		dst := out.Row(i)
+		lo, hi := offsets[i], offsets[i+1]
+		if hi == lo {
+			for c := range dst {
+				dst[c] = 0
+			}
+			continue
+		}
+		copy(dst, x.Row(lo))
+		for r := lo + 1; r < hi; r++ {
+			src := x.Row(r)
+			for c, v := range src {
+				dst[c] += v
+			}
+		}
+		if n := hi - lo; n > 1 {
+			inv := 1.0 / float32(n)
+			for c := range dst {
+				dst[c] *= inv
+			}
+		}
+	}
+}
+
+// SigmoidInPlace32 applies 1/(1+e^-x) element-wise, overwriting x. The
+// exponential is computed in float64 (math.Exp has no float32 twin in the
+// standard library) and rounded once per element.
+func SigmoidInPlace32(x Matrix32) {
+	for i, v := range x.Data {
+		x.Data[i] = float32(1.0 / (1.0 + math.Exp(-float64(v))))
+	}
+}
+
+// ConvertRows32 copies src (float64) into dst (float32) element-wise; the
+// matrices must have identical shapes. It is how packed feature rows enter
+// the reduced-precision pipeline: the conversion touches each input element
+// once, which is negligible next to the GEMMs that re-stream the weight
+// matrices per output unit.
+func ConvertRows32(dst Matrix32, src Matrix) {
+	if dst.Rows != src.Rows || dst.Cols != src.Cols {
+		panic("nn: ConvertRows32 shape mismatch")
+	}
+	for i, v := range src.Data {
+		dst.Data[i] = float32(v)
+	}
+}

@@ -1,0 +1,261 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"deepsketch/internal/datagen"
+)
+
+// f32 kernels accumulate in float32, so they drift from the f64 reference
+// by rounding noise that grows with the inner dimension; relative bounds of
+// ~1e-5 are comfortable for the shapes below while still catching any real
+// kernel bug (tiling, remainder, offset errors produce O(1) deviations).
+const f32RelTol = 2e-5
+
+func relDiff(got float32, want float64) float64 {
+	d := math.Abs(float64(got) - want)
+	if m := math.Abs(want); m > 1 {
+		d /= m
+	}
+	return d
+}
+
+// TestForwardFused32MatchesF64: the float32 tiled kernel must match the f64
+// fused kernel within fp32 tolerance across shapes that hit every
+// tile-remainder path (rows and outputs not divisible by 4/2).
+func TestForwardFused32MatchesF64(t *testing.T) {
+	rng := datagen.NewRand(21)
+	for _, shape := range [][3]int{
+		{1, 3, 1}, {2, 5, 4}, {3, 8, 5}, {4, 16, 4}, {5, 7, 9},
+		{8, 33, 12}, {17, 10, 6}, {64, 21, 13},
+	} {
+		rows, in, out := shape[0], shape[1], shape[2]
+		l := NewLinear("t", in, out, rng)
+		l32 := NewLinear32(l)
+		x := NewMatrix(rows, in)
+		for i := range x.Data {
+			x.Data[i] = rng.Float64()*2 - 1
+		}
+		x32 := NewMatrix32(rows, in)
+		ConvertRows32(x32, x)
+		for _, relu := range []bool{false, true} {
+			want := NewMatrix(rows, out)
+			l.ForwardFused(x, want, relu)
+			got := NewMatrix32(rows, out)
+			// Dirty the output to prove full overwrite.
+			for i := range got.Data {
+				got.Data[i] = 999
+			}
+			l32.ForwardFused(x32, got, relu)
+			for i := range want.Data {
+				if d := relDiff(got.Data[i], want.Data[i]); d > f32RelTol {
+					t.Fatalf("shape %v relu=%v: fused32[%d]=%v want %v (relΔ=%g)",
+						shape, relu, i, got.Data[i], want.Data[i], d)
+				}
+			}
+		}
+	}
+}
+
+// TestSegmentAvgPool32MatchesF64: CSR pooling in float32 must agree with the
+// f64 version, including empty segments (fully overwritten to zero).
+func TestSegmentAvgPool32MatchesF64(t *testing.T) {
+	rng := datagen.NewRand(22)
+	const b, h = 5, 3
+	lens := []int{2, 0, 4, 1, 3}
+	total := 0
+	for _, n := range lens {
+		total += n
+	}
+	x := NewMatrix(total, h)
+	for i := range x.Data {
+		x.Data[i] = rng.Float64()
+	}
+	offsets := make([]int, b+1)
+	for i, n := range lens {
+		offsets[i+1] = offsets[i] + n
+	}
+	want := NewMatrix(b, h)
+	SegmentAvgPool(x, offsets, want)
+
+	x32 := NewMatrix32(total, h)
+	ConvertRows32(x32, x)
+	got := NewMatrix32(b, h)
+	for i := range got.Data {
+		got.Data[i] = 999 // prove full overwrite, incl. empty segments
+	}
+	SegmentAvgPool32(x32, offsets, got)
+	for i := range want.Data {
+		if d := relDiff(got.Data[i], want.Data[i]); d > f32RelTol {
+			t.Fatalf("pool32[%d] = %v, want %v (relΔ=%g)", i, got.Data[i], want.Data[i], d)
+		}
+	}
+}
+
+// TestSigmoidInPlace32MatchesF64: the f32 sigmoid computes through float64
+// exp and rounds once, so it should sit within one ulp-ish of the f64 one.
+func TestSigmoidInPlace32MatchesF64(t *testing.T) {
+	rng := datagen.NewRand(23)
+	x := NewMatrix(3, 4)
+	for i := range x.Data {
+		x.Data[i] = rng.Float64()*8 - 4
+	}
+	want := x.Clone()
+	SigmoidInPlace(want)
+	x32 := NewMatrix32(3, 4)
+	ConvertRows32(x32, x)
+	SigmoidInPlace32(x32)
+	for i := range want.Data {
+		if d := relDiff(x32.Data[i], want.Data[i]); d > f32RelTol {
+			t.Fatalf("sigmoid32[%d] = %v, want %v", i, x32.Data[i], want.Data[i])
+		}
+	}
+}
+
+// TestWorkspace32Reuse mirrors TestWorkspaceReuse for the float32 arena:
+// steady-state Reserve/Alloc must not allocate, and growth must not corrupt
+// earlier matrices.
+func TestWorkspace32Reuse(t *testing.T) {
+	var ws Workspace32
+	ws.Reserve(12)
+	a := ws.Alloc(2, 3)
+	for i := range a.Data {
+		a.Data[i] = float32(i)
+	}
+	b := ws.Alloc(10, 10)
+	b.Data[0] = 7
+	for i := range a.Data {
+		if a.Data[i] != float32(i) {
+			t.Fatalf("growth corrupted earlier matrix at %d", i)
+		}
+	}
+
+	ws2 := &Workspace32{}
+	ws2.Reserve(64)
+	ws2.Alloc(4, 8) // warm
+	allocs := testing.AllocsPerRun(20, func() {
+		ws2.Reserve(64)
+		m := ws2.Alloc(4, 8)
+		m.Data[0] = 1
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Reserve/Alloc allocates %.1f times, want 0", allocs)
+	}
+}
+
+// TestLinear8Quantization: the int8 path reconstructs the f64 forward within
+// quantization error. With symmetric per-layer weight scale and a dynamic
+// per-matrix activation scale, the absolute output error is bounded by
+// roughly in * (|x|max/254 * |w|max + |w|max/254 * |x|max); we assert a
+// conservative multiple of that analytic bound rather than a magic epsilon.
+func TestLinear8Quantization(t *testing.T) {
+	rng := datagen.NewRand(24)
+	for _, shape := range [][3]int{{1, 4, 3}, {3, 16, 5}, {7, 33, 9}} {
+		rows, in, out := shape[0], shape[1], shape[2]
+		l := NewLinear("t", in, out, rng)
+		l8 := NewLinear8(l)
+		x := NewMatrix(rows, in)
+		var xMax, wMax float64
+		for i := range x.Data {
+			x.Data[i] = rng.Float64()*2 - 1
+			if a := math.Abs(x.Data[i]); a > xMax {
+				xMax = a
+			}
+		}
+		for _, w := range l.W.Data {
+			if a := math.Abs(w); a > wMax {
+				wMax = a
+			}
+		}
+		x32 := NewMatrix32(rows, in)
+		ConvertRows32(x32, x)
+		xq := make([]int8, rows*in)
+		xs := QuantizeRows8(x32, xq)
+
+		for _, relu := range []bool{false, true} {
+			want := NewMatrix(rows, out)
+			l.ForwardFused(x, want, relu)
+			got := NewMatrix32(rows, out)
+			for i := range got.Data {
+				got.Data[i] = 999
+			}
+			l8.ForwardFused(xq, rows, xs, got, relu)
+			// Per-element quantization step is scale/2 for each factor.
+			bound := 2 * float64(in) * (xMax/254*wMax + wMax/254*xMax)
+			for i := range want.Data {
+				if d := math.Abs(float64(got.Data[i]) - want.Data[i]); d > bound {
+					t.Fatalf("shape %v relu=%v: int8[%d]=%v want %v (|Δ|=%g > bound %g)",
+						shape, relu, i, got.Data[i], want.Data[i], d, bound)
+				}
+			}
+		}
+	}
+}
+
+// TestQuantizeRows8ZeroInput: an all-zero activation matrix must produce
+// scale 0 and a zeroed quantized image (no NaN from a 0/0 inverse scale).
+func TestQuantizeRows8ZeroInput(t *testing.T) {
+	x := NewMatrix32(2, 3)
+	xq := make([]int8, 6)
+	for i := range xq {
+		xq[i] = 42
+	}
+	if s := QuantizeRows8(x, xq); s != 0 {
+		t.Fatalf("zero input scale = %v, want 0", s)
+	}
+	for i, q := range xq {
+		if q != 0 {
+			t.Fatalf("xq[%d] = %d, want 0", i, q)
+		}
+	}
+}
+
+func BenchmarkLinearForwardFused32(b *testing.B) {
+	l, x := benchLinear(b)
+	l32 := NewLinear32(l)
+	x32 := NewMatrix32(benchBatch, benchIn)
+	ConvertRows32(x32, x)
+	y := NewMatrix32(benchBatch, benchOut)
+	b.SetBytes(int64(benchBatch * benchIn * 4))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l32.ForwardFused(x32, y, true)
+	}
+}
+
+func BenchmarkLinearForwardFused8(b *testing.B) {
+	l, x := benchLinear(b)
+	l8 := NewLinear8(l)
+	x32 := NewMatrix32(benchBatch, benchIn)
+	ConvertRows32(x32, x)
+	xq := make([]int8, benchBatch*benchIn)
+	xs := QuantizeRows8(x32, xq)
+	y := NewMatrix32(benchBatch, benchOut)
+	b.SetBytes(int64(benchBatch * benchIn))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l8.ForwardFused(xq, benchBatch, xs, y, true)
+	}
+}
+
+func BenchmarkSegmentAvgPool32(b *testing.B) {
+	rng := datagen.NewRand(2)
+	const sets, valid, width = 64, 2, 64
+	x := NewMatrix32(sets*valid, width)
+	for i := range x.Data {
+		x.Data[i] = float32(rng.Float64())
+	}
+	offsets := make([]int, sets+1)
+	for i := 1; i <= sets; i++ {
+		offsets[i] = i * valid
+	}
+	out := NewMatrix32(sets, width)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SegmentAvgPool32(x, offsets, out)
+	}
+}

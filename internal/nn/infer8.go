@@ -1,0 +1,133 @@
+package nn
+
+// Experimental int8 inference kernels: a per-layer-scaled quantized GEMM.
+// Weights are quantized once per layer with a symmetric scale
+// (max|W| / 127); activations are quantized dynamically per forward call
+// with one scale per input matrix, the GEMM accumulates in int32, and the
+// result dequantizes straight into float32 with the bias added and ReLU
+// optionally fused. This is a stretch probe behind the engine's precision
+// flag, not a tuned production path: scalar Go gains no SIMD dot-product
+// instruction from int8, so the win is limited to quartered weight traffic,
+// and accuracy is bounded only by the (looser) int8 equivalence tests.
+
+// Linear8 is an inference-only int8 snapshot of a Linear: W row-major
+// [out][in] quantized symmetrically with one per-layer scale, bias kept in
+// float32 and applied after dequantization.
+type Linear8 struct {
+	In, Out int
+	W       []int8
+	// WScale dequantizes weights: w_f32 ≈ float32(w_int8) * WScale.
+	WScale float32
+	B      []float32
+}
+
+// NewLinear8 quantizes a Linear's current weights to int8 once. An
+// all-zero weight matrix gets scale 0 (the GEMM then yields pure bias).
+func NewLinear8(l *Linear) *Linear8 {
+	s := &Linear8{In: l.In, Out: l.Out, W: make([]int8, len(l.W.Data)), B: make([]float32, len(l.B.Data))}
+	var maxAbs float64
+	for _, v := range l.W.Data {
+		if v < 0 {
+			v = -v
+		}
+		if v > maxAbs {
+			maxAbs = v
+		}
+	}
+	if maxAbs > 0 {
+		s.WScale = float32(maxAbs / 127)
+		inv := 127 / maxAbs
+		for i, v := range l.W.Data {
+			q := v * inv
+			if q >= 0 {
+				s.W[i] = int8(q + 0.5)
+			} else {
+				s.W[i] = int8(q - 0.5)
+			}
+		}
+	}
+	for i, v := range l.B.Data {
+		s.B[i] = float32(v)
+	}
+	return s
+}
+
+// QuantizeRows8 quantizes x into xq (len ≥ x.Rows*x.Cols) with one dynamic
+// symmetric scale for the whole matrix, returning the dequantization scale
+// (x_f32 ≈ float32(xq) * scale). An all-zero input returns scale 0 with xq
+// zeroed over the matrix extent.
+func QuantizeRows8(x Matrix32, xq []int8) float32 {
+	n := x.Rows * x.Cols
+	var maxAbs float32
+	for _, v := range x.Data[:n] {
+		if v < 0 {
+			v = -v
+		}
+		if v > maxAbs {
+			maxAbs = v
+		}
+	}
+	if maxAbs == 0 {
+		for i := range xq[:n] {
+			xq[i] = 0
+		}
+		return 0
+	}
+	inv := 127 / maxAbs
+	for i, v := range x.Data[:n] {
+		q := v * inv
+		if q >= 0 {
+			xq[i] = int8(q + 0.5)
+		} else {
+			xq[i] = int8(q - 0.5)
+		}
+	}
+	return maxAbs / 127
+}
+
+// ForwardFused computes y = dequant(xq·Wᵀ) + b into the preallocated y,
+// optionally fusing ReLU. xq is the int8 image of the input produced by
+// QuantizeRows8 (rows×l.In, row-major) and xScale its dequantization
+// scale; y must be rows×l.Out. The accumulation is int32 — safe for inner
+// dimensions up to 2^17 at worst-case ±127 magnitudes, far beyond any MSCN
+// layer width.
+func (l *Linear8) ForwardFused(xq []int8, rows int, xScale float32, y Matrix32, relu bool) {
+	if y.Rows != rows || y.Cols != l.Out {
+		panic("nn: Linear8.ForwardFused dimension mismatch")
+	}
+	scale := l.WScale * xScale
+	in, out := l.In, l.Out
+	for r := 0; r < rows; r++ {
+		xr := xq[r*in : (r+1)*in]
+		yr := y.Row(r)
+		o := 0
+		for ; o+2 <= out; o += 2 {
+			w0 := l.W[o*in : o*in+in]
+			w1 := l.W[(o+1)*in : (o+1)*in+in]
+			var a0, a1 int32
+			for k := 0; k < in; k++ {
+				xv := int32(xr[k])
+				a0 += xv * int32(w0[k])
+				a1 += xv * int32(w1[k])
+			}
+			v0 := float32(a0)*scale + l.B[o]
+			v1 := float32(a1)*scale + l.B[o+1]
+			if relu {
+				v0, v1 = relu32(v0), relu32(v1)
+			}
+			yr[o], yr[o+1] = v0, v1
+		}
+		for ; o < out; o++ {
+			wo := l.W[o*in : o*in+in]
+			var a int32
+			for k := 0; k < in; k++ {
+				a += int32(xr[k]) * int32(wo[k])
+			}
+			v := float32(a)*scale + l.B[o]
+			if relu {
+				v = relu32(v)
+			}
+			yr[o] = v
+		}
+	}
+}

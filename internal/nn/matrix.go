@@ -3,7 +3,7 @@
 // needs: dense matrices, fully-connected layers with backpropagation, ReLU
 // and sigmoid activations, masked average-pooling over sets, the Adam
 // optimizer with global-norm gradient clipping, the paper's mean q-error
-// training objective, and deterministic weight initialization. Everything is
+// training objective, and deterministic weight initialization. Training is
 // float64 and CPU-only; hot loops are parallelized across row blocks.
 //
 // Two forward paths coexist. The training path (Forward/ForwardInto,
@@ -14,6 +14,12 @@
 // packed ragged batches, a register-tiled fused Linear+ReLU GEMM, and
 // bump-allocated scratch. A Workspace serves one forward pass at a time —
 // concurrency comes from one Workspace per goroutine, never from sharing.
+//
+// Inference additionally offers reduced-precision mirrors: float32 kernels
+// (infer32.go: Linear32, SegmentAvgPool32, Workspace32) that halve weight
+// memory traffic, and an experimental per-layer-scaled int8 GEMM
+// (infer8.go). Weight snapshots convert once per weight version; the f64
+// training state is the single source of truth.
 package nn
 
 import (

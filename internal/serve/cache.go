@@ -49,10 +49,11 @@ type Cache struct {
 }
 
 type cacheEntry struct {
-	key  string
-	card float64
-	src  string
-	ver  int
+	key    string
+	card   float64
+	src    string
+	ver    int
+	engine string
 }
 
 // NewCache wraps inner with an LRU of the given capacity (entries).
@@ -182,6 +183,7 @@ func (c *Cache) lookup(key string, start time.Time) (estimator.Estimate, bool) {
 		Cardinality: ent.card,
 		Source:      ent.src,
 		Version:     ent.ver,
+		Engine:      ent.engine,
 		Latency:     time.Since(start),
 		CacheHit:    true,
 	}, true
@@ -203,11 +205,11 @@ func (c *Cache) insert(key string, e estimator.Estimate, gen uint64) {
 	}
 	if el, ok := c.entries[key]; ok {
 		ent := el.Value.(*cacheEntry)
-		ent.card, ent.src, ent.ver = e.Cardinality, e.Source, e.Version
+		ent.card, ent.src, ent.ver, ent.engine = e.Cardinality, e.Source, e.Version, e.Engine
 		c.lru.MoveToFront(el)
 		return
 	}
-	c.entries[key] = c.lru.PushFront(&cacheEntry{key: key, card: e.Cardinality, src: e.Source, ver: e.Version})
+	c.entries[key] = c.lru.PushFront(&cacheEntry{key: key, card: e.Cardinality, src: e.Source, ver: e.Version, engine: e.Engine})
 	for c.lru.Len() > c.cap {
 		oldest := c.lru.Back()
 		c.lru.Remove(oldest)
