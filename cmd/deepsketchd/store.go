@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"deepsketch"
+	"deepsketch/internal/fsx"
 )
 
 // The persistent store keeps each sketch's FULL version history, live
@@ -86,12 +87,7 @@ func (s *server) persistState(e *sketchEntry) {
 		log.Printf("deepsketchd: store state for %s: %v", e.Name, err)
 		return
 	}
-	tmp := filepath.Join(dir, "state.json.tmp")
-	if err := os.WriteFile(tmp, append(blob, '\n'), 0o644); err != nil {
-		log.Printf("deepsketchd: store state for %s: %v", e.Name, err)
-		return
-	}
-	if err := os.Rename(tmp, filepath.Join(dir, "state.json")); err != nil {
+	if err := fsx.AtomicWriteFile(filepath.Join(dir, "state.json"), append(blob, '\n'), 0o644); err != nil {
 		log.Printf("deepsketchd: store state for %s: %v", e.Name, err)
 	}
 }

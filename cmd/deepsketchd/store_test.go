@@ -223,3 +223,73 @@ func TestSanitizeName(t *testing.T) {
 		}
 	}
 }
+
+// TestPersistStateCrashConsistent is the regression test for the
+// missing-fsync-before-rename bug in persistState: a daemon killed
+// mid-persist used to be able to leave a torn state.json.tmp (and, on a
+// journaling filesystem replaying the rename without the data blocks, a
+// torn state.json). The store must ignore the crash artifact on restore,
+// and a fresh persist must replace state.json atomically and leave no
+// temp file behind.
+func TestPersistStateCrashConsistent(t *testing.T) {
+	dir := t.TempDir()
+
+	// Hand-write the layout a crashed daemon leaves: a valid version file
+	// and state.json, plus a torn state.json.tmp cut down mid-write.
+	db := deepsketch.NewIMDb(deepsketch.IMDbConfig{Seed: 7, Titles: 400, Keywords: 20, Companies: 10, Persons: 60})
+	sk, err := deepsketch.Build(db, deepsketch.Config{
+		Name: "crashy", SampleSize: 16, TrainQueries: 60, MaxJoins: 1, MaxPreds: 1, Seed: 3,
+		Model: deepsketch.ModelConfig{HiddenUnits: 8, Epochs: 1, BatchSize: 16, Seed: 3},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	skDir := filepath.Join(dir, "crashy")
+	if err := os.MkdirAll(skDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := deepsketch.SaveFile(sk, filepath.Join(skDir, "v1.dsk")); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(skDir, "state.json"), []byte(`{"name":"crashy","dataset":"imdb","live":1}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tmp := filepath.Join(skDir, "state.json.tmp")
+	if err := os.WriteFile(tmp, []byte(`{"name":"crashy","data`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := newServer(400, 200, 1)
+	srv.store = dir
+	n, err := srv.loadStore()
+	if err != nil || n != 1 {
+		t.Fatalf("loadStore: n=%d err=%v, want 1 restored despite torn tmp", n, err)
+	}
+	var entry *sketchEntry
+	for _, e := range srv.sketches {
+		if e.Name == "crashy" {
+			entry = e
+		}
+	}
+	if entry == nil {
+		t.Fatal("restored sketch not registered")
+	}
+
+	// A fresh persist must atomically replace state.json and consume the
+	// temp path (fsx.AtomicWriteFile syncs then renames it).
+	srv.persistState(entry)
+	blob, err := os.ReadFile(filepath.Join(skDir, "state.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st storeState
+	if err := json.Unmarshal(blob, &st); err != nil {
+		t.Fatalf("state.json torn after persist: %v\n%s", err, blob)
+	}
+	if st.Name != "crashy" || st.Live != 1 {
+		t.Fatalf("persisted state %+v, want live v1 of crashy", st)
+	}
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Errorf("state.json.tmp still present after persist (err=%v); atomic write must consume it", err)
+	}
+}

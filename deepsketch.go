@@ -430,13 +430,20 @@ func LoadFile(path string) (*Sketch, error) {
 	return core.Load(f)
 }
 
-// SaveFile writes a sketch to a file.
+// SaveFile writes a sketch to a file and fsyncs it before returning, so a
+// caller's write-temp-then-rename sequence survives a crash.
+//
+//deepsketch:durable
 func SaveFile(s *Sketch, path string) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
 	if err := s.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
 		f.Close()
 		return err
 	}

@@ -1,0 +1,111 @@
+package analysis
+
+import (
+	"go/parser"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// This file is the suite's analysistest equivalent: fixtures live under
+// testdata/src/<analyzer>/ and mark every line where a diagnostic is
+// expected with a trailing
+//
+//	// want "regexp"
+//
+// comment (several "..." patterns on one line expect several
+// diagnostics). RunFixture fails the test if an expected diagnostic is
+// missing or an unexpected one fires, so each analyzer's fixtures prove
+// both that it catches seeded violations and that it stays quiet on the
+// compliant code sitting next to them.
+
+var wantRe = regexp.MustCompile(`//\s*want\s+((?:"(?:[^"\\]|\\.)*"\s*)+)`)
+var wantPatRe = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// RunFixture type-checks the fixture files (paths relative to dir) as one
+// package named pkgPath and runs the analyzer, matching findings against
+// the files' want comments.
+func RunFixture(t *testing.T, a *Analyzer, pkgPath, dir string, files ...string) {
+	t.Helper()
+	var paths []string
+	for _, f := range files {
+		paths = append(paths, filepath.Join(dir, f))
+	}
+	prog, err := LoadFiles(pkgPath, paths...)
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	diags, err := Run(prog, []*Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	type wantEntry struct {
+		file    string
+		line    int
+		pattern *regexp.Regexp
+		matched bool
+	}
+	var wants []*wantEntry
+	for _, path := range paths {
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("reparsing fixture: %v", err)
+		}
+		for _, group := range f.Comments {
+			for _, c := range group.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, pm := range wantPatRe.FindAllStringSubmatch(m[1], -1) {
+					pat, err := regexp.Compile(pm[1])
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, pm[1], err)
+					}
+					wants = append(wants, &wantEntry{file: pos.Filename, line: pos.Line, pattern: pat})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if w.matched || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+				continue
+			}
+			if w.pattern.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	sort.Slice(wants, func(i, j int) bool {
+		if wants[i].file != wants[j].file {
+			return wants[i].file < wants[j].file
+		}
+		return wants[i].line < wants[j].line
+	})
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.pattern)
+		}
+	}
+	if t.Failed() {
+		var b strings.Builder
+		for _, d := range diags {
+			b.WriteString("  " + d.String() + "\n")
+		}
+		t.Logf("all diagnostics:\n%s", b.String())
+	}
+}

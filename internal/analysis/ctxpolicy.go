@@ -1,0 +1,96 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CtxPolicy enforces the caller-owned context discipline inside internal/
+// libraries: context.Context must be the first parameter of any function
+// that takes one, and context.Background()/context.TODO() may not be
+// called — a library that originates its own context silently detaches
+// work from the caller's cancellation and deadline, which is exactly what
+// broke the coalescer's retry semantics before PR 3 pinned them to the
+// caller's context. Only cmd/ binaries and tests originate contexts.
+//
+// A deliberate detachment (a long-lived background actor, a batch whose
+// per-caller retries re-check each caller's own context) is declared with
+// //deepsketch:ctxorigin <reason> on the function, which keeps the design
+// decision auditable at the call site.
+var CtxPolicy = &Analyzer{
+	Name: "ctxpolicy",
+	Doc:  "internal/ packages take ctx first and never originate contexts",
+	Run:  runCtxPolicy,
+}
+
+func runCtxPolicy(pass *Pass) error {
+	if !strings.Contains(pass.Pkg.Path, "/internal/") {
+		return nil
+	}
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			checkCtxParams(pass, fd)
+			if fd.Body == nil {
+				continue
+			}
+			exempt := false
+			if key := declKey(info, fd); key != "" {
+				exempt = pass.Prog.Directives.Func(key).CtxOrigin != ""
+			}
+			if exempt {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(info, call)
+				if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+					return true
+				}
+				if fn.Name() == "Background" || fn.Name() == "TODO" {
+					pass.Reportf(call.Pos(), "context.%s originates a context inside an internal package, detaching work from the caller's cancellation; thread the caller's ctx or declare //deepsketch:ctxorigin <reason>", fn.Name())
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// checkCtxParams reports context.Context parameters at any position but
+// the first. Function literals are not checked: a closure capturing its
+// enclosing ctx is the normal idiom.
+func checkCtxParams(pass *Pass, fd *ast.FuncDecl) {
+	if fd.Type.Params == nil {
+		return
+	}
+	info := pass.Pkg.Info
+	pos := 0
+	for _, field := range fd.Type.Params.List {
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		if t := info.Types[field.Type].Type; t != nil && isContextType(t) && pos != 0 {
+			pass.Reportf(field.Pos(), "context.Context must be the first parameter")
+		}
+		pos += n
+	}
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

@@ -1,0 +1,159 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Determinism checks the invariant behind bitwise-reproducible training:
+// inside the call graph reachable from functions annotated
+// //deepsketch:deterministic (the mscn train path and the nn
+// backward/reduce/optimizer kernels), there must be no draw from the
+// global math/rand source (rand.New over an explicit seeded source is
+// fine), no time.Now/Since/Until, and no iteration over a map (Go
+// randomizes map order per run; an accumulator fed from one diverges
+// between identical runs).
+//
+// The call graph is computed statically over the module's own packages:
+// direct calls to named functions and methods are followed; calls through
+// func values and interfaces are not (the training path takes none on its
+// numeric spine). internal/trainmon is excluded — telemetry timestamps
+// sit outside the determinism boundary by design and must never feed
+// weights.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc:  "the training/gradient-reduction call graph must be bitwise reproducible",
+	Run:  runDeterminism,
+}
+
+// determinismExcluded packages are telemetry sinks outside the invariant.
+var determinismExcluded = map[string]bool{
+	"deepsketch/internal/trainmon": true,
+}
+
+// randAllowed are math/rand package-level functions that do not touch the
+// global source.
+var randAllowed = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+}
+
+func runDeterminism(pass *Pass) error {
+	reach := pass.Prog.deterministicReach()
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			key := declKey(info, fd)
+			if key == "" || !reach[key] {
+				continue
+			}
+			checkDeterminismBody(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkDeterminismBody(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.Pkg.Info
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			if t := info.Types[n.X].Type; t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					pass.Reportf(n.Pos(), "map iteration order is randomized per run; feeding it into the deterministic training path breaks bitwise reproducibility (iterate sorted keys or a slice)")
+				}
+			}
+		case *ast.SelectorExpr:
+			// Both calls (time.Now()) and value references (now: time.Now)
+			// resolve here; a stored func value is just as nondeterministic.
+			checkDeterminismUse(pass, info.Uses[n.Sel], n.Sel)
+		}
+		return true
+	})
+}
+
+func checkDeterminismUse(pass *Pass, obj types.Object, at ast.Node) {
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return // methods (e.g. (*rand.Rand).Intn) are seeded, not global
+	}
+	switch fn.Pkg().Path() {
+	case "math/rand", "math/rand/v2":
+		if !randAllowed[fn.Name()] {
+			pass.Reportf(at.Pos(), "%s.%s draws from the global math/rand source; deterministic training must use a seeded *rand.Rand", fn.Pkg().Path(), fn.Name())
+		}
+	case "time":
+		switch fn.Name() {
+		case "Now", "Since", "Until":
+			pass.Reportf(at.Pos(), "time.%s makes the deterministic training path depend on the wall clock", fn.Name())
+		}
+	}
+}
+
+// deterministicReach computes (once) the set of funcKeys reachable from
+// //deepsketch:deterministic roots through static calls within the
+// module's source packages.
+func (p *Program) deterministicReach() map[string]bool {
+	p.detOnce.Do(func() {
+		edges := map[string][]string{}
+		for _, pkg := range p.Packages {
+			if determinismExcluded[pkg.Path] {
+				continue
+			}
+			for _, file := range pkg.Files {
+				for _, decl := range file.Decls {
+					fd, ok := decl.(*ast.FuncDecl)
+					if !ok || fd.Body == nil {
+						continue
+					}
+					caller := declKey(pkg.Info, fd)
+					if caller == "" {
+						continue
+					}
+					ast.Inspect(fd.Body, func(n ast.Node) bool {
+						call, ok := n.(*ast.CallExpr)
+						if !ok {
+							return true
+						}
+						fn := calleeFunc(pkg.Info, call)
+						if fn == nil || fn.Pkg() == nil {
+							return true
+						}
+						path := fn.Pkg().Path()
+						if !p.sourcePkgs[path] || determinismExcluded[path] {
+							return true
+						}
+						edges[caller] = append(edges[caller], funcKey(fn))
+						return true
+					})
+				}
+			}
+		}
+		reach := map[string]bool{}
+		var queue []string
+		for key, d := range p.Directives.funcs {
+			if d.Deterministic {
+				reach[key] = true
+				queue = append(queue, key)
+			}
+		}
+		for len(queue) > 0 {
+			key := queue[0]
+			queue = queue[1:]
+			for _, callee := range edges[key] {
+				if !reach[callee] {
+					reach[callee] = true
+					queue = append(queue, callee)
+				}
+			}
+		}
+		p.detReach = reach
+	})
+	return p.detReach
+}

@@ -1,0 +1,105 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Durability checks the tmp+fsync+rename persistence discipline: every
+// os.Rename that finalizes a persist must be preceded, in the same
+// function, by evidence that the renamed temp file's bytes reached stable
+// storage — either a .Sync() call on a file handle, or a call to a
+// function annotated //deepsketch:durable (one that fsyncs the file named
+// by its path argument before returning, e.g. fsx.WriteFileSync) that
+// received the rename's source path. Without the fsync, a journaling
+// filesystem may replay the rename after a crash without the temp file's
+// data blocks, publishing a torn or zero-filled file at the final path —
+// exactly the failure the WAL's own framing discipline exists to prevent.
+var Durability = &Analyzer{
+	Name: "durability",
+	Doc:  "os.Rename that finalizes a persist must follow an fsync of the temp file",
+	Run:  runDurability,
+}
+
+func runDurability(pass *Pass) error {
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkDurabilityFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkDurabilityFunc(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.Pkg.Info
+	var renames []*ast.CallExpr
+	type syncEvent struct {
+		pos token.Pos
+		// obj is the source-path object a durable call received, or nil
+		// for a bare .Sync() (which vouches for any pending rename).
+		obj types.Object
+	}
+	var syncs []syncEvent
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(info, call)
+		if fn == nil {
+			return true
+		}
+		switch {
+		case fn.Pkg() != nil && fn.Pkg().Path() == "os" && fn.Name() == "Rename":
+			renames = append(renames, call)
+		case fn.Name() == "Sync" && len(call.Args) == 0 && fn.Type().(*types.Signature).Recv() != nil:
+			syncs = append(syncs, syncEvent{pos: call.Pos()})
+		case pass.Prog.Directives.Func(funcKey(fn)).Durable:
+			found := false
+			for _, arg := range call.Args {
+				if id, ok := ast.Unparen(arg).(*ast.Ident); ok {
+					if obj := info.Uses[id]; obj != nil {
+						syncs = append(syncs, syncEvent{pos: call.Pos(), obj: obj})
+						found = true
+					}
+				}
+			}
+			if !found {
+				// Durable call with no traceable path argument still
+				// counts as generic evidence (e.g. a method receiver
+				// owns the path).
+				syncs = append(syncs, syncEvent{pos: call.Pos()})
+			}
+		}
+		return true
+	})
+
+	for _, rename := range renames {
+		if len(rename.Args) != 2 {
+			continue
+		}
+		var srcObj types.Object
+		if id, ok := ast.Unparen(rename.Args[0]).(*ast.Ident); ok {
+			srcObj = info.Uses[id]
+		}
+		satisfied := false
+		for _, s := range syncs {
+			if s.pos >= rename.Pos() {
+				continue
+			}
+			if s.obj == nil || srcObj == nil || s.obj == srcObj {
+				satisfied = true
+				break
+			}
+		}
+		if !satisfied {
+			pass.Reportf(rename.Pos(), "os.Rename finalizes a persist without a preceding Sync of the temp file (crash can publish a torn file); sync the handle, use fsx.AtomicWriteFile, or write via a //deepsketch:durable function")
+		}
+	}
+}

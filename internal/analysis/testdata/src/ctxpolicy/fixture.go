@@ -1,0 +1,32 @@
+// Package fixture seeds ctxpolicy violations: a context.Context parameter
+// out of first position and context origination inside an internal
+// package, next to the compliant shapes and a declared exemption.
+package fixture
+
+import "context"
+
+func estimateOK(ctx context.Context, q string) error {
+	return ctx.Err()
+}
+
+func estimateBadOrder(q string, ctx context.Context) error { // want "context.Context must be the first parameter"
+	return ctx.Err()
+}
+
+func originBad(q string) error {
+	ctx := context.Background() // want "context.Background originates a context inside an internal package"
+	return todoBad(ctx, q)
+}
+
+func todoBad(ctx context.Context, q string) error {
+	other := context.TODO() // want "context.TODO originates a context inside an internal package"
+	_ = other
+	return ctx.Err()
+}
+
+// originAllowed declares its detachment, so no diagnostic fires.
+//
+//deepsketch:ctxorigin long-lived background actor outlives any one caller
+func originAllowed() context.Context {
+	return context.Background()
+}

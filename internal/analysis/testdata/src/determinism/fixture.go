@@ -1,0 +1,49 @@
+// Package fixture seeds determinism violations inside a call graph rooted
+// at a //deepsketch:deterministic function: global math/rand draws, wall
+// clock reads, and map iteration feeding an accumulator — plus the same
+// constructs outside the graph, where they are legal.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+//deepsketch:deterministic
+func trainStep(w []float64, seed int64) {
+	rng := rand.New(rand.NewSource(seed)) // explicit seeded source: allowed
+	for i := range w {
+		w[i] += rng.Float64() // method on *rand.Rand: allowed
+	}
+	reduce(w)
+	jitter(w)
+}
+
+// reduce is reachable from trainStep, so it is checked.
+func reduce(w []float64) {
+	counts := map[string]float64{"a": 1, "b": 2}
+	for _, v := range counts { // want "map iteration order is randomized per run"
+		w[0] += v
+	}
+	keys := []string{"a", "b"}
+	for _, k := range keys { // slice iteration: allowed
+		w[0] += counts[k]
+	}
+}
+
+// jitter is reachable from trainStep, so it is checked.
+func jitter(w []float64) {
+	w[0] += rand.Float64() // want "math/rand.Float64 draws from the global math/rand source"
+	start := time.Now()    // want "time.Now makes the deterministic training path depend on the wall clock"
+	_ = start
+}
+
+// telemetry is NOT reachable from a deterministic root: the same
+// constructs draw no diagnostics here.
+func telemetry() time.Time {
+	m := map[string]int{"x": 1}
+	for range m {
+		_ = rand.Float64()
+	}
+	return time.Now()
+}

@@ -1,0 +1,80 @@
+// Package fixture seeds durability violations: renames that publish a
+// temp file whose bytes were never fsynced, next to the compliant
+// sync-then-rename and durable-helper shapes.
+package fixture
+
+import "os"
+
+// persistBad is the seeded bug: write-temp-then-rename with no fsync, so
+// a crash after the rename can publish a torn or empty file.
+func persistBad(path string, blob []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, blob, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path) // want "os.Rename finalizes a persist without a preceding Sync"
+}
+
+func persistGood(path string, blob []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(blob); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// writeDurable fsyncs before returning, so callers may rename its output.
+//
+//deepsketch:durable
+func writeDurable(path string, blob []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(blob); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func persistViaHelper(path string, blob []byte) error {
+	tmp := path + ".tmp"
+	if err := writeDurable(tmp, blob); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// syncAfterRename must not count: the evidence has to precede the rename.
+func persistLateSync(path string, blob []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, blob, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil { // want "os.Rename finalizes a persist without a preceding Sync"
+		return err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return f.Sync()
+}

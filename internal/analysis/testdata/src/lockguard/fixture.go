@@ -1,0 +1,54 @@
+// Package fixture seeds lockguard violations: guarded fields accessed
+// without their mutex, access after an early unlock, and a guard naming a
+// non-existent sibling — next to the compliant lock/defer-unlock,
+// *Locked-suffix, and //deepsketch:locked shapes.
+package fixture
+
+import "sync"
+
+type counter struct {
+	mu   sync.Mutex
+	n    int // guarded by mu
+	name string
+}
+
+func (c *counter) incGood() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+func (c *counter) incBad() {
+	c.n++ // want "n is accessed without holding mu"
+}
+
+func (c *counter) readAfterUnlock() int {
+	c.mu.Lock()
+	v := c.n
+	c.mu.Unlock()
+	v += c.n // want "n is accessed without holding mu"
+	return v
+}
+
+// bumpLocked's suffix marks it as called with mu held.
+func (c *counter) bumpLocked() { c.n++ }
+
+// bumpCallerHolds declares the same contract explicitly.
+//
+//deepsketch:locked mu
+func (c *counter) bumpCallerHolds() { c.n++ }
+
+// label is unguarded: free access is fine.
+func (c *counter) rename(s string) { c.name = s }
+
+type badGuard struct {
+	lock sync.Mutex
+	// guarded by missing
+	v int // want "field is 'guarded by missing' but missing is not a sibling mutex field"
+}
+
+func (b *badGuard) get() int {
+	b.lock.Lock()
+	defer b.lock.Unlock()
+	return b.v
+}

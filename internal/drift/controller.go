@@ -124,6 +124,8 @@ type Controller struct {
 
 // NewController wires a controller to the registry and monitor and
 // installs itself as the monitor's trigger handler.
+//
+//deepsketch:ctxorigin long-lived background actor; refresh cycles outlive any one caller
 func NewController(reg *lifecycle.Registry, mon *Monitor, cfg ControllerConfig) *Controller {
 	c := &Controller{
 		reg: reg, mon: mon, cfg: cfg.withDefaults(),

@@ -1,0 +1,79 @@
+// Package fsx holds the crash-consistency file helpers behind every
+// "persist atomically" site in the tree: write a temp file, fsync it,
+// rename it over the destination, and best-effort fsync the directory.
+//
+// The fsync-before-rename ordering is the whole point. os.Rename is
+// atomic with respect to concurrent readers, but it says nothing about
+// durability: after a crash, a journaling filesystem may replay the
+// rename (the metadata operation) without the temp file's data blocks
+// ever having reached the disk, leaving a complete-looking destination
+// with torn or zero-filled contents. Syncing the temp file first pins
+// its data before the rename can become visible. The static durability
+// analyzer (internal/analysis, cmd/deepsketch-lint) enforces this
+// ordering on every os.Rename in the repository; call sites that write
+// whole small files should route through AtomicWriteFile instead of
+// hand-rolling the sequence.
+package fsx
+
+import "os"
+
+// AtomicWriteFile durably replaces path with data: the bytes are written
+// to path+".tmp", fsynced, renamed onto path, and the parent directory is
+// fsynced (best effort) so the rename itself survives a crash. Readers of
+// path see either the previous content or the new content, never a
+// mixture — even across power loss. The temp file is removed on failure.
+//
+//deepsketch:durable
+func AtomicWriteFile(path string, data []byte, perm os.FileMode) error {
+	tmp := path + ".tmp"
+	if err := WriteFileSync(tmp, data, perm); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	syncDir(path)
+	return nil
+}
+
+// WriteFileSync is os.WriteFile plus an fsync before close: when it
+// returns nil, the bytes are on stable storage, not just in the page
+// cache. Use it for temp files that a subsequent os.Rename publishes.
+//
+//deepsketch:durable
+func WriteFileSync(path string, data []byte, perm os.FileMode) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, perm)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// syncDir fsyncs the directory containing path so a just-renamed entry is
+// itself durable. Errors are ignored: directory fsync is unsupported on
+// some filesystems, and the file-level guarantees already hold.
+func syncDir(path string) {
+	dir := "."
+	for i := len(path) - 1; i >= 0; i-- {
+		if os.IsPathSeparator(path[i]) {
+			dir = path[:i+1]
+			break
+		}
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync()
+	d.Close()
+}

@@ -61,6 +61,8 @@ func (e *Engine) scratch() *engineScratch {
 // scratch and must not be shared with a concurrent pass. Steady-state (after
 // the workspace has grown to the batch shape) the call performs zero heap
 // allocations.
+//
+//deepsketch:zeroalloc
 func (e *Engine) Forward(pb *PackedBatch, ws *nn.Workspace, out []float64) {
 	m := e.m
 	h := m.Cfg.HiddenUnits
@@ -107,6 +109,8 @@ func (e *Engine) Forward(pb *PackedBatch, ws *nn.Workspace, out []float64) {
 // forward dispatches one packed forward pass to the model's current
 // precision. out must have length ≥ pb.B; s must not be shared with a
 // concurrent pass.
+//
+//deepsketch:zeroalloc
 func (e *Engine) forward(pb *PackedBatch, s *engineScratch, out []float64) {
 	switch e.m.Precision() {
 	case F32:
@@ -255,6 +259,8 @@ func (e *Engine) forEachChunk(ctx context.Context, n int, fn func(lo, hi int) er
 }
 
 // PredictAll returns normalized predictions for many featurized queries.
+//
+//deepsketch:ctxorigin compatibility wrapper for ctx-less callers; cancellable path is PredictAllInto
 func (e *Engine) PredictAll(encs []featurize.Encoded) ([]float64, error) {
 	out := make([]float64, len(encs))
 	if err := e.PredictAllInto(context.Background(), encs, out); err != nil {

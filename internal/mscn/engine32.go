@@ -84,7 +84,10 @@ func (e *Engine) snapshot8() *weights8 {
 // entry (each element touched once — negligible next to the GEMMs); the
 // final b×1 activations convert back on exit. Same zero-steady-state-
 // allocation property as Forward, on the scratch's Workspace32.
+//
+//deepsketch:zeroalloc
 func (e *Engine) forward32(pb *PackedBatch, s *engineScratch, out []float64) {
+	//deepsketch:ignore zeroalloc snapshot converts once per weight generation, then caches
 	w := e.snapshot32()
 	m := e.m
 	h := m.Cfg.HiddenUnits
@@ -141,9 +144,12 @@ func (e *Engine) forward32(pb *PackedBatch, s *engineScratch, out []float64) {
 // quant8 quantizes x into the scratch's reusable int8 buffer, returning the
 // dequantization scale. The buffer is valid until the next quant8 call —
 // the serial layer-by-layer forward consumes it immediately.
+//
+//deepsketch:zeroalloc
 func (s *engineScratch) quant8(x nn.Matrix32) float32 {
 	n := x.Rows * x.Cols
 	if cap(s.xq) < n {
+		//deepsketch:ignore zeroalloc amortized buffer growth; steady state never reallocates
 		s.xq = make([]int8, n)
 	}
 	s.xq = s.xq[:n]
@@ -154,7 +160,10 @@ func (s *engineScratch) quant8(x nn.Matrix32) float32 {
 // dynamically before every linear layer (one symmetric scale per matrix),
 // weights come from the per-generation int8 snapshot, pooling and the final
 // sigmoid stay float32.
+//
+//deepsketch:zeroalloc
 func (e *Engine) forward8(pb *PackedBatch, s *engineScratch, out []float64) {
+	//deepsketch:ignore zeroalloc snapshot converts once per weight generation, then caches
 	w := e.snapshot8()
 	m := e.m
 	h := m.Cfg.HiddenUnits

@@ -146,6 +146,8 @@ type Model struct {
 }
 
 // Precision returns the engine forward-pass precision (default F64).
+//
+//deepsketch:zeroalloc
 func (m *Model) Precision() Precision { return Precision(m.precision.Load()) }
 
 // SetPrecision selects the engine forward-pass precision. Safe to call

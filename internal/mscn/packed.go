@@ -74,6 +74,8 @@ func (pb *PackedBatch) Build(encs []featurize.Encoded, tdim, jdim, pdim int) err
 
 // Rows returns the packed row counts (tables, joins, predicates) — the
 // actual work a forward pass over this batch performs.
+//
+//deepsketch:zeroalloc
 func (pb *PackedBatch) Rows() (nt, nj, np int) {
 	return pb.TX.Rows, pb.JX.Rows, pb.PX.Rows
 }

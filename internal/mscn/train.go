@@ -56,6 +56,8 @@ func (m *Model) Train(examples []Example, norm nn.LabelNorm, mon *trainmon.Monit
 // With KeepBest, the restored weights are the best epoch's but the captured
 // optimizer state is the final epoch's — a warm start continues from the
 // end of the run, which is the standard fine-tuning compromise.
+//
+//deepsketch:deterministic
 func (m *Model) TrainWithOptions(examples []Example, norm nn.LabelNorm, mon *trainmon.Monitor, opts TrainOptions) ([]EpochStats, error) {
 	if len(examples) == 0 {
 		return nil, fmt.Errorf("mscn: no training examples")
@@ -173,6 +175,7 @@ func (m *Model) TrainWithOptions(examples []Example, norm nn.LabelNorm, mon *tra
 		targets []float64
 	)
 	for epoch := 1; epoch <= epochs; epoch++ {
+		//deepsketch:ignore determinism epoch wall-clock telemetry; never feeds weights
 		start := time.Now()
 		order := shuffle(rng, len(train))
 		var lossSum float64
@@ -196,6 +199,7 @@ func (m *Model) TrainWithOptions(examples []Example, norm nn.LabelNorm, mon *tra
 			lossSum += loss
 			batches++
 		}
+		//deepsketch:ignore determinism epoch wall-clock telemetry; never feeds weights
 		st := EpochStats{Epoch: epoch, TrainLoss: lossSum / float64(batches), Duration: time.Since(start)}
 		if pipeline {
 			// Duration covers the training loop only; validation overlaps
@@ -277,6 +281,8 @@ func qBetter(cur, best float64) bool {
 // bumping the weight generation, so reduced-precision snapshots would be
 // stale mid-run — and KeepBest/StopAtValQ decisions must not depend on the
 // serving precision anyway.
+//
+//deepsketch:ctxorigin synchronous validation pass inside the training loop; cancellation arrives via the trainer
 func (m *Model) evalQErrors(val []Example, norm nn.LabelNorm) ([]float64, error) {
 	encs := make([]featurize.Encoded, len(val))
 	for i, ex := range val {

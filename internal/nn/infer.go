@@ -25,8 +25,11 @@ type Workspace struct {
 
 // Reserve resets the arena and ensures capacity for n floats, so that
 // subsequent Allocs totalling at most n cannot grow the buffer mid-pass.
+//
+//deepsketch:zeroalloc
 func (w *Workspace) Reserve(n int) {
 	if cap(w.buf) < n {
+		//deepsketch:ignore zeroalloc amortized arena growth; steady state never reallocates
 		w.buf = make([]float64, n)
 	} else {
 		w.buf = w.buf[:cap(w.buf)]
@@ -41,6 +44,8 @@ func (w *Workspace) Reset() { w.off = 0 }
 // uninitialized — every kernel writing into it must overwrite or zero it.
 // Growth (when Reserve underestimated) leaves earlier matrices valid on the
 // old backing array.
+//
+//deepsketch:zeroalloc
 func (w *Workspace) Alloc(rows, cols int) Matrix {
 	n := rows * cols
 	if w.off+n > len(w.buf) {
@@ -48,6 +53,7 @@ func (w *Workspace) Alloc(rows, cols int) Matrix {
 		if grow < n {
 			grow = n
 		}
+		//deepsketch:ignore zeroalloc amortized arena growth; steady state never reallocates
 		w.buf = make([]float64, grow)
 		w.off = 0
 	}
@@ -60,6 +66,8 @@ func (w *Workspace) Alloc(rows, cols int) Matrix {
 // fusing ReLU, using a 2×4 register-tiled GEMM over the rows. It runs on the
 // calling goroutine only and performs no allocations — the packed inference
 // path. y must be x.Rows×l.Out and may not alias x.
+//
+//deepsketch:zeroalloc
 func (l *Linear) ForwardFused(x, y Matrix, relu bool) {
 	if x.Cols != l.In || y.Rows != x.Rows || y.Cols != l.Out {
 		panic("nn: ForwardFused dimension mismatch")
@@ -74,6 +82,8 @@ func (l *Linear) ForwardFused(x, y Matrix, relu bool) {
 // (a 4×4 tile's 24 live floats spill and run slower), while each k-step
 // still amortizes 6 loads over 8 multiply-adds — ~2.7× the arithmetic
 // intensity of a per-element dot loop.
+//
+//deepsketch:zeroalloc
 func gemmBias(x Matrix, w, bias []float64, y Matrix, relu bool) {
 	in, out, n := x.Cols, y.Cols, x.Rows
 	r := 0
@@ -174,6 +184,7 @@ func gemmBias(x Matrix, w, bias []float64, y Matrix, relu bool) {
 	}
 }
 
+//deepsketch:zeroalloc
 func relu1(v float64) float64 {
 	if v > 0 {
 		return v
@@ -186,6 +197,8 @@ func relu1(v float64) float64 {
 // path. offsets is CSR-style with len = out.Rows+1: segment i spans rows
 // offsets[i] to offsets[i+1] of x. Empty segments yield a zero row. out must
 // be preallocated (B×x.Cols) and is fully overwritten; no allocations.
+//
+//deepsketch:zeroalloc
 func SegmentAvgPool(x Matrix, offsets []int, out Matrix) {
 	b := out.Rows
 	if len(offsets) != b+1 || offsets[b] != x.Rows || out.Cols != x.Cols {

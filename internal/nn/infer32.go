@@ -32,6 +32,8 @@ func NewMatrix32(rows, cols int) Matrix32 {
 }
 
 // Row returns the r-th row as a slice aliasing the matrix storage.
+//
+//deepsketch:zeroalloc
 func (m Matrix32) Row(r int) []float32 { return m.Data[r*m.Cols : (r+1)*m.Cols] }
 
 // Workspace32 is the float32 bump-allocated scratch arena for reduced-
@@ -45,8 +47,11 @@ type Workspace32 struct {
 
 // Reserve resets the arena and ensures capacity for n float32s, so that
 // subsequent Allocs totalling at most n cannot grow the buffer mid-pass.
+//
+//deepsketch:zeroalloc
 func (w *Workspace32) Reserve(n int) {
 	if cap(w.buf) < n {
+		//deepsketch:ignore zeroalloc amortized arena growth; steady state never reallocates
 		w.buf = make([]float32, n)
 	} else {
 		w.buf = w.buf[:cap(w.buf)]
@@ -59,6 +64,8 @@ func (w *Workspace32) Reset() { w.off = 0 }
 
 // Alloc returns a rows×cols matrix carved from the arena. Contents are
 // uninitialized — every kernel writing into it must overwrite or zero it.
+//
+//deepsketch:zeroalloc
 func (w *Workspace32) Alloc(rows, cols int) Matrix32 {
 	n := rows * cols
 	if w.off+n > len(w.buf) {
@@ -66,6 +73,7 @@ func (w *Workspace32) Alloc(rows, cols int) Matrix32 {
 		if grow < n {
 			grow = n
 		}
+		//deepsketch:ignore zeroalloc amortized arena growth; steady state never reallocates
 		w.buf = make([]float32, grow)
 		w.off = 0
 	}
@@ -100,6 +108,8 @@ func NewLinear32(l *Linear) *Linear32 {
 // 2×4 register tiling (the tile is sized by register count, which float32
 // does not change in scalar Go; the win is halved weight traffic). Serial,
 // no allocations; y must be x.Rows×l.Out and may not alias x.
+//
+//deepsketch:zeroalloc
 func (l *Linear32) ForwardFused(x, y Matrix32, relu bool) {
 	if x.Cols != l.In || y.Rows != x.Rows || y.Cols != l.Out {
 		panic("nn: Linear32.ForwardFused dimension mismatch")
@@ -110,6 +120,8 @@ func (l *Linear32) ForwardFused(x, y Matrix32, relu bool) {
 // gemmBias32 is the float32 twin of gemmBias: 2 rows × 4 output units per
 // tile, 8 independent accumulators, one streaming pass over the shared
 // inner dimension.
+//
+//deepsketch:zeroalloc
 func gemmBias32(x Matrix32, w, bias []float32, y Matrix32, relu bool) {
 	in, out, n := x.Cols, y.Cols, x.Rows
 	r := 0
@@ -210,6 +222,7 @@ func gemmBias32(x Matrix32, w, bias []float32, y Matrix32, relu bool) {
 	}
 }
 
+//deepsketch:zeroalloc
 func relu32(v float32) float32 {
 	if v > 0 {
 		return v
@@ -220,6 +233,8 @@ func relu32(v float32) float32 {
 // SegmentAvgPool32 averages contiguous row segments of x into rows of out —
 // the float32 mirror of SegmentAvgPool, with identical CSR offset semantics
 // (empty segments yield a zero row; out is fully overwritten).
+//
+//deepsketch:zeroalloc
 func SegmentAvgPool32(x Matrix32, offsets []int, out Matrix32) {
 	b := out.Rows
 	if len(offsets) != b+1 || offsets[b] != x.Rows || out.Cols != x.Cols {
@@ -253,6 +268,8 @@ func SegmentAvgPool32(x Matrix32, offsets []int, out Matrix32) {
 // SigmoidInPlace32 applies 1/(1+e^-x) element-wise, overwriting x. The
 // exponential is computed in float64 (math.Exp has no float32 twin in the
 // standard library) and rounded once per element.
+//
+//deepsketch:zeroalloc
 func SigmoidInPlace32(x Matrix32) {
 	for i, v := range x.Data {
 		x.Data[i] = float32(1.0 / (1.0 + math.Exp(-float64(v))))
@@ -264,6 +281,8 @@ func SigmoidInPlace32(x Matrix32) {
 // the reduced-precision pipeline: the conversion touches each input element
 // once, which is negligible next to the GEMMs that re-stream the weight
 // matrices per output unit.
+//
+//deepsketch:zeroalloc
 func ConvertRows32(dst Matrix32, src Matrix) {
 	if dst.Rows != src.Rows || dst.Cols != src.Cols {
 		panic("nn: ConvertRows32 shape mismatch")

@@ -56,6 +56,8 @@ func NewLinear8(l *Linear) *Linear8 {
 // symmetric scale for the whole matrix, returning the dequantization scale
 // (x_f32 ≈ float32(xq) * scale). An all-zero input returns scale 0 with xq
 // zeroed over the matrix extent.
+//
+//deepsketch:zeroalloc
 func QuantizeRows8(x Matrix32, xq []int8) float32 {
 	n := x.Rows * x.Cols
 	var maxAbs float32
@@ -91,6 +93,8 @@ func QuantizeRows8(x Matrix32, xq []int8) float32 {
 // scale; y must be rows×l.Out. The accumulation is int32 — safe for inner
 // dimensions up to 2^17 at worst-case ±127 magnitudes, far beyond any MSCN
 // layer width.
+//
+//deepsketch:zeroalloc
 func (l *Linear8) ForwardFused(xq []int8, rows int, xScale float32, y Matrix32, relu bool) {
 	if y.Rows != rows || y.Cols != l.Out {
 		panic("nn: Linear8.ForwardFused dimension mismatch")

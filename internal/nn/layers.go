@@ -221,6 +221,8 @@ func SigmoidBackward(y, dy Matrix) Matrix {
 }
 
 // SigmoidInPlace applies 1/(1+e^-x) element-wise, overwriting x.
+//
+//deepsketch:zeroalloc
 func SigmoidInPlace(x Matrix) {
 	for i, v := range x.Data {
 		x.Data[i] = 1.0 / (1.0 + math.Exp(-v))

@@ -46,6 +46,8 @@ func (m Matrix) At(r, c int) float64 { return m.Data[r*m.Cols+c] }
 func (m Matrix) Set(r, c int, v float64) { m.Data[r*m.Cols+c] = v }
 
 // Row returns the r-th row as a slice aliasing the matrix storage.
+//
+//deepsketch:zeroalloc
 func (m Matrix) Row(r int) []float64 { return m.Data[r*m.Cols : (r+1)*m.Cols] }
 
 // Zero clears all elements in place.

@@ -170,6 +170,8 @@ func (c *Coalescer) drain() {
 // retries run under their own caller's context — a cancelled caller's
 // query is answered with its ctx error instead of burning a forward pass,
 // and a live caller can still cancel its retry mid-flight.
+//
+//deepsketch:ctxorigin batch serves many callers; per-caller retries honor each caller's own ctx
 func (c *Coalescer) flush(batch []coalesceReq) {
 	if len(batch) == 1 {
 		// Singleton fast path: skip the batch plumbing, and honor the one

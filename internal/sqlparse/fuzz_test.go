@@ -6,9 +6,9 @@ import (
 	"deepsketch/internal/datagen"
 )
 
-// FuzzParse: the parser must never panic on arbitrary input — it either
+// FuzzParseSQL: the parser must never panic on arbitrary input — it either
 // returns a query that validates against the schema or an error.
-func FuzzParse(f *testing.F) {
+func FuzzParseSQL(f *testing.F) {
 	d := datagen.IMDb(datagen.IMDbConfig{Seed: 3, Titles: 200, Keywords: 20, Companies: 10, Persons: 40})
 	seeds := []string{
 		"SELECT COUNT(*) FROM title t",

@@ -54,6 +54,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"deepsketch/internal/fsx"
 )
 
 // Kind distinguishes the two record types of the feedback loop.
@@ -161,16 +163,16 @@ type Log struct {
 	opts Options
 
 	mu            sync.Mutex
-	active        *os.File
-	activeSeq     int
-	activeSize    int64
-	unsynced      int
-	checkpointSeq int
-	recent        map[string]*recentIndex // per sketch name
-	appends       uint64
-	syncs         uint64
-	replayed      uint64
-	truncated     uint64
+	active        *os.File                // guarded by mu
+	activeSeq     int                     // guarded by mu
+	activeSize    int64                   // guarded by mu
+	unsynced      int                     // guarded by mu
+	checkpointSeq int                     // guarded by mu
+	recent        map[string]*recentIndex // per sketch name; guarded by mu
+	appends       uint64                  // guarded by mu
+	syncs         uint64                  // guarded by mu
+	replayed      uint64                  // guarded by mu
+	truncated     uint64                  // guarded by mu
 }
 
 // Open opens (creating if needed) the log rooted at dir, scans the existing
@@ -374,6 +376,8 @@ func (l *Log) Replay(fn func(Record)) error {
 
 // readSegment reads one segment, calling fn per valid record, stopping at
 // the first torn or corrupt one. l.mu held.
+//
+//deepsketch:locked mu
 func (l *Log) readSegment(seq int, fn func(Record)) {
 	f, err := os.Open(l.segPath(seq))
 	if err != nil {
@@ -437,11 +441,7 @@ func (l *Log) Checkpoint() error {
 	// honors checkpointSeq, and deleting segments against a boundary that
 	// never became durable would leave the restored checkpoint pointing at
 	// already-deleted history after a crash.
-	tmp := filepath.Join(l.dir, checkpointFile+".tmp")
-	if err := os.WriteFile(tmp, []byte(strconv.Itoa(consumed)+"\n"), 0o644); err != nil {
-		return fmt.Errorf("wal: checkpoint: %w", err)
-	}
-	if err := os.Rename(tmp, filepath.Join(l.dir, checkpointFile)); err != nil {
+	if err := fsx.AtomicWriteFile(filepath.Join(l.dir, checkpointFile), []byte(strconv.Itoa(consumed)+"\n"), 0o644); err != nil {
 		return fmt.Errorf("wal: checkpoint: %w", err)
 	}
 	l.checkpointSeq = consumed
