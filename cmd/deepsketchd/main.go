@@ -84,10 +84,13 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
 	"path/filepath"
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"deepsketch"
@@ -181,7 +184,13 @@ func main() {
 	if *prebuilt {
 		srv.startPrebuilt()
 	}
-	ctx := context.Background()
+	// Every background loop hangs off a signal-cancellable context: on
+	// SIGINT/SIGTERM the monitors and controllers wind down, the HTTP
+	// server drains, and Close joins the in-flight build/refresh goroutines
+	// before the process exits — so a shutdown can never truncate a store
+	// write or a WAL append mid-record.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 	for _, mon := range srv.monitors {
 		go mon.Run(ctx)
 	}
@@ -194,7 +203,22 @@ func main() {
 	}
 	log.Printf("deepsketchd listening on %s (imdb: %d total rows, tpch: %d total rows)",
 		*addr, srv.datasets["imdb"].TotalRows(), srv.datasets["tpch"].TotalRows())
-	log.Fatal(http.ListenAndServe(*addr, srv.routes()))
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.routes()}
+	go func() {
+		<-ctx.Done()
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(sctx); err != nil {
+			log.Printf("deepsketchd: http shutdown: %v", err)
+		}
+	}()
+	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		log.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		log.Printf("deepsketchd: shutdown: %v", err)
+	}
+	log.Printf("deepsketchd: shut down cleanly")
 }
 
 // sketchEntry tracks one sketch through its lifecycle.
@@ -280,6 +304,29 @@ type server struct {
 	mu       sync.RWMutex
 	sketches map[int]*sketchEntry
 	nextID   int
+
+	// bg tracks every background build/refresh goroutine the server
+	// launches. Close joins it before releasing the WALs: without the
+	// join, Close could return — and a test or the process could tear the
+	// store directory down — while a build is still writing sketch files.
+	bg sync.WaitGroup
+}
+
+// Close joins the in-flight background build/refresh goroutines and then
+// closes the observation WALs. After it returns no goroutine owned by
+// this server is touching the store directory or the WAL files.
+func (s *server) Close() error {
+	s.bg.Wait()
+	var firstErr error
+	for name, l := range s.wals {
+		if l == nil {
+			continue
+		}
+		if err := l.Close(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("closing %s wal: %w", name, err)
+		}
+	}
+	return firstErr
 }
 
 // serverOptions parameterizes newServerOpts.
@@ -686,7 +733,11 @@ func (s *server) handleSketchCreate(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusConflict, err)
 		return
 	}
-	go s.build(entry, d, req)
+	s.bg.Add(1)
+	go func() {
+		defer s.bg.Done()
+		s.build(entry, d, req)
+	}()
 	writeJSON(w, http.StatusAccepted, entry)
 }
 
@@ -748,9 +799,13 @@ func (s *server) startPrebuilt() {
 			log.Printf("deepsketchd: prebuilt %s: %v", name, err)
 			continue
 		}
-		go s.build(e, d, createReq{
-			Dataset: name, SampleSize: 500, TrainQueries: 3000, Epochs: 20, HiddenUnits: 32, Seed: 7,
-		})
+		s.bg.Add(1)
+		go func(e *sketchEntry, d *deepsketch.DB, name string) {
+			defer s.bg.Done()
+			s.build(e, d, createReq{
+				Dataset: name, SampleSize: 500, TrainQueries: 3000, Epochs: 20, HiddenUnits: 32, Seed: 7,
+			})
+		}(e, d, name)
 	}
 }
 
@@ -804,7 +859,13 @@ func (s *server) handleSketchGet(w http.ResponseWriter, r *http.Request) {
 			epochs = append(epochs, ev)
 		}
 	}
-	versions, _ := s.registries[e.Dataset].Versions(e.Name)
+	// A sketch that never reached the registry (still building, or failed)
+	// has no version history; any other error would also mean "nothing to
+	// show", so the list stays empty rather than failing the GET.
+	var versions []deepsketch.SketchVersion
+	if vs, err := s.registries[e.Dataset].Versions(e.Name); err == nil {
+		versions = vs
+	}
 	var canary *deepsketch.SketchCanary
 	if ci, ok := s.registries[e.Dataset].Canary(e.Name); ok {
 		canary = &ci
@@ -937,7 +998,11 @@ func (s *server) handleSketchRefresh(w http.ResponseWriter, r *http.Request) {
 	sk := e.sketch
 	s.mu.Unlock()
 
-	go s.refresh(e, sk, req, 0)
+	s.bg.Add(1)
+	go func() {
+		defer s.bg.Done()
+		s.refresh(e, sk, req, 0)
+	}()
 	s.writeEntry(w, http.StatusAccepted, e)
 }
 
@@ -1066,7 +1131,11 @@ func (s *server) handleSketchCanary(w http.ResponseWriter, r *http.Request) {
 	sk := e.sketch
 	s.mu.Unlock()
 
-	go s.refresh(e, sk, req.refreshReq, req.Fraction)
+	s.bg.Add(1)
+	go func() {
+		defer s.bg.Done()
+		s.refresh(e, sk, req.refreshReq, req.Fraction)
+	}()
 	s.writeEntry(w, http.StatusAccepted, e)
 }
 

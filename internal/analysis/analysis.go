@@ -1,10 +1,16 @@
-// Package analysis is the project's static-analysis suite: five analyzers
+// Package analysis is the project's static-analysis suite: nine analyzers
 // that machine-check the invariants the codebase is built on but no
-// compiler enforces — allocation-free packed forward kernels (zeroalloc),
-// fsync-before-rename persistence (durability), bitwise-reproducible
-// training (determinism), caller-owned context plumbing (ctxpolicy), and
-// mutex-guarded field access (lockguard). cmd/deepsketch-lint drives the
-// whole module through them; CI fails on any finding.
+// compiler enforces. Phase 1 (intraprocedural): allocation-free packed
+// forward kernels (zeroalloc), fsync-before-rename persistence
+// (durability), bitwise-reproducible training (determinism), caller-owned
+// context plumbing (ctxpolicy), and mutex-guarded field access
+// (lockguard). Phase 2 (whole-program): every goroutine launch needs a
+// provable join or shutdown path (goroleak), the module-wide
+// lock-acquisition graph must be acyclic (lockorder), errors on
+// durability/WAL/lifecycle call paths may not be discarded (errsink), and
+// the compiler's escape/inline decisions for the zeroalloc kernels must
+// match a checked-in golden (escapebudget). cmd/deepsketch-lint drives
+// the whole module through them; CI fails on any finding.
 //
 // The framework deliberately mirrors the golang.org/x/tools/go/analysis
 // API shape (Analyzer, Pass, Report) but is self-contained on the
@@ -24,6 +30,11 @@
 //	                                  path argument before returning
 //	//deepsketch:ctxorigin <reason>   function may call context.Background
 //	//deepsketch:locked <mu>          method is called with <mu> held
+//	//deepsketch:bg <owner> <reason>  the go statement on this line is a
+//	                                  deliberate fire-and-forget launch
+//	//deepsketch:lockorder a<b        declared lock-acquisition order
+//	//deepsketch:errok <reason>       the error discard on this line is
+//	                                  deliberate (errsink suppression)
 //	//deepsketch:ignore <analyzer> <reason>
 //	                                  suppress one analyzer on this line
 //	// guarded by <mu>                struct field access requires <mu>
@@ -48,7 +59,10 @@ type Analyzer struct {
 	Run func(*Pass) error
 }
 
-// All returns the full suite in a stable order.
+// All returns the full suite in a stable order. The first five are the
+// intraprocedural phase-1 analyzers; goroleak, lockorder and errsink are
+// the whole-program phase-2 analyzers, and escapebudget is the
+// compiler-fact probe (it shells out to go build -gcflags=-m=2).
 func All() []*Analyzer {
 	return []*Analyzer{
 		ZeroAlloc,
@@ -56,6 +70,10 @@ func All() []*Analyzer {
 		Determinism,
 		CtxPolicy,
 		LockGuard,
+		GoroLeak,
+		LockOrder,
+		ErrSink,
+		EscapeBudget,
 	}
 }
 
@@ -74,12 +92,26 @@ func (d Diagnostic) String() string {
 type Package struct {
 	// Path is the import path.
 	Path string
+	// Dir is the package's source directory on disk.
+	Dir string
 	// Files are the parsed source files (tests excluded).
 	Files []*ast.File
 	// Types is the type-checked package.
 	Types *types.Package
 	// Info carries the type information for Files.
 	Info *types.Info
+}
+
+// ContainsFile reports whether filename (absolute) is one of the
+// package's source files. Program-level analyzers use it to attribute
+// each diagnostic to exactly one package pass.
+func (p *Package) ContainsFile(fset *token.FileSet, filename string) bool {
+	for _, f := range p.Files {
+		if fset.Position(f.Pos()).Filename == filename {
+			return true
+		}
+	}
+	return false
 }
 
 // A Program is the full set of packages under analysis plus the shared
@@ -93,12 +125,58 @@ type Program struct {
 	// Directives indexes every //deepsketch: annotation in the program.
 	Directives *Index
 
+	// ModuleDir is the root directory of the module under analysis ("" for
+	// fixture loads); escapebudget resolves the checked-in golden under it.
+	ModuleDir string
+
+	// EscapeGolden overrides the escape-budget golden path (used by the
+	// fixture tests); "" means the default under ModuleDir.
+	EscapeGolden string
+
 	// sourcePkgs is the set of import paths loaded from source — the
 	// boundary of cross-package analyses like determinism reachability.
 	sourcePkgs map[string]bool
 
 	detOnce  sync.Once
 	detReach map[string]bool
+
+	declOnce sync.Once
+	decls    map[string]*declSite
+
+	lockOnce  sync.Once
+	lockDiags []Diagnostic
+
+	escOnce  sync.Once
+	escDiags []Diagnostic
+	escErr   error
+}
+
+// declSite locates one top-level function declaration in the program.
+type declSite struct {
+	fd  *ast.FuncDecl
+	pkg *Package
+}
+
+// funcDecl resolves a funcKey to its source declaration, or nil when the
+// function lives outside the source-loaded packages (export data only).
+func (p *Program) funcDecl(key string) *declSite {
+	p.declOnce.Do(func() {
+		p.decls = map[string]*declSite{}
+		for _, pkg := range p.Packages {
+			for _, file := range pkg.Files {
+				for _, decl := range file.Decls {
+					fd, ok := decl.(*ast.FuncDecl)
+					if !ok {
+						continue
+					}
+					if k := declKey(pkg.Info, fd); k != "" {
+						p.decls[k] = &declSite{fd: fd, pkg: pkg}
+					}
+				}
+			}
+		}
+	})
+	return p.decls[key]
 }
 
 // SourcePackage reports whether path was loaded from source (i.e. is part

@@ -29,6 +29,14 @@ type ignoreKey struct {
 	line int
 }
 
+// A LockOrderDecl is one //deepsketch:lockorder a<b declaration: the
+// intended acquisition order between two mutexes, named as
+// <pkgname>.<Type>.<field> (the lockorder analyzer's node names).
+type LockOrderDecl struct {
+	Before, After string
+	Pos           token.Position
+}
+
 // Index is the program-wide registry of //deepsketch: directives, keyed
 // by funcKey so annotations resolve across packages (an annotation on
 // nn.ForwardFused is visible while analyzing mscn, where the callee
@@ -36,6 +44,13 @@ type ignoreKey struct {
 type Index struct {
 	funcs   map[string]FuncDirectives
 	ignores map[ignoreKey]map[string]bool // analyzer names ignored on a line
+	// bg marks lines carrying a //deepsketch:bg <owner> <reason>
+	// annotation: the go statement on (or just below) that line is a
+	// deliberate fire-and-forget launch with a named owner.
+	bg map[ignoreKey]bool
+	// LockOrders are the declared //deepsketch:lockorder a<b partial-order
+	// edges, program-wide.
+	LockOrders []LockOrderDecl
 	// Problems are malformed directives, reported by Run.
 	Problems []Diagnostic
 }
@@ -44,6 +59,7 @@ func newIndex() *Index {
 	return &Index{
 		funcs:   map[string]FuncDirectives{},
 		ignores: map[ignoreKey]map[string]bool{},
+		bg:      map[ignoreKey]bool{},
 	}
 }
 
@@ -54,6 +70,12 @@ func (x *Index) Func(key string) FuncDirectives { return x.funcs[key] }
 // ignored reports whether the analyzer is suppressed on file:line.
 func (x *Index) ignored(analyzer, file string, line int) bool {
 	return x.ignores[ignoreKey{file, line}][analyzer]
+}
+
+// Background reports whether file:line carries a //deepsketch:bg
+// annotation (trailing on the go statement's line or standalone above it).
+func (x *Index) Background(file string, line int) bool {
+	return x.bg[ignoreKey{file, line}]
 }
 
 const directivePrefix = "//deepsketch:"
@@ -68,6 +90,9 @@ var knownVerbs = map[string]bool{
 	"ctxorigin":     true,
 	"locked":        true,
 	"ignore":        true,
+	"bg":            true,
+	"lockorder":     true,
+	"errok":         true,
 }
 
 // indexPackage scans one package's comments for directives.
@@ -121,9 +146,10 @@ func (x *Index) indexPackage(fset *token.FileSet, pkg *Package) {
 	}
 }
 
-// indexComment handles one comment: ignore directives register their line
-// and the next (so both trailing and standalone placements work), and
-// unknown deepsketch: verbs become problems.
+// indexComment handles one comment: line-scoped directives (ignore, bg,
+// errok) register their line and the next (so both trailing and
+// standalone placements work), lockorder declarations join the
+// program-wide list, and unknown deepsketch: verbs become problems.
 func (x *Index) indexComment(fset *token.FileSet, c *ast.Comment) {
 	verb, rest, ok := splitDirective(c.Text)
 	if !ok {
@@ -133,21 +159,55 @@ func (x *Index) indexComment(fset *token.FileSet, c *ast.Comment) {
 		x.problem(fset, c.Pos(), "unknown directive //deepsketch:%s", verb)
 		return
 	}
-	if verb != "ignore" {
-		return
-	}
 	fields := strings.Fields(rest)
-	if len(fields) < 2 {
-		x.problem(fset, c.Pos(), "ignore directive needs an analyzer and a reason: //deepsketch:ignore <analyzer> <reason>")
-		return
-	}
 	pos := fset.Position(c.Pos())
-	for _, line := range []int{pos.Line, pos.Line + 1} {
-		key := ignoreKey{pos.Filename, line}
-		if x.ignores[key] == nil {
-			x.ignores[key] = map[string]bool{}
+	switch verb {
+	case "ignore":
+		if len(fields) < 2 {
+			x.problem(fset, c.Pos(), "ignore directive needs an analyzer and a reason: //deepsketch:ignore <analyzer> <reason>")
+			return
 		}
-		x.ignores[key][fields[0]] = true
+		x.markLines(pos, func(key ignoreKey) {
+			if x.ignores[key] == nil {
+				x.ignores[key] = map[string]bool{}
+			}
+			x.ignores[key][fields[0]] = true
+		})
+	case "bg":
+		if len(fields) < 2 {
+			x.problem(fset, c.Pos(), "bg directive needs an owner and a reason: //deepsketch:bg <owner> <reason>")
+			return
+		}
+		x.markLines(pos, func(key ignoreKey) { x.bg[key] = true })
+	case "errok":
+		if len(fields) < 1 {
+			x.problem(fset, c.Pos(), "errok directive needs a reason: //deepsketch:errok <reason>")
+			return
+		}
+		// errok is sugar for suppressing the errsink analyzer on the
+		// discard line; it shares the ignore machinery.
+		x.markLines(pos, func(key ignoreKey) {
+			if x.ignores[key] == nil {
+				x.ignores[key] = map[string]bool{}
+			}
+			x.ignores[key]["errsink"] = true
+		})
+	case "lockorder":
+		before, after, ok := strings.Cut(rest, "<")
+		before, after = strings.TrimSpace(before), strings.TrimSpace(after)
+		if !ok || before == "" || after == "" || strings.ContainsAny(after, "< \t") {
+			x.problem(fset, c.Pos(), "lockorder directive declares one ordered pair: //deepsketch:lockorder <mu-a><<mu-b>")
+			return
+		}
+		x.LockOrders = append(x.LockOrders, LockOrderDecl{Before: before, After: after, Pos: pos})
+	}
+}
+
+// markLines applies fn to the directive's own line and the next, so both
+// trailing and standalone-above placements cover the annotated statement.
+func (x *Index) markLines(pos token.Position, fn func(ignoreKey)) {
+	for _, line := range []int{pos.Line, pos.Line + 1} {
+		fn(ignoreKey{pos.Filename, line})
 	}
 }
 

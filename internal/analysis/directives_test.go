@@ -1,0 +1,187 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// loadSnippet type-checks one in-memory source file and returns its
+// directive index plus the on-disk filename (the index keys lines by it).
+func loadSnippet(t *testing.T, src string) (*Index, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "snippet.go")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	prog, err := LoadFiles("deepsketch/internal/snippet", path)
+	if err != nil {
+		t.Fatalf("loading snippet: %v", err)
+	}
+	return prog.Directives, path
+}
+
+func problemCount(x *Index, substr string) int {
+	n := 0
+	for _, p := range x.Problems {
+		if strings.Contains(p.Message, substr) {
+			n++
+		}
+	}
+	return n
+}
+
+// TestDirectiveGrammar drives the phase-2 directive verbs (bg, errok,
+// lockorder) through well-formed and malformed spellings: each malformed
+// form must surface a problem diagnostic AND not register its effect, so
+// a typo can never silently disable a check.
+func TestDirectiveGrammar(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want func(t *testing.T, x *Index, file string)
+	}{
+		{
+			name: "bg trailing",
+			src: "package snippet\n\nfunc f() {\n" +
+				"\tgo func() {}() //deepsketch:bg main metrics flusher dies with the process\n" +
+				"}\n",
+			want: func(t *testing.T, x *Index, file string) {
+				if !x.Background(file, 4) {
+					t.Error("bg not registered on its own line")
+				}
+				if !x.Background(file, 5) {
+					t.Error("bg not registered on the following line (standalone placement)")
+				}
+				if len(x.Problems) != 0 {
+					t.Errorf("unexpected problems: %v", x.Problems)
+				}
+			},
+		},
+		{
+			name: "bg standalone above",
+			src: "package snippet\n\nfunc f() {\n" +
+				"\t//deepsketch:bg main metrics flusher dies with the process\n" +
+				"\tgo func() {}()\n" +
+				"}\n",
+			want: func(t *testing.T, x *Index, file string) {
+				if !x.Background(file, 5) {
+					t.Error("standalone bg does not cover the go statement below it")
+				}
+			},
+		},
+		{
+			name: "bg missing reason",
+			src: "package snippet\n\nfunc f() {\n" +
+				"\tgo func() {}() //deepsketch:bg main\n" +
+				"}\n",
+			want: func(t *testing.T, x *Index, file string) {
+				if x.Background(file, 4) {
+					t.Error("malformed bg (owner only) must not register")
+				}
+				if problemCount(x, "bg directive needs an owner and a reason") != 1 {
+					t.Errorf("want one bg problem, got %v", x.Problems)
+				}
+			},
+		},
+		{
+			name: "errok trailing",
+			src: "package snippet\n\nfunc f() error { return nil }\n\nfunc g() {\n" +
+				"\t_ = f() //deepsketch:errok best-effort telemetry\n" +
+				"}\n",
+			want: func(t *testing.T, x *Index, file string) {
+				if !x.ignored("errsink", file, 6) {
+					t.Error("errok does not suppress errsink on its line")
+				}
+				if x.ignored("goroleak", file, 6) {
+					t.Error("errok must only suppress errsink")
+				}
+			},
+		},
+		{
+			name: "errok missing reason",
+			src: "package snippet\n\nfunc f() error { return nil }\n\nfunc g() {\n" +
+				"\t_ = f() //deepsketch:errok\n" +
+				"}\n",
+			want: func(t *testing.T, x *Index, file string) {
+				if x.ignored("errsink", file, 6) {
+					t.Error("bare errok must not suppress errsink")
+				}
+				if problemCount(x, "errok directive needs a reason") != 1 {
+					t.Errorf("want one errok problem, got %v", x.Problems)
+				}
+			},
+		},
+		{
+			name: "lockorder well-formed",
+			src:  "package snippet\n\n//deepsketch:lockorder wal.Log.mu<wal.Log.idxMu\n\nfunc f() {}\n",
+			want: func(t *testing.T, x *Index, _ string) {
+				if len(x.LockOrders) != 1 {
+					t.Fatalf("want one lockorder declaration, got %v", x.LockOrders)
+				}
+				d := x.LockOrders[0]
+				if d.Before != "wal.Log.mu" || d.After != "wal.Log.idxMu" {
+					t.Errorf("parsed pair = %q<%q", d.Before, d.After)
+				}
+				if d.Pos.Line != 3 {
+					t.Errorf("declaration position line = %d, want 3", d.Pos.Line)
+				}
+			},
+		},
+		{
+			name: "lockorder spaces around angle",
+			src:  "package snippet\n\n//deepsketch:lockorder wal.Log.mu < wal.Log.idxMu\n\nfunc f() {}\n",
+			want: func(t *testing.T, x *Index, _ string) {
+				if len(x.LockOrders) != 1 || x.LockOrders[0].Before != "wal.Log.mu" || x.LockOrders[0].After != "wal.Log.idxMu" {
+					t.Errorf("spaced pair not parsed: %+v (problems %v)", x.LockOrders, x.Problems)
+				}
+			},
+		},
+		{
+			name: "lockorder missing separator",
+			src:  "package snippet\n\n//deepsketch:lockorder wal.Log.mu\n\nfunc f() {}\n",
+			want: func(t *testing.T, x *Index, _ string) {
+				if len(x.LockOrders) != 0 {
+					t.Errorf("malformed lockorder registered: %v", x.LockOrders)
+				}
+				if problemCount(x, "lockorder directive declares one ordered pair") != 1 {
+					t.Errorf("want one lockorder problem, got %v", x.Problems)
+				}
+			},
+		},
+		{
+			name: "lockorder empty side",
+			src:  "package snippet\n\n//deepsketch:lockorder <wal.Log.mu\n\nfunc f() {}\n",
+			want: func(t *testing.T, x *Index, _ string) {
+				if len(x.LockOrders) != 0 || problemCount(x, "lockorder directive declares one ordered pair") != 1 {
+					t.Errorf("empty-side lockorder: decls %v problems %v", x.LockOrders, x.Problems)
+				}
+			},
+		},
+		{
+			name: "lockorder chained pairs",
+			src:  "package snippet\n\n//deepsketch:lockorder a.T.x<a.T.y<a.T.z\n\nfunc f() {}\n",
+			want: func(t *testing.T, x *Index, _ string) {
+				if len(x.LockOrders) != 0 || problemCount(x, "lockorder directive declares one ordered pair") != 1 {
+					t.Errorf("chained lockorder: decls %v problems %v", x.LockOrders, x.Problems)
+				}
+			},
+		},
+		{
+			name: "unknown verb",
+			src:  "package snippet\n\n//deepsketch:nonsense whatever\n\nfunc f() {}\n",
+			want: func(t *testing.T, x *Index, _ string) {
+				if problemCount(x, "unknown directive //deepsketch:nonsense") != 1 {
+					t.Errorf("unknown verb not reported: %v", x.Problems)
+				}
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			x, file := loadSnippet(t, tc.src)
+			tc.want(t, x, file)
+		})
+	}
+}

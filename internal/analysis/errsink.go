@@ -1,0 +1,140 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrSink checks that errors returned on durability, WAL and lifecycle
+// call paths are not silently discarded. A dropped error from these
+// callees is a durability hole: the WAL append that "succeeded", the
+// state file that was "persisted", the version that was "published" may
+// not have happened, and nothing downstream can tell. Protected callees
+// are functions in internal/wal, internal/fsx and internal/lifecycle,
+// functions annotated //deepsketch:durable, and os.Rename/(*os.File).Sync
+// themselves. A discard is a plain statement call whose trailing error is
+// unused, or an assignment that lands the error in the blank identifier
+// (`_ =`, `n, _ :=`). Deferred calls (defer lg.Close()) are out of scope:
+// a defer cannot propagate, and the shutdown path's best effort is the
+// accepted idiom. A deliberate discard carries //deepsketch:errok
+// <reason> on the line.
+var ErrSink = &Analyzer{
+	Name: "errsink",
+	Doc:  "errors on durability/WAL/lifecycle call paths may not be discarded",
+	Run:  runErrSink,
+}
+
+// errSinkPkgSuffixes are the protected package paths (matched by suffix
+// so the module prefix stays out of the analyzer).
+var errSinkPkgSuffixes = []string{
+	"/internal/wal",
+	"/internal/fsx",
+	"/internal/lifecycle",
+}
+
+func runErrSink(pass *Pass) error {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				call, ok := n.X.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if fn := protectedCallee(pass, call); fn != "" && lastResultIsError(info, call) {
+					pass.Reportf(call.Pos(), "error from %s is discarded (call used as a statement) on a durability/WAL/lifecycle path; handle it or annotate //deepsketch:errok <reason>", fn)
+				}
+				return true
+			case *ast.AssignStmt:
+				checkErrSinkAssign(pass, n)
+				return true
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkErrSinkAssign flags assignments that land a protected callee's
+// error result in the blank identifier.
+func checkErrSinkAssign(pass *Pass, assign *ast.AssignStmt) {
+	if len(assign.Rhs) != 1 {
+		return
+	}
+	call, ok := ast.Unparen(assign.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	fn := protectedCallee(pass, call)
+	if fn == "" {
+		return
+	}
+	results := callResults(pass.Pkg.Info, call)
+	if results == nil || len(assign.Lhs) != results.Len() {
+		return
+	}
+	for i, lhs := range assign.Lhs {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok || id.Name != "_" {
+			continue
+		}
+		if isErrorType(results.At(i).Type()) {
+			pass.Reportf(lhs.Pos(), "error from %s is assigned to _ on a durability/WAL/lifecycle path; handle it or annotate //deepsketch:errok <reason>", fn)
+		}
+	}
+}
+
+// protectedCallee resolves the call's static callee and reports its
+// funcKey when it is on a protected path, "" otherwise.
+func protectedCallee(pass *Pass, call *ast.CallExpr) string {
+	fn := calleeFunc(pass.Pkg.Info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	key := funcKey(fn)
+	pkgPath := fn.Pkg().Path()
+	if pkgPath == "os" {
+		if fn.Name() == "Rename" {
+			return key
+		}
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil && fn.Name() == "Sync" {
+			return key
+		}
+		return ""
+	}
+	for _, suffix := range errSinkPkgSuffixes {
+		if strings.HasSuffix(pkgPath, suffix) {
+			return key
+		}
+	}
+	if pass.Prog.Directives.Func(key).Durable {
+		return key
+	}
+	return ""
+}
+
+// callResults returns the call's result tuple (nil for builtins and
+// conversions).
+func callResults(info *types.Info, call *ast.CallExpr) *types.Tuple {
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	return sig.Results()
+}
+
+// lastResultIsError reports whether the call's final result is an error.
+func lastResultIsError(info *types.Info, call *ast.CallExpr) bool {
+	results := callResults(info, call)
+	return results != nil && results.Len() > 0 && isErrorType(results.At(results.Len()-1).Type())
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func isErrorType(t types.Type) bool { return types.Identical(t, errorType) }

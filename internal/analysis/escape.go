@@ -1,0 +1,374 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// EscapeBudget pins the compiler's escape and inline decisions for the
+// //deepsketch:zeroalloc kernels. The zeroalloc analyzer proves the
+// kernels never *call* an allocator, but a hot loop can still regress
+// silently when gc stops inlining a callee or starts moving a local to
+// the heap — decisions the source diff does not show. This analyzer runs
+// `go build -gcflags=-m=2` over every package containing an annotated
+// kernel, keeps the compiler facts that land inside annotated function
+// bodies (can/cannot inline, moved to heap, escapes to heap, leaking
+// param), and diffs them against the checked-in golden at
+// internal/analysis/testdata/escape_budget.json. Intentional changes are
+// recorded with `go run ./cmd/deepsketch-lint -escape -update ./...`.
+var EscapeBudget = &Analyzer{
+	Name: "escapebudget",
+	Doc:  "compiler escape/inline facts for zeroalloc kernels must match the checked-in golden",
+	Run:  runEscapeBudget,
+}
+
+// escapeGoldenRel is the golden's path under the module root.
+const escapeGoldenRel = "internal/analysis/testdata/escape_budget.json"
+
+// escapeGolden is the checked-in snapshot: compiler facts per annotated
+// function, plus the toolchain that recorded them (escape analysis is a
+// compiler implementation detail, so drift across Go releases is
+// expected and the message points at the recording version).
+type escapeGolden struct {
+	Go        string              `json:"go"`
+	Functions map[string][]string `json:"functions"`
+}
+
+func runEscapeBudget(pass *Pass) error {
+	prog := pass.Prog
+	prog.escOnce.Do(func() { prog.escDiags, prog.escErr = computeEscapeBudget(prog) })
+	if prog.escErr != nil {
+		return prog.escErr
+	}
+	for _, d := range prog.escDiags {
+		if pass.Pkg.ContainsFile(prog.Fset, d.Pos.Filename) {
+			pass.Reportf(posInPkg(prog.Fset, pass.Pkg, d.Pos), "%s", d.Message)
+		}
+	}
+	return nil
+}
+
+// posInPkg maps a resolved token.Position back to a token.Pos inside the
+// package so Reportf can re-resolve it (and apply line-level ignores).
+func posInPkg(fset *token.FileSet, pkg *Package, pos token.Position) token.Pos {
+	for _, f := range pkg.Files {
+		tf := fset.File(f.Pos())
+		if tf != nil && tf.Name() == pos.Filename && pos.Line <= tf.LineCount() {
+			return tf.LineStart(pos.Line)
+		}
+	}
+	return token.NoPos
+}
+
+// escapeTarget is one zeroalloc-annotated function declaration: the
+// compiler facts whose positions land inside [startLine, endLine] of file
+// belong to key.
+type escapeTarget struct {
+	key                string
+	file               string
+	startLine, endLine int
+	pos                token.Position
+	pkgPath            string
+}
+
+// escapeTargets collects the annotated declarations, ordered by position.
+func escapeTargets(prog *Program) []*escapeTarget {
+	var targets []*escapeTarget
+	for _, pkg := range prog.Packages {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				key := declKey(pkg.Info, fd)
+				if key == "" || !prog.Directives.Func(key).ZeroAlloc {
+					continue
+				}
+				start := prog.Fset.Position(fd.Pos())
+				end := prog.Fset.Position(fd.End())
+				targets = append(targets, &escapeTarget{
+					key:       key,
+					file:      start.Filename,
+					startLine: start.Line,
+					endLine:   end.Line,
+					pos:       start,
+					pkgPath:   pkg.Path,
+				})
+			}
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool {
+		if targets[i].file != targets[j].file {
+			return targets[i].file < targets[j].file
+		}
+		return targets[i].startLine < targets[j].startLine
+	})
+	return targets
+}
+
+// computeEscapeBudget probes the compiler and diffs against the golden.
+func computeEscapeBudget(prog *Program) ([]Diagnostic, error) {
+	targets := escapeTargets(prog)
+	if len(targets) == 0 {
+		return nil, nil
+	}
+	goldenPath := prog.EscapeGolden
+	if goldenPath == "" {
+		if prog.ModuleDir == "" {
+			// Fixture load without a module on disk: nothing to probe.
+			return nil, nil
+		}
+		goldenPath = filepath.Join(prog.ModuleDir, escapeGoldenRel)
+	}
+
+	got, err := collectEscapeFacts(prog, targets)
+	if err != nil {
+		return nil, err
+	}
+
+	raw, err := os.ReadFile(goldenPath)
+	if os.IsNotExist(err) {
+		return []Diagnostic{{
+			Analyzer: "escapebudget",
+			Pos:      targets[0].pos,
+			Message: fmt.Sprintf("no escape-budget golden at %s; record one with: go run ./cmd/deepsketch-lint -escape -update ./...",
+				goldenPath),
+		}}, nil
+	} else if err != nil {
+		return nil, fmt.Errorf("escapebudget: %w", err)
+	}
+	var golden escapeGolden
+	if err := json.Unmarshal(raw, &golden); err != nil {
+		return nil, fmt.Errorf("escapebudget: %s: %w", goldenPath, err)
+	}
+
+	var diags []Diagnostic
+	for _, t := range targets {
+		want, recorded := golden.Functions[t.key]
+		if !recorded {
+			diags = append(diags, escapeDrift(t, golden.Go,
+				fmt.Sprintf("function is not in the golden (new or renamed kernel); current facts: %s", factList(got[t.key]))))
+			continue
+		}
+		if missing, extra := diffFacts(want, got[t.key]); len(missing) > 0 || len(extra) > 0 {
+			var parts []string
+			if len(missing) > 0 {
+				parts = append(parts, "lost "+factList(missing))
+			}
+			if len(extra) > 0 {
+				parts = append(parts, "gained "+factList(extra))
+			}
+			diags = append(diags, escapeDrift(t, golden.Go, strings.Join(parts, "; ")))
+		}
+	}
+	return diags, nil
+}
+
+func escapeDrift(t *escapeTarget, goldenGo, detail string) Diagnostic {
+	return Diagnostic{
+		Analyzer: "escapebudget",
+		Pos:      t.pos,
+		Message: fmt.Sprintf("escape budget drift for %s (golden recorded with %s, running %s): %s; if intended, regenerate with: go run ./cmd/deepsketch-lint -escape -update ./...",
+			t.key, goldenGo, runtime.Version(), detail),
+	}
+}
+
+// diffFacts returns the golden facts the compiler no longer reports and
+// the new facts the golden does not record. Both inputs are sorted.
+func diffFacts(want, got []string) (missing, extra []string) {
+	wantSet := map[string]bool{}
+	for _, f := range want {
+		wantSet[f] = true
+	}
+	gotSet := map[string]bool{}
+	for _, f := range got {
+		gotSet[f] = true
+		if !wantSet[f] {
+			extra = append(extra, f)
+		}
+	}
+	for _, f := range want {
+		if !gotSet[f] {
+			missing = append(missing, f)
+		}
+	}
+	return missing, extra
+}
+
+func factList(facts []string) string {
+	if len(facts) == 0 {
+		return "[]"
+	}
+	return "[" + strings.Join(facts, "; ") + "]"
+}
+
+// collectEscapeFacts runs `go build -gcflags=-m=2` over the packages
+// containing the targets and returns the per-function compiler facts,
+// sorted and deduplicated.
+func collectEscapeFacts(prog *Program, targets []*escapeTarget) (map[string][]string, error) {
+	byPkg := map[string]bool{}
+	for _, t := range targets {
+		byPkg[t.pkgPath] = true
+	}
+	pkgs := make([]string, 0, len(byPkg))
+	for p := range byPkg {
+		pkgs = append(pkgs, p)
+	}
+	sort.Strings(pkgs)
+
+	// -gcflags without a package pattern applies only to the packages named
+	// on the command line, so dependencies are not re-probed. The compiler
+	// replays cached diagnostics, so warm-cache runs stay fast.
+	cmd := exec.Command("go", append([]string{"build", "-gcflags=-m=2"}, pkgs...)...)
+	cmd.Dir = prog.ModuleDir
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return nil, fmt.Errorf("escapebudget: go build -gcflags=-m=2: %w\n%s", err, out)
+	}
+
+	// Index targets by file for line attribution.
+	byFile := map[string][]*escapeTarget{}
+	for _, t := range targets {
+		byFile[t.file] = append(byFile[t.file], t)
+	}
+
+	facts := map[string]map[string]bool{}
+	for _, t := range targets {
+		facts[t.key] = map[string]bool{}
+	}
+	for _, line := range strings.Split(string(out), "\n") {
+		file, lineNo, msg, ok := splitDiagLine(line)
+		if !ok {
+			continue
+		}
+		if !filepath.IsAbs(file) {
+			file = filepath.Join(prog.ModuleDir, file)
+		}
+		fact := classifyEscapeFact(msg)
+		if fact == "" {
+			continue
+		}
+		for _, t := range byFile[filepath.Clean(file)] {
+			if t.startLine <= lineNo && lineNo <= t.endLine {
+				facts[t.key][fact] = true
+				break
+			}
+		}
+	}
+
+	result := map[string][]string{}
+	for key, set := range facts {
+		list := make([]string, 0, len(set))
+		for f := range set {
+			list = append(list, f)
+		}
+		sort.Strings(list)
+		result[key] = list
+	}
+	return result, nil
+}
+
+// splitDiagLine parses one "file.go:line:col: message" compiler line.
+func splitDiagLine(line string) (file string, lineNo int, msg string, ok bool) {
+	i := strings.Index(line, ".go:")
+	if i < 0 {
+		return "", 0, "", false
+	}
+	file = line[:i+3]
+	rest := line[i+4:]
+	j := strings.Index(rest, ":")
+	if j < 0 {
+		return "", 0, "", false
+	}
+	for _, c := range rest[:j] {
+		if c < '0' || c > '9' {
+			return "", 0, "", false
+		}
+		lineNo = lineNo*10 + int(c-'0')
+	}
+	if j == 0 {
+		return "", 0, "", false
+	}
+	rest = rest[j+1:]
+	// Skip the column.
+	k := strings.Index(rest, ": ")
+	if k < 0 {
+		return "", 0, "", false
+	}
+	return file, lineNo, rest[k+2:], true
+}
+
+// costRe normalizes inline-cost numbers, which shift with unrelated
+// edits; the fact we pin is *that* the compiler refused, not the score.
+var costRe = regexp.MustCompile(`\b(cost|budget|size) \d+`)
+
+// classifyEscapeFact maps one compiler message to a stable fact string,
+// or "" for messages outside the budget (call-site inlining notes,
+// does-not-escape confirmations, -m=2 flow traces).
+func classifyEscapeFact(msg string) string {
+	if strings.HasPrefix(msg, " ") {
+		// -m=2 flow/indent detail lines share the position prefix of the
+		// decision they explain; the decision line is the fact.
+		return ""
+	}
+	switch {
+	case strings.HasPrefix(msg, "can inline "):
+		name := msg[len("can inline "):]
+		if i := strings.Index(name, " with cost "); i >= 0 {
+			name = name[:i]
+		}
+		return "can inline " + name
+	case strings.HasPrefix(msg, "cannot inline "):
+		return costRe.ReplaceAllString(strings.TrimSuffix(msg, ":"), "$1 N")
+	case strings.HasPrefix(msg, "moved to heap: "):
+		return msg
+	case strings.HasPrefix(msg, "leaking param"):
+		return strings.TrimSuffix(msg, ":")
+	case strings.HasSuffix(strings.TrimSuffix(msg, ":"), "escapes to heap"):
+		return strings.TrimSuffix(msg, ":")
+	}
+	return ""
+}
+
+// WriteEscapeGolden probes the compiler for the program's zeroalloc
+// kernels and writes the golden snapshot, returning its path. Driven by
+// `deepsketch-lint -escape -update`.
+func WriteEscapeGolden(prog *Program) (string, error) {
+	targets := escapeTargets(prog)
+	if len(targets) == 0 {
+		return "", fmt.Errorf("escapebudget: no //deepsketch:zeroalloc functions in the loaded packages")
+	}
+	path := prog.EscapeGolden
+	if path == "" {
+		if prog.ModuleDir == "" {
+			return "", fmt.Errorf("escapebudget: no module directory to write the golden under")
+		}
+		path = filepath.Join(prog.ModuleDir, escapeGoldenRel)
+	}
+	facts, err := collectEscapeFacts(prog, targets)
+	if err != nil {
+		return "", err
+	}
+	golden := escapeGolden{Go: runtime.Version(), Functions: facts}
+	raw, err := json.MarshalIndent(&golden, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return "", err
+	}
+	if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}

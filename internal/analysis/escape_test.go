@@ -1,0 +1,127 @@
+package analysis
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestEscapeBudget exercises the full golden lifecycle against a real
+// on-disk module (the probe shells out to go build, so an in-memory
+// fixture cannot drive it): missing golden reports, -update records the
+// compiler's facts, a matching golden is quiet, and a tampered golden
+// reports drift.
+func TestEscapeBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go build")
+	}
+	dir := t.TempDir()
+	write := func(name, body string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module escfix\n\ngo 1.24\n")
+	write("esc.go", `package escfix
+
+// Sum is a clean kernel: nothing escapes, the compiler can inline it.
+//
+//deepsketch:zeroalloc
+func Sum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Leak seeds an escape: the make's backing array outlives the frame.
+//
+//deepsketch:zeroalloc
+func Leak(n int) []float64 {
+	buf := make([]float64, n)
+	return buf
+}
+`)
+	golden := filepath.Join(dir, "escape_budget.json")
+
+	load := func() *Program {
+		t.Helper()
+		prog, err := Load(dir, "./...")
+		if err != nil {
+			t.Fatalf("loading temp module: %v", err)
+		}
+		prog.EscapeGolden = golden
+		return prog
+	}
+	run := func(prog *Program) []Diagnostic {
+		t.Helper()
+		diags, err := Run(prog, []*Analyzer{EscapeBudget})
+		if err != nil {
+			t.Fatalf("running escapebudget: %v", err)
+		}
+		return diags
+	}
+
+	// 1. No golden yet: one finding pointing at the update command.
+	diags := run(load())
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "no escape-budget golden") {
+		t.Fatalf("missing-golden run: got %v, want one no-golden finding", diags)
+	}
+
+	// 2. Record the golden and check the probe saw the seeded escape.
+	path, err := WriteEscapeGolden(load())
+	if err != nil {
+		t.Fatalf("writing golden: %v", err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var g escapeGolden
+	if err := json.Unmarshal(raw, &g); err != nil {
+		t.Fatalf("golden is not valid JSON: %v", err)
+	}
+	if g.Go == "" {
+		t.Error("golden does not record the go version")
+	}
+	if !hasFactContaining(g.Functions["escfix.Leak"], "escapes to heap") {
+		t.Errorf("golden for escfix.Leak misses the seeded escape: %v", g.Functions["escfix.Leak"])
+	}
+	if !hasFactContaining(g.Functions["escfix.Sum"], "can inline Sum") {
+		t.Errorf("golden for escfix.Sum misses the inline fact: %v", g.Functions["escfix.Sum"])
+	}
+
+	// 3. Matching golden: quiet.
+	if diags := run(load()); len(diags) != 0 {
+		t.Fatalf("matching golden still reports: %v", diags)
+	}
+
+	// 4. Tampered golden (a fact the compiler no longer emits): drift.
+	g.Functions["escfix.Sum"] = append(g.Functions["escfix.Sum"], "moved to heap: ghost")
+	raw, err = json.Marshal(&g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(golden, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	diags = run(load())
+	if len(diags) != 1 ||
+		!strings.Contains(diags[0].Message, "escape budget drift for escfix.Sum") ||
+		!strings.Contains(diags[0].Message, "moved to heap: ghost") {
+		t.Fatalf("tampered golden: got %v, want one drift finding for escfix.Sum", diags)
+	}
+}
+
+func hasFactContaining(facts []string, substr string) bool {
+	for _, f := range facts {
+		if strings.Contains(f, substr) {
+			return true
+		}
+	}
+	return false
+}

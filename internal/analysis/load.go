@@ -30,7 +30,7 @@ type listPkg struct {
 	GoFiles    []string
 	Dir        string
 	Standard   bool
-	Module     *struct{ Path string }
+	Module     *struct{ Path, Dir string }
 	Error      *struct{ Err string }
 }
 
@@ -88,6 +88,9 @@ func Load(dir string, patterns ...string) (*Program, error) {
 	}
 	for _, p := range mods {
 		prog.sourcePkgs[p.ImportPath] = true
+		if prog.ModuleDir == "" && p.Module != nil && p.Module.Dir != "" {
+			prog.ModuleDir = p.Module.Dir
+		}
 	}
 	for _, p := range mods {
 		var files []*ast.File
@@ -106,6 +109,7 @@ func Load(dir string, patterns ...string) (*Program, error) {
 		if err != nil {
 			return nil, err
 		}
+		pkg.Dir = p.Dir
 		prog.Packages = append(prog.Packages, pkg)
 	}
 	return prog, nil

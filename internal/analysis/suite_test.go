@@ -33,6 +33,20 @@ func TestLockGuardFixture(t *testing.T) {
 	RunFixture(t, LockGuard, fixturePkg, fixtureDir("lockguard"), "fixture.go")
 }
 
+func TestGoroLeakFixture(t *testing.T) {
+	RunFixture(t, GoroLeak, fixturePkg, fixtureDir("goroleak"), "fixture.go")
+}
+
+func TestLockOrderFixture(t *testing.T) {
+	RunFixture(t, LockOrder, fixturePkg, fixtureDir("lockorder"), "fixture.go")
+}
+
+// TestErrSinkFixture loads the fixture under a WAL import path so its
+// local callees count as protected durability functions.
+func TestErrSinkFixture(t *testing.T) {
+	RunFixture(t, ErrSink, "deepsketch/internal/wal", fixtureDir("errsink"), "fixture.go")
+}
+
 // TestRepoClean is the machine-checked invariant of this PR: the whole
 // module passes its own analysis suite. It is the same check CI's lint
 // job runs via cmd/deepsketch-lint.
@@ -64,9 +78,15 @@ func TestAllAnalyzersRegistered(t *testing.T) {
 		}
 		names[a.Name] = true
 	}
-	for _, want := range []string{"zeroalloc", "durability", "determinism", "ctxpolicy", "lockguard"} {
+	for _, want := range []string{
+		"zeroalloc", "durability", "determinism", "ctxpolicy", "lockguard",
+		"goroleak", "lockorder", "errsink", "escapebudget",
+	} {
 		if !names[want] {
 			t.Errorf("All() is missing analyzer %q", want)
 		}
+	}
+	if got := len(All()); got != 9 {
+		t.Errorf("All() returns %d analyzers, want 9", got)
 	}
 }

@@ -1,0 +1,72 @@
+// Package fixture seeds errsink violations. The suite loads it under the
+// deepsketch/internal/wal import path, so its local callees count as
+// WAL-path functions — exactly how a discarded ObservationLog.Append
+// error looks from the daemon.
+package fixture
+
+import "os"
+
+type log struct{ dirty bool }
+
+// append is a protected callee: it lives (as loaded) in internal/wal and
+// returns an error.
+func (l *log) append(b []byte) error {
+	if len(b) == 0 {
+		return os.ErrInvalid
+	}
+	l.dirty = true
+	return nil
+}
+
+// checkpoint returns a value and an error.
+func (l *log) checkpoint() (int, error) {
+	l.dirty = false
+	return 1, nil
+}
+
+// close mirrors the real WAL's Close: sync then release.
+func (l *log) close() error { return nil }
+
+// handled propagates every error: compliant.
+func handled(l *log, b []byte) error {
+	if err := l.append(b); err != nil {
+		return err
+	}
+	seq, err := l.checkpoint()
+	_ = seq
+	return err
+}
+
+// statementDiscard drops the append error on the floor.
+func statementDiscard(l *log, b []byte) {
+	l.append(b) // want "discarded \(call used as a statement\)"
+}
+
+// blankDiscard launders the error through the blank identifier.
+func blankDiscard(l *log, b []byte) {
+	_ = l.append(b) // want "assigned to _"
+}
+
+// multiValueDiscard keeps the value but drops the paired error.
+func multiValueDiscard(l *log) int {
+	seq, _ := l.checkpoint() // want "assigned to _"
+	return seq
+}
+
+// annotatedDiscard is a deliberate best-effort discard with a reason.
+func annotatedDiscard(l *log, b []byte) {
+	_ = l.append(b) //deepsketch:errok fixture best-effort telemetry append
+}
+
+// deferredClose is the accepted shutdown idiom: a defer cannot
+// propagate, so it is out of scope.
+func deferredClose(l *log, b []byte) error {
+	defer l.close()
+	return l.append(b)
+}
+
+// renameDiscard drops os.Rename's error — the persist may not have
+// happened.
+func renameDiscard(tmp, final string) {
+	os.Rename(tmp, final) // want "discarded \(call used as a statement\)"
+}

@@ -74,6 +74,6 @@ func syncDir(path string) {
 	if err != nil {
 		return
 	}
-	d.Sync()
+	d.Sync() //deepsketch:errok directory fsync is unsupported on some filesystems; the file-level fsync already ran
 	d.Close()
 }

@@ -296,7 +296,14 @@ func (p *parser) parseCondition() error {
 	case ">=":
 		op, inclusiveDelta = db.OpGt, -1
 	default:
-		op, _ = db.ParseOp(opText)
+		// validOp pre-screened the token, but that screen and ParseOp must
+		// not be allowed to drift apart: a symbol accepted here and unknown
+		// there would otherwise silently parse as the zero Op (equality) and
+		// misread the predicate.
+		op, err = db.ParseOp(opText)
+		if err != nil {
+			return fmt.Errorf("sqlparse: unsupported operator %q at %d: %v", opText, p.tok.pos, err)
+		}
 	}
 	if err := p.advance(); err != nil {
 		return err

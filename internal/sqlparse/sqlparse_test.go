@@ -191,6 +191,37 @@ func TestParseErrors(t *testing.T) {
 	}
 }
 
+// TestParseMalformedOperator pins the rejection path for comparison
+// operators the grammar does not support: each must surface a parse
+// error, never silently degrade to the zero Op (equality) and misread
+// the predicate.
+func TestParseMalformedOperator(t *testing.T) {
+	d := parseDB(t)
+	cases := []string{
+		"SELECT COUNT(*) FROM title t WHERE t.kind_id != 1",
+		"SELECT COUNT(*) FROM title t WHERE t.kind_id <> 1",
+		"SELECT COUNT(*) FROM title t WHERE t.kind_id == 1",
+		"SELECT COUNT(*) FROM title t WHERE t.kind_id LIKE 1",
+		"SELECT COUNT(*) FROM title t WHERE t.kind_id 1",
+		"SELECT COUNT(*) FROM title t WHERE t.kind_id =< 1",
+	}
+	for _, sql := range cases {
+		if _, err := Parse(d, sql); err == nil {
+			t.Errorf("expected error for %q", sql)
+		}
+	}
+	// Control: the well-formed operators still parse.
+	for _, sql := range []string{
+		"SELECT COUNT(*) FROM title t WHERE t.kind_id = 1",
+		"SELECT COUNT(*) FROM title t WHERE t.kind_id < 2",
+		"SELECT COUNT(*) FROM title t WHERE t.kind_id > 0",
+	} {
+		if _, err := Parse(d, sql); err != nil {
+			t.Errorf("Parse(%q): %v", sql, err)
+		}
+	}
+}
+
 func TestResultTemplateWithoutPlaceholder(t *testing.T) {
 	d := parseDB(t)
 	res, _ := Parse(d, "SELECT COUNT(*) FROM title t")

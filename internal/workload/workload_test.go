@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"sync/atomic"
 	"testing"
 
 	"deepsketch/internal/datagen"
@@ -124,16 +125,17 @@ func TestLabel(t *testing.T) {
 	d := wlDB(t)
 	g, _ := NewGenerator(d, GenConfig{Seed: 3, Count: 40})
 	qs := g.Generate()
-	var progressed int
-	labeled, err := Label(d, qs, 2, func(done int) { progressed++ })
+	// Label documents that progress is invoked from multiple goroutines.
+	var progressed atomic.Int64
+	labeled, err := Label(d, qs, 2, func(done int) { progressed.Add(1) })
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(labeled) != len(qs) {
 		t.Fatalf("labeled %d of %d", len(labeled), len(qs))
 	}
-	if progressed != len(qs) {
-		t.Errorf("progress called %d times, want %d", progressed, len(qs))
+	if got := progressed.Load(); got != int64(len(qs)) {
+		t.Errorf("progress called %d times, want %d", got, len(qs))
 	}
 	// Spot-check a few labels against direct execution.
 	for i := 0; i < 5; i++ {
