@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 
@@ -24,6 +25,8 @@ func cmdCanary(args []string) error {
 	queries := fs.Int("queries", 1000, "generated workload size (when no -workload file)")
 	seed := fs.Int64("seed", 17, "generated workload seed")
 	workers := fs.Int("workers", 0, "labeling workers (0 = GOMAXPROCS)")
+	pinnedPath := fs.String("pinned", "", "pinned benchmark file (labeled workload CSV); candidates must also pass this frozen rail")
+	pinnedRegress := fs.Float64("pinned-max-regress", deepsketch.DefaultPinnedMaxRegress, "rail tolerance: candidate median and p95 on the pinned set may be at most this × live's")
 	gate := fs.Bool("gate", false, "exit non-zero on an ABORT verdict (for scripting)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -107,12 +110,48 @@ func cmdCanary(args []string) error {
 	promote := candSum.Median <= limit
 	fmt.Printf("\ngate: canary median %s vs limit %s (live median %s × ratio %g)\n",
 		metrics.Sig3(candSum.Median), metrics.Sig3(limit), metrics.Sig3(liveSum.Median), *ratio)
-	if promote {
+
+	// The pinned-benchmark rail: the split gate above judges the candidate
+	// on the supplied workload, which — like the daemon's live windows — an
+	// adaptive adversary can steer. A frozen held-out set cannot be steered,
+	// so a rail failure vetoes promotion even when the split gate passes.
+	railPass := true
+	if *pinnedPath != "" {
+		pb, err := deepsketch.LoadPinnedBenchmarkFile(d, *pinnedPath)
+		if err != nil {
+			return err
+		}
+		res, err := pb.Judge(context.Background(), live, cand, *pinnedRegress)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\npinned rail: %d frozen queries, tolerance %gx\n\n", res.Size, res.MaxRegress)
+		fmt.Print(metrics.FormatTable([]metrics.Row{
+			{Name: "pinned live", Summary: res.Live},
+			{Name: "pinned candidate", Summary: res.Candidate},
+		}))
+		fmt.Printf("\nrail: candidate median %s vs limit %s, p95 %s vs limit %s\n",
+			metrics.Sig3(res.Candidate.Median), metrics.Sig3(res.Live.Median*res.MaxRegress),
+			metrics.Sig3(res.Candidate.P95), metrics.Sig3(res.Live.P95*res.MaxRegress))
+		railPass = res.Pass
+		if !res.Pass && promote {
+			fmt.Println("rail: FAIL — candidate regresses on the pinned benchmark; vetoing the split gate's promote")
+		} else if !res.Pass {
+			fmt.Println("rail: FAIL")
+		} else {
+			fmt.Println("rail: pass")
+		}
+	}
+
+	if promote && railPass {
 		fmt.Println("verdict: PROMOTE")
 		return nil
 	}
 	fmt.Println("verdict: ABORT")
 	if *gate {
+		if !railPass {
+			return fmt.Errorf("pinned rail failed: candidate regresses beyond %gx on the frozen benchmark", *pinnedRegress)
+		}
 		return fmt.Errorf("canary gate failed: median %s > limit %s", metrics.Sig3(candSum.Median), metrics.Sig3(limit))
 	}
 	return nil

@@ -120,6 +120,8 @@ func main() {
 	actualsPerMin := flag.Int("actuals-per-min", 600, "per-client admission cap on POSTed actuals per minute (0 = unlimited)")
 	actualsSample := flag.Int("actuals-sample", 0, "admit every Nth POSTed actual per client (<= 1 admits all)")
 	walDelta := flag.Int("wal-delta", 512, "max WAL-logged actuals drawn into a refresh delta workload")
+	pinnedDir := flag.String("pinned-benchmark", "", "directory of frozen per-dataset labeled workloads (<dataset>.workload) the drift controller judges every refresh candidate against before its canary starts; missing files are generated and persisted at boot (empty = rail off)")
+	pinnedRegress := flag.Float64("pinned-max-regress", deepsketch.DefaultPinnedMaxRegress, "pinned-benchmark rail tolerance: a refresh candidate's median and p95 q-error on the pinned set may each be at most this ratio × the live version's")
 	retainVersions := flag.Int("retain-versions", 0, "persisted non-live version files kept per sketch after a promote (0 = keep all)")
 	retainWALBytes := flag.Int64("retain-wal-bytes", 0, "WAL size budget; checkpointed segments are pruned down to it after a promote (0 = keep all)")
 	engineFlag := flag.String("engine", "f64", "inference precision for installed sketches: f64 (reference), f32 (reduced precision), int8 (experimental)")
@@ -156,19 +158,24 @@ func main() {
 		ctrlCfg: deepsketch.DriftControllerConfig{
 			CanaryFraction: *canaryFraction, PromoteAfter: *canaryPromote, MaxQRatio: *canaryRatio,
 		},
-		walDir:         *walDir,
-		driftTruth:     *driftTruth,
-		admitCfg:       deepsketch.AdmitConfig{PerClientPerMin: *actualsPerMin, SampleEvery: *actualsSample},
-		walDelta:       *walDelta,
-		retainVersions: *retainVersions,
-		retainWALBytes: *retainWALBytes,
-		engine:         engine,
+		walDir:           *walDir,
+		driftTruth:       *driftTruth,
+		admitCfg:         deepsketch.AdmitConfig{PerClientPerMin: *actualsPerMin, SampleEvery: *actualsSample},
+		walDelta:         *walDelta,
+		pinnedDir:        *pinnedDir,
+		pinnedMaxRegress: *pinnedRegress,
+		retainVersions:   *retainVersions,
+		retainWALBytes:   *retainWALBytes,
+		engine:           engine,
 	})
 	if engine != deepsketch.EngineF64 {
 		log.Printf("deepsketchd: serving sketches on the %s inference engine", engine)
 	}
 	if !*driftTruth {
 		log.Printf("deepsketchd: exact executor off the serving path — ground truth via POST /api/sketches/{id}/actuals only")
+	}
+	if *pinnedDir != "" {
+		log.Printf("deepsketchd: pinned-benchmark rail on (%s, tolerance %.2fx)", *pinnedDir, *pinnedRegress)
 	}
 	srv.store = *store
 	if srv.store != "" {
@@ -281,6 +288,10 @@ type server struct {
 	// unset): the durable log of served estimates and observed actuals the
 	// drift monitors journal to and are rebuilt from at startup.
 	wals map[string]*deepsketch.ObservationLog
+	// pinned holds each dataset's frozen pinned benchmark (empty map when
+	// -pinned-benchmark is unset); pinnedMaxRegress is the rail tolerance.
+	pinned           map[string]*deepsketch.PinnedBenchmark
+	pinnedMaxRegress float64
 	// admit rate-limits the logged-actuals ingest path per client.
 	admit *deepsketch.ActualsAdmitter
 	// walDelta caps how many WAL-logged actuals a refresh delta workload
@@ -346,6 +357,12 @@ type serverOptions struct {
 	walDelta       int
 	retainVersions int
 	retainWALBytes int64
+	// pinnedDir, when non-empty, roots per-dataset pinned benchmarks at
+	// pinnedDir/<dataset>.workload — the frozen held-out sets the drift
+	// controllers judge refresh candidates against before any canary.
+	// Missing files are generated from the dataset and persisted at boot.
+	pinnedDir        string
+	pinnedMaxRegress float64
 	// engine is the inference precision every installed sketch is switched
 	// to (zero value = EngineF64, the full-precision reference).
 	engine deepsketch.EnginePrecision
@@ -368,19 +385,21 @@ func newServerOpts(opts serverOptions) *server {
 			"imdb": deepsketch.NewIMDb(deepsketch.IMDbConfig{Seed: opts.seed, Titles: opts.titles}),
 			"tpch": deepsketch.NewTPCH(deepsketch.TPCHConfig{Seed: opts.seed, Orders: opts.orders}),
 		},
-		baseline:       map[string]baseline{},
-		registries:     map[string]*deepsketch.SketchRegistry{},
-		auto:           map[string]*deepsketch.EstimateCache{},
-		monitors:       map[string]*deepsketch.DriftMonitor{},
-		controllers:    map[string]*deepsketch.DriftController{},
-		wals:           map[string]*deepsketch.ObservationLog{},
-		admit:          deepsketch.NewActualsAdmitter(opts.admitCfg),
-		walDelta:       opts.walDelta,
-		retainVersions: opts.retainVersions,
-		retainWALBytes: opts.retainWALBytes,
-		engine:         opts.engine,
-		sketches:       map[int]*sketchEntry{},
-		nextID:         1,
+		baseline:         map[string]baseline{},
+		registries:       map[string]*deepsketch.SketchRegistry{},
+		auto:             map[string]*deepsketch.EstimateCache{},
+		monitors:         map[string]*deepsketch.DriftMonitor{},
+		controllers:      map[string]*deepsketch.DriftController{},
+		wals:             map[string]*deepsketch.ObservationLog{},
+		pinned:           map[string]*deepsketch.PinnedBenchmark{},
+		pinnedMaxRegress: opts.pinnedMaxRegress,
+		admit:            deepsketch.NewActualsAdmitter(opts.admitCfg),
+		walDelta:         opts.walDelta,
+		retainVersions:   opts.retainVersions,
+		retainWALBytes:   opts.retainWALBytes,
+		engine:           opts.engine,
+		sketches:         map[int]*sketchEntry{},
+		nextID:           1,
 	}
 	if s.walDelta <= 0 {
 		s.walDelta = 512
@@ -421,6 +440,21 @@ func newServerOpts(opts serverOptions) *server {
 		s.monitors[name] = mon
 		dcc := ctrlCfg
 		dataset := name
+		// The pinned-benchmark rail: a frozen clean labeled set per dataset,
+		// loaded (or generated once and persisted) at boot, that every
+		// refresh candidate must not regress on before its canary starts.
+		// Unlike the live windows and the WAL-derived delta workload — both
+		// functions of observed traffic, which an adaptive feedback source
+		// controls — the pinned set predates any attack traffic.
+		if opts.pinnedDir != "" {
+			pb, err := loadOrCreatePinned(d, filepath.Join(opts.pinnedDir, name+".workload"), opts.seed)
+			if err != nil {
+				log.Fatalf("pinned benchmark for %s: %v", name, err)
+			}
+			s.pinned[name] = pb
+			dcc.Pinned = pb
+			dcc.PinnedMaxRegress = opts.pinnedMaxRegress
+		}
 		dcc.Workload = func(ctx context.Context, sketchName string) ([]deepsketch.LabeledQuery, error) {
 			return s.deltaWorkload(ctx, dataset, sketchName)
 		}
@@ -547,6 +581,20 @@ func (s *server) onDriftEvent(dataset string, ev deepsketch.DriftEvent) {
 			s.persistState(e)
 		}
 		e.adminMu.Unlock()
+	case "pinned_rejected":
+		if ev.Pinned != nil {
+			log.Printf("deepsketchd: drift refresh of %q rejected by the pinned benchmark: candidate median %.3g vs live %.3g (tolerance %.2fx), p95 %.3g vs %.3g",
+				ev.Name, ev.Pinned.Candidate.Median, ev.Pinned.Live.Median, ev.Pinned.MaxRegress,
+				ev.Pinned.Candidate.P95, ev.Pinned.Live.P95)
+		} else {
+			log.Printf("deepsketchd: drift refresh of %q rejected by the pinned benchmark", ev.Name)
+		}
+		s.mu.Lock()
+		if e.Status == "refreshing" {
+			e.Status = "ready"
+			e.Error = "drift refresh rejected: candidate regressed on the pinned benchmark"
+		}
+		s.mu.Unlock()
 	case "error":
 		log.Printf("deepsketchd: drift cycle for %q failed: %v", ev.Name, ev.Err)
 		s.mu.Lock()
@@ -1218,6 +1266,12 @@ func (s *server) handleSketchDrift(w http.ResponseWriter, r *http.Request) {
 		resp["wal"] = l.Stats()
 		resp["wal_actuals"] = l.ActualCount(e.Name)
 		resp["wal_workloads"] = s.walWorkloads.Load()
+	}
+	// The rail's last judgment travels inside "cycle" (CycleStatus.Pinned);
+	// these describe the rail configuration itself.
+	if pb := s.pinned[e.Dataset]; pb != nil {
+		resp["pinned_size"] = pb.Len()
+		resp["pinned_max_regress"] = s.pinnedMaxRegress
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

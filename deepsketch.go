@@ -264,7 +264,16 @@ type (
 	DriftEvent = drift.Event
 	// DriftCycleStatus reports a sketch's controller cycle state.
 	DriftCycleStatus = drift.CycleStatus
+	// PinnedBenchmark is a frozen labeled workload the drift controller
+	// evaluates every refresh candidate against before its canary starts —
+	// the held-out judgment set an adaptive feedback source cannot steer.
+	PinnedBenchmark = drift.PinnedBenchmark
+	// PinnedResult is one pinned-benchmark rail judgment.
+	PinnedResult = drift.PinnedResult
 )
+
+// DefaultPinnedMaxRegress is the default pinned-rail tolerance.
+const DefaultPinnedMaxRegress = drift.DefaultPinnedMaxRegress
 
 // NewDriftMonitor returns a drift monitor that obtains ground truth from
 // truth — TruthEstimator(d) for exact counts, PostgresEstimator(d) for a
@@ -353,6 +362,23 @@ func NewDriftController(reg *SketchRegistry, mon *DriftMonitor, cfg DriftControl
 // flowing through it to the drift monitor. Stack it between the cache and
 // the backend so cache hits are not re-counted.
 func ObserveEstimates(e Estimator, m *DriftMonitor) Estimator { return drift.Observe(e, m) }
+
+// NewPinnedBenchmark freezes a labeled workload as a pinned benchmark.
+func NewPinnedBenchmark(labeled []LabeledQuery) *PinnedBenchmark {
+	return drift.NewPinnedBenchmark(labeled)
+}
+
+// WritePinnedBenchmarkFile atomically persists a pinned benchmark's
+// labeled workload to path in the workload CSV format.
+func WritePinnedBenchmarkFile(path string, labeled []LabeledQuery) error {
+	return drift.WritePinnedBenchmarkFile(path, labeled)
+}
+
+// LoadPinnedBenchmarkFile loads a pinned benchmark persisted by
+// WritePinnedBenchmarkFile, validating its queries against d's schema.
+func LoadPinnedBenchmarkFile(d *DB, path string) (*PinnedBenchmark, error) {
+	return drift.LoadPinnedBenchmarkFile(d, path)
+}
 
 // Refresh warm-start retrains a sketch on a labeled drift-delta workload
 // and returns the refreshed sketch; the input sketch keeps serving

@@ -1,0 +1,125 @@
+// Package attack implements adaptive adversaries against the serving
+// stack: strategies that drive an estimator interactively, choosing each
+// next action as a function of the estimates that came back.
+//
+// The threat model follows the adaptive-input analyses of cardinality
+// sketches — "Cardinality Sketches under Adaptive Inputs" (Ahmadian &
+// Cohen, 2024) and "One Attack to Rule Them All: Finding Many Sparse
+// Solutions to Sparse Linear Systems" (Cohen et al.) — transposed to this
+// repository's closed drift loop. Every channel the loop exposes is an
+// attack surface:
+//
+//   - Estimates themselves leak the model (boundary-hunting: binary-search
+//     a predicate range toward the query region where the model is most
+//     wrong — the papers' "mass finding").
+//   - The logged-actuals ingest path steers the drift windows AND the
+//     WAL-derived refresh workload (poisoning: report inflated actuals so
+//     the loop retrains on garbage and promotes a degraded model).
+//   - Estimate.Version tags leak the canary hash split (probing: find the
+//     canary arm, then concentrate load on it to skew the comparative
+//     gate's sample).
+//
+// Strategies are deterministic from a seed and report a Transcript —
+// every query, the estimate that came back, and the achieved q-error
+// trajectory — so tests can make exact assertions about what an adversary
+// achieved. The package exists for the repository's own stress suite: the
+// headline E2E drives a poisoner against the full serving stack and
+// asserts the pinned-benchmark rail (internal/drift) stops the promotion
+// the adversary engineered.
+package attack
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"deepsketch/internal/db"
+	"deepsketch/internal/estimator"
+	"deepsketch/internal/wal"
+)
+
+// Target is the adversary's view of a deployment: exactly the surfaces a
+// real client sees, nothing more. Strategies never touch registries,
+// monitors or WALs directly — everything flows through these three
+// functions, so the same strategy runs against a library-level stack or a
+// live daemon.
+type Target struct {
+	// Estimate serves one query, exactly like GET /estimate: the returned
+	// Estimate carries the Version tag the router answered with. Required.
+	Estimate func(ctx context.Context, q db.Query) (estimator.Estimate, error)
+	// PostActual reports an observed actual for a query, mirroring
+	// POST /api/sketches/{id}/actuals: the deployment applies admission
+	// control and returns the decision. Nil for targets without an ingest
+	// path (only the poisoner needs it).
+	PostActual func(ctx context.Context, q db.Query, actual float64, client string) (wal.Decision, error)
+	// Truth executes a query exactly — the adversary running its own
+	// queries for real, which any database client can. Nil when a strategy
+	// does not grade its own probes (only the boundary-hunter needs it).
+	Truth func(q db.Query) (float64, error)
+}
+
+// Step is one probe in a strategy transcript.
+type Step struct {
+	// SQL and Signature identify the query probed.
+	SQL       string `json:"sql"`
+	Signature string `json:"signature"`
+	// Estimate and Version are what the target answered.
+	Estimate float64 `json:"estimate"`
+	Version  int     `json:"version"`
+	// Actual is the true cardinality when the strategy obtained one
+	// (boundary-hunter), or the value it reported (poisoner).
+	Actual float64 `json:"actual,omitempty"`
+	// Decision is the admission verdict for posted actuals ("" otherwise).
+	Decision string `json:"decision,omitempty"`
+	// QError is the q-error this step achieved (or, for the poisoner, the
+	// apparent q-error it injected into the target's windows).
+	QError float64 `json:"q_error,omitempty"`
+}
+
+// Transcript is a strategy's full interaction record: deterministic from
+// the strategy's seed, it is both the test assertion surface and the
+// artifact a CI stress job uploads on failure.
+type Transcript struct {
+	Strategy string `json:"strategy"`
+	Seed     int64  `json:"seed"`
+	Steps    []Step `json:"steps"`
+	// MaxQ is the worst (largest) q-error achieved across steps.
+	MaxQ float64 `json:"max_q"`
+	// Admitted/Sampled/Capped count the poisoner's admission outcomes.
+	Admitted int `json:"admitted,omitempty"`
+	Sampled  int `json:"sampled,omitempty"`
+	Capped   int `json:"capped,omitempty"`
+	// Detected and TargetArm report the canary-prober's split discovery:
+	// whether two serving versions were observed, and the arm (version) it
+	// concentrated on.
+	Detected  bool `json:"detected,omitempty"`
+	TargetArm int  `json:"target_arm,omitempty"`
+}
+
+// add appends a step and folds its q-error into the trajectory maximum.
+func (t *Transcript) add(s Step) {
+	t.Steps = append(t.Steps, s)
+	if !math.IsNaN(s.QError) && !math.IsInf(s.QError, 0) && s.QError > t.MaxQ {
+		t.MaxQ = s.QError
+	}
+}
+
+// Strategy is one adaptive adversary: Run drives the target until its
+// budget is spent and returns the transcript. Implementations are
+// deterministic from their configured seed.
+type Strategy interface {
+	Name() string
+	Run(ctx context.Context, tgt Target) (*Transcript, error)
+}
+
+// sqlOf renders a query for the transcript; strategies probe queries they
+// constructed themselves, so rendering cannot fail.
+func sqlOf(q db.Query) string { return q.SQL(nil) }
+
+// requireEstimate validates the one surface every strategy needs.
+func requireEstimate(tgt Target, strategy string) error {
+	if tgt.Estimate == nil {
+		return fmt.Errorf("attack: %s target has no Estimate surface", strategy)
+	}
+	return nil
+}

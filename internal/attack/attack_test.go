@@ -1,0 +1,266 @@
+package attack
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"testing"
+	"time"
+
+	"deepsketch/internal/db"
+	"deepsketch/internal/estimator"
+	"deepsketch/internal/router"
+	"deepsketch/internal/wal"
+)
+
+// probeQuery is the canonical single-table probe with a tunable predicate.
+func probeQuery(i int64) db.Query {
+	return db.Query{
+		Tables: []db.TableRef{{Table: "title", Alias: "t"}},
+		Preds:  []db.Predicate{{Alias: "t", Col: "production_year", Op: db.OpGt, Val: i}},
+	}
+}
+
+// pool returns n distinct probe queries. The predicate values stride by a
+// prime: FNV-1a is not avalanche-complete, so signatures differing only in
+// a trailing digit fall into long same-arm runs under the canary split —
+// sequential values would put the whole pool in one arm.
+func pool(n int) []db.Query {
+	qs := make([]db.Query, n)
+	for i := range qs {
+		qs[i] = probeQuery(int64(1900 + i*1237))
+	}
+	return qs
+}
+
+// transcriptJSON canonicalizes a transcript for equality assertions.
+func transcriptJSON(t *testing.T, tr *Transcript) string {
+	t.Helper()
+	b, err := json.Marshal(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// runTwice runs a freshly built strategy against freshly built targets and
+// asserts byte-identical transcripts — the determinism contract.
+func runTwice(t *testing.T, build func() (Strategy, Target)) *Transcript {
+	t.Helper()
+	var first *Transcript
+	var firstJSON string
+	for run := 0; run < 2; run++ {
+		s, tgt := build()
+		tr, err := s.Run(context.Background(), tgt)
+		if err != nil {
+			t.Fatalf("run %d: %v", run, err)
+		}
+		if run == 0 {
+			first, firstJSON = tr, transcriptJSON(t, tr)
+			continue
+		}
+		if got := transcriptJSON(t, tr); got != firstJSON {
+			t.Fatalf("transcripts differ between identical runs:\n  run 0: %s\n  run 1: %s", firstJSON, got)
+		}
+	}
+	return first
+}
+
+// TestBoundaryHunterFindsErrorCliff sets up a model that is exact below a
+// hidden threshold and 1000× off above it; the hunter must bisect to the
+// cliff without exhausting its budget on a linear scan.
+func TestBoundaryHunterFindsErrorCliff(t *testing.T) {
+	const cliff = 1973
+	truth := func(q db.Query) (float64, error) {
+		return float64(2100 - q.Preds[0].Val), nil // shrinking range count
+	}
+	model := func(ctx context.Context, q db.Query) (estimator.Estimate, error) {
+		c, _ := truth(q)
+		if q.Preds[0].Val > cliff {
+			c *= 1000 // the region the training data never covered
+		}
+		return estimator.Estimate{Cardinality: c, Version: 1}, nil
+	}
+
+	tr := runTwice(t, func() (Strategy, Target) {
+		h := NewBoundaryHunter(BoundaryHunterConfig{
+			Seed: 7, Base: probeQuery(0), Lo: 1900, Hi: 2050, Budget: 16,
+		})
+		return h, Target{Estimate: model, Truth: truth}
+	})
+
+	if len(tr.Steps) > 16 {
+		t.Fatalf("hunter spent %d probes, budget 16", len(tr.Steps))
+	}
+	if tr.MaxQ < 1000 {
+		t.Fatalf("hunter peaked at q-error %.1f, want ≥ 1000 (the cliff region)", tr.MaxQ)
+	}
+	if len(tr.Steps) < 6 {
+		t.Fatalf("hunter stopped after %d probes, want a real bisection trail", len(tr.Steps))
+	}
+	// Bisection concentrates in the high-error region: after probing both
+	// endpoints, every remaining probe must land past the cliff (the first
+	// midpoint of [1900, 2050] is already above it and the bracket never
+	// leaves).
+	inCliff := 0
+	for _, s := range tr.Steps {
+		if s.QError >= 1000 {
+			inCliff++
+		}
+	}
+	if inCliff < len(tr.Steps)-1 {
+		t.Fatalf("only %d/%d probes hit the cliff region — a bisecting hunter wastes at most the low endpoint", inCliff, len(tr.Steps))
+	}
+	if tr.Strategy != "boundary-hunter" || tr.Seed != 7 {
+		t.Fatalf("transcript header = %q seed %d", tr.Strategy, tr.Seed)
+	}
+}
+
+func TestBoundaryHunterValidation(t *testing.T) {
+	ctx := context.Background()
+	est := func(context.Context, db.Query) (estimator.Estimate, error) { return estimator.Estimate{}, nil }
+	truth := func(db.Query) (float64, error) { return 1, nil }
+	cases := []struct {
+		name string
+		cfg  BoundaryHunterConfig
+		tgt  Target
+	}{
+		{"no estimate surface", BoundaryHunterConfig{Base: probeQuery(0), Hi: 1}, Target{Truth: truth}},
+		{"no truth surface", BoundaryHunterConfig{Base: probeQuery(0), Hi: 1}, Target{Estimate: est}},
+		{"bad pred index", BoundaryHunterConfig{Base: probeQuery(0), PredIndex: 3, Hi: 1}, Target{Estimate: est, Truth: truth}},
+		{"empty range", BoundaryHunterConfig{Base: probeQuery(0), Lo: 10, Hi: 5}, Target{Estimate: est, Truth: truth}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := NewBoundaryHunter(tc.cfg).Run(ctx, tc.tgt); err == nil {
+				t.Error("Run succeeded, want error")
+			}
+		})
+	}
+}
+
+// TestPoisonerTracksEstimatesWithinBudget drives the poisoner against a
+// fake deployment with a real Admitter and asserts the adaptive property:
+// every posted actual is exactly the current estimate × Inflate, and the
+// admission counters in the transcript match the admitter's own.
+func TestPoisonerTracksEstimatesWithinBudget(t *testing.T) {
+	qs := pool(10)
+	build := func() (Strategy, Target) {
+		adm := wal.NewAdmitter(wal.AdmitConfig{PerClientPerMin: 12, SampleEvery: 2})
+		now := time.Unix(0, 0) // deterministic admission clock
+		var served float64 = 100
+		tgt := Target{
+			Estimate: func(ctx context.Context, q db.Query) (estimator.Estimate, error) {
+				served += 1 // drifting model answer: poison must track it
+				return estimator.Estimate{Cardinality: served, Version: 1}, nil
+			},
+			PostActual: func(ctx context.Context, q db.Query, actual float64, client string) (wal.Decision, error) {
+				return adm.Admit(client, now), nil
+			},
+		}
+		p := NewPoisoner(PoisonerConfig{Seed: 3, Queries: qs, Inflate: 64, Budget: 40, Client: "mallory"})
+		return p, tgt
+	}
+	tr := runTwice(t, build)
+
+	if len(tr.Steps) != 40 {
+		t.Fatalf("poisoner took %d steps, budget 40", len(tr.Steps))
+	}
+	for i, s := range tr.Steps {
+		if want := math.Max(1, s.Estimate*64); s.Actual != want {
+			t.Fatalf("step %d posted %.1f for estimate %.1f, want estimate × 64 = %.1f", i, s.Actual, s.Estimate, want)
+		}
+		if s.QError < 63.9 || s.QError > 64.1 {
+			t.Fatalf("step %d injected apparent q-error %.2f, want ≈ Inflate", i, s.QError)
+		}
+	}
+	// SampleEvery 2 admits every 2nd attempt until the 12-token bucket
+	// drains, then caps: 40 attempts → 20 pass sampling → 12 admitted,
+	// 8 capped, 20 sampled.
+	if tr.Admitted != 12 || tr.Sampled != 20 || tr.Capped != 8 {
+		t.Fatalf("admission counts admitted=%d sampled=%d capped=%d, want 12/20/8", tr.Admitted, tr.Sampled, tr.Capped)
+	}
+	if tr.MaxQ < 63.9 {
+		t.Fatalf("MaxQ = %.2f, want the injected Inflate", tr.MaxQ)
+	}
+}
+
+func TestPoisonerStopOnCap(t *testing.T) {
+	qs := pool(4)
+	adm := wal.NewAdmitter(wal.AdmitConfig{PerClientPerMin: 3})
+	now := time.Unix(0, 0)
+	tgt := Target{
+		Estimate: func(context.Context, db.Query) (estimator.Estimate, error) {
+			return estimator.Estimate{Cardinality: 10, Version: 1}, nil
+		},
+		PostActual: func(_ context.Context, _ db.Query, _ float64, client string) (wal.Decision, error) {
+			return adm.Admit(client, now), nil
+		},
+	}
+	p := NewPoisoner(PoisonerConfig{Seed: 1, Queries: qs, Budget: 100, StopOnCap: true})
+	tr, err := p.Run(context.Background(), tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Capped != 1 || len(tr.Steps) != 4 {
+		t.Fatalf("StopOnCap run: %d steps, %d capped — want to stop at the first cap (4 steps)", len(tr.Steps), tr.Capped)
+	}
+}
+
+// TestCanaryProberFindsSplitArm serves version 2 for exactly the queries
+// the real router's hash split sends to a 30% canary; the prober must
+// detect the split, pick arm 2, and spend its remaining budget there.
+func TestCanaryProberFindsSplitArm(t *testing.T) {
+	qs := pool(40)
+	const fraction = 0.3
+	versionOf := func(q db.Query) int {
+		if router.CanarySplit(q.Signature(), fraction) {
+			return 2
+		}
+		return 1
+	}
+	build := func() (Strategy, Target) {
+		tgt := Target{
+			Estimate: func(_ context.Context, q db.Query) (estimator.Estimate, error) {
+				return estimator.Estimate{Cardinality: 50, Version: versionOf(q)}, nil
+			},
+		}
+		return NewCanaryProber(CanaryProberConfig{Seed: 9, Queries: qs, Budget: 100}), tgt
+	}
+	tr := runTwice(t, build)
+
+	if !tr.Detected || tr.TargetArm != 2 {
+		t.Fatalf("prober detected=%v arm=%d, want the v2 canary arm", tr.Detected, tr.TargetArm)
+	}
+	if len(tr.Steps) != 100 {
+		t.Fatalf("prober took %d steps, budget 100", len(tr.Steps))
+	}
+	// Phase 1 is one probe per pool query; every phase-2 step must land on
+	// the canary arm.
+	for i, s := range tr.Steps[len(qs):] {
+		if s.Version != 2 {
+			t.Fatalf("phase-2 step %d hit version %d — concentration failed", i, s.Version)
+		}
+	}
+}
+
+// Without a canary there is no split to find: the prober reports
+// undetected and does not burn phase-2 budget.
+func TestCanaryProberNoSplit(t *testing.T) {
+	qs := pool(12)
+	tgt := Target{
+		Estimate: func(context.Context, db.Query) (estimator.Estimate, error) {
+			return estimator.Estimate{Cardinality: 50, Version: 1}, nil
+		},
+	}
+	tr, err := NewCanaryProber(CanaryProberConfig{Seed: 2, Queries: qs, Budget: 60}).Run(context.Background(), tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Detected || tr.TargetArm != 1 {
+		t.Fatalf("detected=%v arm=%d on a split-free target, want undetected arm 1", tr.Detected, tr.TargetArm)
+	}
+	if len(tr.Steps) != len(qs) {
+		t.Fatalf("prober took %d steps with no split, want phase 1 only (%d)", len(tr.Steps), len(qs))
+	}
+}

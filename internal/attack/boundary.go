@@ -1,0 +1,126 @@
+package attack
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+
+	"deepsketch/internal/db"
+	"deepsketch/internal/metrics"
+)
+
+// BoundaryHunterConfig parameterizes a BoundaryHunter.
+type BoundaryHunterConfig struct {
+	// Seed makes the hunt deterministic (it breaks score ties).
+	Seed int64
+	// Base is the query template; the hunter owns the value of its
+	// predicate PredIndex (which must compare an integer column) and
+	// binary-searches it over [Lo, Hi].
+	Base      db.Query
+	PredIndex int
+	Lo, Hi    int64
+	// Budget caps the number of probes (estimate + truth pairs); <= 0
+	// defaults to 24 — enough to bisect any 64-bit range.
+	Budget int
+}
+
+// BoundaryHunter is the estimate-guided "mass finding" strategy of the
+// adaptive-input attack papers: it binary-searches a predicate range
+// toward the threshold value where the model's q-error is maximal. Each
+// probe estimates a query, executes it for real (Target.Truth — any
+// client can), and recurses into the half of the range whose endpoint
+// shows the larger error. Against a model trained on a narrow value
+// distribution this walks straight to the decision boundary the training
+// data never covered.
+type BoundaryHunter struct {
+	cfg BoundaryHunterConfig
+}
+
+// NewBoundaryHunter returns the strategy; Run may be called repeatedly
+// and produces an identical transcript each time.
+func NewBoundaryHunter(cfg BoundaryHunterConfig) *BoundaryHunter {
+	if cfg.Budget <= 0 {
+		cfg.Budget = 24
+	}
+	return &BoundaryHunter{cfg: cfg}
+}
+
+// Name implements Strategy.
+func (h *BoundaryHunter) Name() string { return "boundary-hunter" }
+
+// Run implements Strategy.
+func (h *BoundaryHunter) Run(ctx context.Context, tgt Target) (*Transcript, error) {
+	if err := requireEstimate(tgt, h.Name()); err != nil {
+		return nil, err
+	}
+	if tgt.Truth == nil {
+		return nil, fmt.Errorf("attack: boundary-hunter target has no Truth surface")
+	}
+	if h.cfg.PredIndex < 0 || h.cfg.PredIndex >= len(h.cfg.Base.Preds) {
+		return nil, fmt.Errorf("attack: boundary-hunter PredIndex %d outside base predicates 0..%d",
+			h.cfg.PredIndex, len(h.cfg.Base.Preds)-1)
+	}
+	if h.cfg.Lo > h.cfg.Hi {
+		return nil, fmt.Errorf("attack: boundary-hunter range [%d, %d] is empty", h.cfg.Lo, h.cfg.Hi)
+	}
+	tr := &Transcript{Strategy: h.Name(), Seed: h.cfg.Seed}
+	rng := rand.New(rand.NewSource(h.cfg.Seed))
+	budget := h.cfg.Budget
+
+	probe := func(v int64) (float64, error) {
+		q := h.cfg.Base.Clone()
+		q.Preds[h.cfg.PredIndex].Val = v
+		est, err := tgt.Estimate(ctx, q)
+		if err != nil {
+			return 0, err
+		}
+		truth, err := tgt.Truth(q)
+		if err != nil {
+			return 0, err
+		}
+		qerr := metrics.QError(est.Cardinality, truth)
+		tr.add(Step{
+			SQL: sqlOf(q), Signature: q.Signature(),
+			Estimate: est.Cardinality, Version: est.Version,
+			Actual: truth, QError: qerr,
+		})
+		budget--
+		return qerr, nil
+	}
+
+	lo, hi := h.cfg.Lo, h.cfg.Hi
+	qlo, err := probe(lo)
+	if err != nil {
+		return tr, err
+	}
+	if hi == lo {
+		return tr, nil
+	}
+	qhi, err := probe(hi)
+	if err != nil {
+		return tr, err
+	}
+	// Bisect toward the endpoint with the larger observed q-error: the
+	// midpoint replaces the weaker endpoint, shrinking the range around
+	// the region of maximal model error.
+	for budget > 0 && hi-lo > 1 {
+		if err := ctx.Err(); err != nil {
+			return tr, err
+		}
+		mid := lo + (hi-lo)/2
+		qm, err := probe(mid)
+		if err != nil {
+			return tr, err
+		}
+		keepHigh := qhi > qlo
+		if qhi == qlo {
+			keepHigh = rng.Intn(2) == 1 // deterministic tie-break from the seed
+		}
+		if keepHigh {
+			lo, qlo = mid, qm
+		} else {
+			hi, qhi = mid, qm
+		}
+	}
+	return tr, nil
+}

@@ -1,0 +1,119 @@
+package attack
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"deepsketch/internal/db"
+	"deepsketch/internal/metrics"
+	"deepsketch/internal/wal"
+)
+
+// PoisonerConfig parameterizes a Poisoner.
+type PoisonerConfig struct {
+	// Seed orders the query pool deterministically.
+	Seed int64
+	// Queries is the pool the poisoner reports fabricated actuals for. It
+	// cycles through a seeded shuffle of the pool until Budget is spent.
+	Queries []db.Query
+	// Inflate scales the target's own estimate into the fabricated actual
+	// (estimate × Inflate, clamped to ≥ 1); <= 0 defaults to 64. Values in
+	// (0, 1) deflate instead — both directions drag the drift windows.
+	Inflate float64
+	// Budget caps the number of posted actuals; <= 0 defaults to
+	// 4 × len(Queries).
+	Budget int
+	// Client is the identity presented to admission control ("" defaults
+	// to "adversary").
+	Client string
+	// StopOnCap ends the run at the first Capped decision instead of
+	// burning the rest of the budget against a closed gate.
+	StopOnCap bool
+}
+
+// Poisoner is the feedback-channel attack: it estimates a query, then
+// reports estimate × Inflate as the "observed" actual through the same
+// ingest path an honest client uses. The fabricated actual is adaptive —
+// it tracks whatever the model currently answers, so every admitted post
+// lands in the drift window with an apparent q-error of exactly Inflate,
+// dragging the median toward the refresh trigger. Because the WAL journals
+// admitted actuals and the refresh workload is derived from them, the same
+// posts also corrupt the labels the next model trains on: the loop is the
+// attack surface.
+type Poisoner struct {
+	cfg PoisonerConfig
+}
+
+// NewPoisoner returns the strategy; Run produces an identical transcript
+// for identical target behavior.
+func NewPoisoner(cfg PoisonerConfig) *Poisoner {
+	if cfg.Inflate <= 0 {
+		cfg.Inflate = 64
+	}
+	if cfg.Budget <= 0 {
+		cfg.Budget = 4 * len(cfg.Queries)
+	}
+	if cfg.Client == "" {
+		cfg.Client = "adversary"
+	}
+	return &Poisoner{cfg: cfg}
+}
+
+// Name implements Strategy.
+func (p *Poisoner) Name() string { return "actuals-poisoner" }
+
+// Run implements Strategy.
+func (p *Poisoner) Run(ctx context.Context, tgt Target) (*Transcript, error) {
+	if err := requireEstimate(tgt, p.Name()); err != nil {
+		return nil, err
+	}
+	if tgt.PostActual == nil {
+		return nil, fmt.Errorf("attack: actuals-poisoner target has no PostActual surface")
+	}
+	if len(p.cfg.Queries) == 0 {
+		return nil, fmt.Errorf("attack: actuals-poisoner has an empty query pool")
+	}
+	tr := &Transcript{Strategy: p.Name(), Seed: p.cfg.Seed}
+	rng := rand.New(rand.NewSource(p.cfg.Seed))
+	order := rng.Perm(len(p.cfg.Queries))
+
+	for i := 0; i < p.cfg.Budget; i++ {
+		if err := ctx.Err(); err != nil {
+			return tr, err
+		}
+		q := p.cfg.Queries[order[i%len(order)]]
+		est, err := tgt.Estimate(ctx, q)
+		if err != nil {
+			return tr, err
+		}
+		poisoned := est.Cardinality * p.cfg.Inflate
+		if !(poisoned >= 1) || math.IsInf(poisoned, 0) { // catches NaN too
+			poisoned = 1
+		}
+		dec, err := tgt.PostActual(ctx, q, poisoned, p.cfg.Client)
+		if err != nil {
+			return tr, err
+		}
+		step := Step{
+			SQL: sqlOf(q), Signature: q.Signature(),
+			Estimate: est.Cardinality, Version: est.Version,
+			Actual: poisoned, Decision: dec.String(),
+			QError: metrics.QError(est.Cardinality, poisoned),
+		}
+		tr.add(step)
+		switch dec {
+		case wal.Admitted:
+			tr.Admitted++
+		case wal.Sampled:
+			tr.Sampled++
+		case wal.Capped:
+			tr.Capped++
+			if p.cfg.StopOnCap {
+				return tr, nil
+			}
+		}
+	}
+	return tr, nil
+}

@@ -1,0 +1,115 @@
+package attack
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+
+	"deepsketch/internal/db"
+)
+
+// CanaryProberConfig parameterizes a CanaryProber.
+type CanaryProberConfig struct {
+	// Seed orders the probe pool deterministically.
+	Seed int64
+	// Queries is the probe pool. The canary hash split is a pure function
+	// of the query signature, so a fixed pool partitions stably into arms.
+	Queries []db.Query
+	// Probe is the number of phase-1 probes used to map the split; <= 0
+	// defaults to len(Queries).
+	Probe int
+	// Budget caps total estimates across both phases; <= 0 defaults to
+	// 3 × len(Queries).
+	Budget int
+}
+
+// CanaryProber exploits the Version tag on every estimate: during a canary
+// the hash split deterministically routes a fraction of signatures to the
+// candidate, and the tag says which arm answered. Phase 1 probes the pool
+// once and partitions it by observed version; phase 2 concentrates the
+// remaining budget on the highest-version arm (the candidate), skewing
+// which queries populate the canary's comparative-gate window. A stable
+// split means the prober's phase-1 map keeps paying off for the whole
+// canary — which is exactly what the router's stability tests pin down.
+type CanaryProber struct {
+	cfg CanaryProberConfig
+}
+
+// NewCanaryProber returns the strategy; Run produces an identical
+// transcript for identical target behavior.
+func NewCanaryProber(cfg CanaryProberConfig) *CanaryProber {
+	if cfg.Probe <= 0 || cfg.Probe > len(cfg.Queries) {
+		cfg.Probe = len(cfg.Queries)
+	}
+	if cfg.Budget <= 0 {
+		cfg.Budget = 3 * len(cfg.Queries)
+	}
+	return &CanaryProber{cfg: cfg}
+}
+
+// Name implements Strategy.
+func (c *CanaryProber) Name() string { return "canary-prober" }
+
+// Run implements Strategy.
+func (c *CanaryProber) Run(ctx context.Context, tgt Target) (*Transcript, error) {
+	if err := requireEstimate(tgt, c.Name()); err != nil {
+		return nil, err
+	}
+	if len(c.cfg.Queries) == 0 {
+		return nil, fmt.Errorf("attack: canary-prober has an empty query pool")
+	}
+	tr := &Transcript{Strategy: c.Name(), Seed: c.cfg.Seed}
+	rng := rand.New(rand.NewSource(c.cfg.Seed))
+	order := rng.Perm(len(c.cfg.Queries))
+	budget := c.cfg.Budget
+
+	probe := func(q db.Query) (int, error) {
+		est, err := tgt.Estimate(ctx, q)
+		if err != nil {
+			return 0, err
+		}
+		tr.add(Step{
+			SQL: sqlOf(q), Signature: q.Signature(),
+			Estimate: est.Cardinality, Version: est.Version,
+		})
+		budget--
+		return est.Version, nil
+	}
+
+	// Phase 1: map the split — one probe per pool query, recording the
+	// version each signature routes to.
+	arms := map[int][]db.Query{}
+	for i := 0; i < c.cfg.Probe && budget > 0; i++ {
+		if err := ctx.Err(); err != nil {
+			return tr, err
+		}
+		q := c.cfg.Queries[order[i]]
+		v, err := probe(q)
+		if err != nil {
+			return tr, err
+		}
+		arms[v] = append(arms[v], q)
+	}
+	for v := range arms {
+		if v > tr.TargetArm {
+			tr.TargetArm = v
+		}
+	}
+	tr.Detected = len(arms) > 1
+
+	// Phase 2: concentrate the remaining budget on the candidate arm. If
+	// no split was observed there is nothing to concentrate on.
+	target := arms[tr.TargetArm]
+	if !tr.Detected || len(target) == 0 {
+		return tr, nil
+	}
+	for i := 0; budget > 0; i++ {
+		if err := ctx.Err(); err != nil {
+			return tr, err
+		}
+		if _, err := probe(target[i%len(target)]); err != nil {
+			return tr, err
+		}
+	}
+	return tr, nil
+}

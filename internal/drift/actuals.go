@@ -2,6 +2,7 @@ package drift
 
 import (
 	"context"
+	"math"
 
 	"deepsketch/internal/db"
 	"deepsketch/internal/estimator"
@@ -116,7 +117,13 @@ func (m *Monitor) ResolveActual(name, signature string, actual float64) (version
 		return 0, 0, 0, false
 	}
 	m.record(obs.name, obs.version, obs.estimate, actual, true)
-	return obs.version, obs.estimate, metrics.QError(obs.estimate, actual), true
+	qerr = metrics.QError(obs.estimate, actual)
+	if math.IsNaN(qerr) || math.IsInf(qerr, 0) {
+		// The window dropped this sample (see record); report 0 rather than
+		// a non-finite value callers would serialize into broken JSON.
+		qerr = 0
+	}
+	return obs.version, obs.estimate, qerr, true
 }
 
 // RestorePending re-parks an observation during WAL replay — no trigger
@@ -146,8 +153,19 @@ func (m *Monitor) RecordResolved(name string, version int, estimate, actual floa
 
 // record lands one resolved observation's q-error in the (name, version)
 // window; evaluate=true additionally runs the trigger thresholds.
+//
+// Zeros are safe — metrics.QError clamps both sides to ≥ 1, so an actual
+// of exactly 0 (an empty result a client really observed) or an estimate
+// of 0 grades as a finite q-error. Non-finite q-errors (a degenerate model
+// emitting NaN/Inf, an overflowed actual) are counted and dropped instead:
+// one NaN in the window makes every quantile of the sorted summary
+// undefined, silently disarming — or falsely arming — the drift triggers.
 func (m *Monitor) record(name string, version int, estimate, actual float64, evaluate bool) {
 	qerr := metrics.QError(estimate, actual)
+	if math.IsNaN(qerr) || math.IsInf(qerr, 0) {
+		m.badSamples.Add(1)
+		return
+	}
 	ns := m.state(name)
 	m.mu.Lock()
 	vw := ns.windowLocked(version, m.cfg.Window)

@@ -25,14 +25,20 @@ const (
 type Event struct {
 	// Name is the sketch the transition concerns.
 	Name string
-	// Kind is "refresh_started", "canary_started", "promoted", "aborted" or
-	// "error".
+	// Kind is "refresh_started", "canary_started", "promoted", "aborted",
+	// "pinned_rejected" or "error".
 	Kind string
 	// Version is the version the transition produced or judged (0 when not
-	// applicable).
+	// applicable). For "pinned_rejected" it is the base version that stays
+	// live — the rejected candidate never received a version number.
 	Version int
-	// Reason is the trigger that started the cycle.
+	// Reason is the trigger that started the cycle. For "pinned_rejected"
+	// it is instead the rail verdict (Kind "pinned_regress", Value the
+	// candidate's pinned median, Threshold the tolerated limit).
 	Reason Reason
+	// Pinned carries the full rail judgment for Kind "pinned_rejected"
+	// (and is nil otherwise).
+	Pinned *PinnedResult
 	// Err carries the failure for Kind "error".
 	Err error
 }
@@ -55,6 +61,17 @@ type ControllerConfig struct {
 	Epochs     int
 	StopAtValQ float64
 	Workers    int
+	// Pinned, when non-nil, is the held-out pinned-benchmark rail: before
+	// a refresh candidate's canary starts, the candidate is evaluated on
+	// this frozen labeled set against the live version, and the cycle
+	// aborts ("pinned_rejected") if it regresses beyond PinnedMaxRegress —
+	// even when the live windows, which an adaptive feedback source can
+	// steer, would later promote it.
+	Pinned *PinnedBenchmark
+	// PinnedMaxRegress is the rail tolerance: the candidate's pinned-set
+	// median and p95 q-error may each be at most this ratio × the live
+	// version's (<= 0: DefaultPinnedMaxRegress).
+	PinnedMaxRegress float64
 	// Workload produces the labeled drift-delta workload to fine-tune on —
 	// the daemon generates-and-labels over the sketch's tables; a test can
 	// hand back a fixed slice.
@@ -104,6 +121,10 @@ type CycleStatus struct {
 	BaseVersion int       `json:"base_version,omitempty"`
 	CanaryVer   int       `json:"canary_version,omitempty"`
 	LastError   string    `json:"last_error,omitempty"`
+	// Pinned is the most recent pinned-benchmark rail judgment for this
+	// sketch (nil when the rail is off or has not run); it outlives the
+	// cycle that produced it, like LastError.
+	Pinned *PinnedResult `json:"pinned,omitempty"`
 }
 
 // Controller closes the drift loop over a lifecycle registry: monitor
@@ -116,10 +137,11 @@ type Controller struct {
 	mon *Monitor
 	cfg ControllerConfig
 
-	mu      sync.Mutex
-	cycles  map[string]*cycle
-	lastErr map[string]string
-	ctx     context.Context
+	mu         sync.Mutex
+	cycles     map[string]*cycle
+	lastErr    map[string]string
+	lastPinned map[string]*PinnedResult
+	ctx        context.Context
 }
 
 // NewController wires a controller to the registry and monitor and
@@ -129,9 +151,10 @@ type Controller struct {
 func NewController(reg *lifecycle.Registry, mon *Monitor, cfg ControllerConfig) *Controller {
 	c := &Controller{
 		reg: reg, mon: mon, cfg: cfg.withDefaults(),
-		cycles:  make(map[string]*cycle),
-		lastErr: make(map[string]string),
-		ctx:     context.Background(),
+		cycles:     make(map[string]*cycle),
+		lastErr:    make(map[string]string),
+		lastPinned: make(map[string]*PinnedResult),
+		ctx:        context.Background(),
 	}
 	mon.OnTrigger(c.handleTrigger)
 	return c
@@ -175,9 +198,10 @@ func (c *Controller) handleTrigger(name string, r Reason) {
 	}
 }
 
-// runRefresh fine-tunes the live sketch on a delta workload and installs
-// the result as a canary; failures end the cycle with the live version
-// untouched.
+// runRefresh fine-tunes the live sketch on a delta workload, judges the
+// candidate against the pinned benchmark (when the rail is configured),
+// and only then installs it as a canary; failures and rail rejections end
+// the cycle with the live version untouched.
 func (c *Controller) runRefresh(ctx context.Context, name string, cy *cycle) {
 	fail := func(err error) {
 		c.mu.Lock()
@@ -195,16 +219,52 @@ func (c *Controller) runRefresh(ctx context.Context, name string, cy *cycle) {
 		fail(fmt.Errorf("drift: delta workload for %q: %w", name, err))
 		return
 	}
-	ver, _, err := c.reg.Refresh(ctx, lifecycle.RefreshOptions{
+	cand, err := c.reg.RefreshCandidate(ctx, lifecycle.RefreshOptions{
 		Name: name, Workload: labeled,
 		Epochs: c.cfg.Epochs, StopAtValQ: c.cfg.StopAtValQ, Workers: c.cfg.Workers,
-		Canary: c.cfg.CanaryFraction,
 	})
 	if err != nil {
 		fail(fmt.Errorf("drift: refresh of %q: %w", name, err))
 		return
 	}
 	c.mon.MarkRefreshed(name)
+	// The pinned rail judges the candidate BEFORE the canary starts: the
+	// delta workload and the live windows both come from observed traffic,
+	// the one channel an adaptive feedback source controls, so a candidate
+	// that merely echoes poisoned feedback must be stopped here — the
+	// comparative canary gate downstream would grade it against the same
+	// poisoned windows and wave it through.
+	if c.cfg.Pinned != nil && c.cfg.Pinned.Len() > 0 {
+		liveSk, _, lerr := c.reg.Live(name)
+		if lerr != nil {
+			fail(fmt.Errorf("drift: pinned rail for %q: %w", name, lerr))
+			return
+		}
+		res, jerr := c.cfg.Pinned.Judge(ctx, liveSk, cand, c.cfg.PinnedMaxRegress)
+		if jerr != nil {
+			fail(fmt.Errorf("drift: pinned rail for %q: %w", name, jerr))
+			return
+		}
+		c.mu.Lock()
+		c.lastPinned[name] = &res
+		if !res.Pass {
+			delete(c.cycles, name)
+		}
+		c.mu.Unlock()
+		if !res.Pass {
+			c.emit(Event{
+				Name: name, Kind: "pinned_rejected", Version: cy.baseVersion,
+				Reason: Reason{Kind: "pinned_regress", Value: res.Candidate.Median, Threshold: res.Live.Median * res.MaxRegress},
+				Pinned: &res,
+			})
+			return
+		}
+	}
+	ver, err := c.reg.StartCanary(name, cand, c.cfg.CanaryFraction)
+	if err != nil {
+		fail(fmt.Errorf("drift: canary of %q: %w", name, err))
+		return
+	}
 	c.mu.Lock()
 	cy.state = StateCanarying
 	cy.canaryVer = ver
@@ -335,7 +395,7 @@ func (c *Controller) Run(ctx context.Context, interval time.Duration) {
 func (c *Controller) Cycle(name string) CycleStatus {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	st := CycleStatus{State: StateIdle, LastError: c.lastErr[name]}
+	st := CycleStatus{State: StateIdle, LastError: c.lastErr[name], Pinned: c.lastPinned[name]}
 	if cy, ok := c.cycles[name]; ok {
 		r := cy.reason
 		st.State = cy.state

@@ -180,6 +180,7 @@ type Monitor struct {
 	truthErrs      atomic.Uint64
 	unmatched      atomic.Uint64 // ResolveActual calls with no parked match
 	pendingEvicted atomic.Uint64 // parked observations evicted at capacity
+	badSamples     atomic.Uint64 // resolved pairs with a non-finite q-error, dropped
 }
 
 // NewMonitor returns a monitor that obtains ground truth from truth — the
@@ -401,11 +402,12 @@ type Status struct {
 	Name        string         `json:"name"`
 	Observed    uint64         `json:"observed"`
 	Sampled     uint64         `json:"sampled"`
-	Dropped     uint64         `json:"dropped"`           // monitor-wide queue-full drops
-	TruthErrors uint64         `json:"truth_errors"`      // monitor-wide ground-truth failures
-	Pending     int            `json:"pending"`           // parked observations awaiting an actual
-	Unmatched   uint64         `json:"unmatched"`         // monitor-wide actuals with no parked match
-	Evicted     uint64         `json:"evicted,omitempty"` // monitor-wide pending evictions at capacity
+	Dropped     uint64         `json:"dropped"`               // monitor-wide queue-full drops
+	TruthErrors uint64         `json:"truth_errors"`          // monitor-wide ground-truth failures
+	Pending     int            `json:"pending"`               // parked observations awaiting an actual
+	Unmatched   uint64         `json:"unmatched"`             // monitor-wide actuals with no parked match
+	Evicted     uint64         `json:"evicted,omitempty"`     // monitor-wide pending evictions at capacity
+	BadSamples  uint64         `json:"bad_samples,omitempty"` // monitor-wide non-finite q-errors dropped
 	Versions    []VersionStats `json:"versions,omitempty"`
 	LastTrigger *Reason        `json:"last_trigger,omitempty"`
 	LastRefresh time.Time      `json:"last_refresh"`
@@ -417,7 +419,8 @@ func (m *Monitor) Status(name string) Status {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	st := Status{Name: name, Dropped: m.dropped.Load(), TruthErrors: m.truthErrs.Load(),
-		Unmatched: m.unmatched.Load(), Evicted: m.pendingEvicted.Load()}
+		Unmatched: m.unmatched.Load(), Evicted: m.pendingEvicted.Load(),
+		BadSamples: m.badSamples.Load()}
 	for key := range m.pending {
 		if key.name == name {
 			st.Pending++

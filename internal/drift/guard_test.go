@@ -1,0 +1,89 @@
+package drift
+
+import (
+	"context"
+	"math"
+	"testing"
+)
+
+// Regression tests for the q-error guard on the resolved-observation path:
+// zeros grade as finite q-errors (QError clamps both sides to ≥ 1), and
+// non-finite pairs are counted and dropped instead of poisoning the
+// window's sorted quantiles. The adversary harness generates exactly these
+// inputs — empty-result queries report an actual of 0, and a degraded
+// model can emit NaN.
+func TestMonitorZeroActualAndEstimateGuard(t *testing.T) {
+	m := NewMonitor(Config{SampleEvery: 1, Window: 16, MinSamples: 100}, nil)
+
+	m.RecordResolved("s", 1, 100, 0) // empty result observed: qerr = 100/1
+	m.RecordResolved("s", 1, 0, 50)  // zero estimate served: qerr = 50/1
+	m.RecordResolved("s", 1, 0, 0)   // both zero: qerr = 1
+
+	sum, n, ok := m.Summary("s", 1)
+	if !ok || n != 3 {
+		t.Fatalf("window has %d samples (ok=%v), want 3 — zeros must land as finite q-errors", n, ok)
+	}
+	for _, v := range []float64{sum.Median, sum.P95, sum.Max} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("non-finite summary statistic after zero-valued pairs: %+v", sum)
+		}
+	}
+	if sum.Max != 100 || sum.Median != 50 {
+		t.Errorf("summary = %+v, want max 100 median 50", sum)
+	}
+	if st := m.Status("s"); st.BadSamples != 0 {
+		t.Errorf("BadSamples = %d after valid zeros, want 0", st.BadSamples)
+	}
+}
+
+func TestMonitorNonFiniteSamplesDropped(t *testing.T) {
+	m := NewMonitor(Config{SampleEvery: 1, Window: 16, MinSamples: 100}, nil)
+	m.RecordResolved("s", 1, 100, 100) // one clean sample, qerr 1
+
+	m.RecordResolved("s", 1, math.NaN(), 100)
+	m.RecordResolved("s", 1, math.Inf(1), 100)
+	m.RecordResolved("s", 1, 100, math.Inf(1))
+	m.RecordResolved("s", 1, math.NaN(), math.NaN())
+
+	sum, n, ok := m.Summary("s", 1)
+	if !ok || n != 1 {
+		t.Fatalf("window has %d samples (ok=%v), want 1 — non-finite pairs must be dropped", n, ok)
+	}
+	if sum.Median != 1 {
+		t.Errorf("median = %g, want 1 (the clean sample only)", sum.Median)
+	}
+	if st := m.Status("s"); st.BadSamples != 4 {
+		t.Errorf("BadSamples = %d, want 4", st.BadSamples)
+	}
+}
+
+// The ingest path end to end: a parked NaN estimate resolved by a real
+// actual must not corrupt the window, and the returned q-error must stay
+// finite (callers serialize it into JSON responses).
+func TestResolveActualNonFiniteEstimate(t *testing.T) {
+	m := NewMonitor(Config{SampleEvery: 1, Window: 16, MinSamples: 100}, nil)
+	ctx := context.Background()
+
+	m.Observe("s", 1, probeQuery(1), math.NaN())
+	m.Observe("s", 1, probeQuery(2), 200)
+	m.Drain(ctx)
+
+	ver, _, qerr, matched := m.ResolveActual("s", probeQuery(1).Signature(), 100)
+	if !matched || ver != 1 {
+		t.Fatalf("ResolveActual(NaN estimate) matched=%v ver=%d, want matched v1", matched, ver)
+	}
+	if math.IsNaN(qerr) || math.IsInf(qerr, 0) {
+		t.Fatalf("ResolveActual returned non-finite q-error %v", qerr)
+	}
+	if _, _, qerr, matched = m.ResolveActual("s", probeQuery(2).Signature(), 0); !matched || qerr != 200 {
+		t.Fatalf("ResolveActual(actual=0) qerr=%v matched=%v, want 200 matched", qerr, matched)
+	}
+
+	sum, n, ok := m.Summary("s", 1)
+	if !ok || n != 1 || sum.Median != 200 {
+		t.Fatalf("window n=%d median=%v (ok=%v), want exactly the finite sample (200)", n, sum.Median, ok)
+	}
+	if st := m.Status("s"); st.BadSamples != 1 {
+		t.Errorf("BadSamples = %d, want 1", st.BadSamples)
+	}
+}

@@ -586,6 +586,23 @@ type RefreshOptions struct {
 	Canary float64
 }
 
+// RefreshCandidate warm-start retrains the live version of o.Name on the
+// delta workload and returns the candidate WITHOUT installing it: no swap,
+// no canary, no new version number. It is the judgment seam of the refresh
+// path — a caller (the drift controller's pinned-benchmark rail, an
+// offline gate) evaluates the candidate first and only then installs it
+// via StartCanary or Swap. o.Canary is ignored. The live sketch serves
+// untouched throughout.
+func (g *Registry) RefreshCandidate(ctx context.Context, o RefreshOptions) (*core.Sketch, error) {
+	live, _, err := g.Live(o.Name)
+	if err != nil {
+		return nil, err
+	}
+	return core.Refresh(ctx, live, o.Workload, core.RefreshOptions{
+		Epochs: o.Epochs, StopAtValQ: o.StopAtValQ, Workers: o.Workers,
+	}, o.Monitor)
+}
+
 // Refresh warm-start retrains the live version of o.Name on the delta
 // workload and swaps the result in (or, with o.Canary set, installs it as
 // a canary at that traffic fraction), returning the new version number and
@@ -594,13 +611,7 @@ type RefreshOptions struct {
 // Two concurrent refreshes of one name both fine-tune from the version
 // that was live when they started, and the later swap wins.
 func (g *Registry) Refresh(ctx context.Context, o RefreshOptions) (int, *core.Sketch, error) {
-	live, _, err := g.Live(o.Name)
-	if err != nil {
-		return 0, nil, err
-	}
-	ns, err := core.Refresh(ctx, live, o.Workload, core.RefreshOptions{
-		Epochs: o.Epochs, StopAtValQ: o.StopAtValQ, Workers: o.Workers,
-	}, o.Monitor)
+	ns, err := g.RefreshCandidate(ctx, o)
 	if err != nil {
 		return 0, nil, err
 	}

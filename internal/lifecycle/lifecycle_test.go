@@ -318,3 +318,54 @@ func TestRegistryConcurrentMutations(t *testing.T) {
 	close(stop)
 	wg.Wait()
 }
+
+// RefreshCandidate is the judgment seam: it must train without touching
+// the registry in any way — no new version, no canary, live unchanged —
+// so a caller can reject the candidate at zero rollout cost.
+func TestRefreshCandidateTrainsWithoutInstalling(t *testing.T) {
+	d := fixture(t)
+	reg := New()
+	base := buildNamed(t, d, "imdb", 5)
+	if _, err := reg.Publish("imdb", base); err != nil {
+		t.Fatal(err)
+	}
+	delta := labelDelta(t, d, 23, 120)
+
+	cand, err := reg.RefreshCandidate(context.Background(), RefreshOptions{
+		Name: "imdb", Workload: delta, Epochs: 2, Workers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cand == nil || cand == base {
+		t.Fatal("RefreshCandidate must return a new trained sketch, not the live one")
+	}
+	if len(cand.Epochs) <= len(base.Epochs) {
+		t.Errorf("candidate has %d epoch records, want more than base's %d (warm fine-tune)", len(cand.Epochs), len(base.Epochs))
+	}
+
+	// Nothing installed: still v1 live, one version in history, no canary.
+	if live, lv, err := reg.Live("imdb"); err != nil || lv != 1 || live != base {
+		t.Fatalf("after RefreshCandidate: live v%d (%v), want untouched v1", lv, err)
+	}
+	if vs, err := reg.Versions("imdb"); err != nil || len(vs) != 1 {
+		t.Fatalf("version history has %d entries, want 1", len(vs))
+	}
+	if _, active := reg.Canary("imdb"); active {
+		t.Fatal("RefreshCandidate installed a canary")
+	}
+
+	// The candidate installs cleanly through the normal seam afterwards.
+	ver, err := reg.StartCanary("imdb", cand, 0.25)
+	if err != nil || ver != 2 {
+		t.Fatalf("StartCanary(candidate) = v%d, %v, want v2", ver, err)
+	}
+	if err := reg.AbortCanary("imdb"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Unknown names fail without training.
+	if _, err := reg.RefreshCandidate(context.Background(), RefreshOptions{Name: "nope", Workload: delta}); err == nil {
+		t.Error("RefreshCandidate of an unknown name succeeded")
+	}
+}

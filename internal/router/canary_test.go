@@ -6,8 +6,10 @@ import (
 	"math"
 	"testing"
 
+	"deepsketch/internal/attack"
 	"deepsketch/internal/datagen"
 	"deepsketch/internal/db"
+	"deepsketch/internal/estimator"
 )
 
 // TestCanarySplitStability: the split is a pure function of (signature,
@@ -29,6 +31,92 @@ func TestCanarySplitStability(t *testing.T) {
 	}
 	if !CanarySplit("anything", 1) || !CanarySplit("anything", 1.5) {
 		t.Error("fraction >= 1 must always select the canary")
+	}
+}
+
+// TestCanarySplitStabilityUnderAdaptiveProber drives the real attack-side
+// canary prober against the split across a rising fraction ladder. The
+// stability contract under an adaptive adversary: within a fraction no
+// signature ever flaps between arms (re-probing buys the prober nothing),
+// and across fractions membership moves strictly monotonically — a
+// signature that joined the canary at fraction f is in it at every f' > f,
+// so an operator widening a canary never silently swaps the probed arm out
+// from under the traffic an adversary (or a legit client) has concentrated.
+func TestCanarySplitStabilityUnderAdaptiveProber(t *testing.T) {
+	ctx := context.Background()
+	// Prime-strided predicate values: FNV-1a on near-identical signatures
+	// produces long same-arm runs, so sequential values would leave one arm
+	// empty at small fractions (see the attack package's pool helper).
+	pool := make([]db.Query, 64)
+	for i := range pool {
+		pool[i] = db.Query{
+			Tables: []db.TableRef{{Table: "title", Alias: "t"}},
+			Preds:  []db.Predicate{{Alias: "t", Col: "production_year", Op: db.OpGt, Val: int64(1900 + i*1237)}},
+		}
+	}
+	probe := func(f float64) *attack.Transcript {
+		tgt := attack.Target{
+			Estimate: func(ctx context.Context, q db.Query) (estimator.Estimate, error) {
+				ver := 1
+				if CanarySplit(q.Signature(), f) {
+					ver = 2
+				}
+				return estimator.Estimate{Cardinality: 100, Version: ver}, nil
+			},
+		}
+		tr, err := attack.NewCanaryProber(attack.CanaryProberConfig{
+			Seed: 5, Queries: pool, Budget: 3 * len(pool),
+		}).Run(ctx, tgt)
+		if err != nil {
+			t.Fatalf("prober at fraction %v: %v", f, err)
+		}
+		return tr
+	}
+	armOf := func(tr *attack.Transcript, f float64) map[string]bool {
+		arm := map[string]bool{}
+		seen := map[string]int{}
+		for _, st := range tr.Steps {
+			if prev, ok := seen[st.Signature]; ok && prev != st.Version {
+				t.Fatalf("signature %q flapped v%d→v%d within fraction %v", st.Signature, prev, st.Version, f)
+			}
+			seen[st.Signature] = st.Version
+			arm[st.Signature] = st.Version == 2
+		}
+		return arm
+	}
+
+	var prev map[string]bool
+	for _, f := range []float64{0.1, 0.3, 0.5, 0.8} {
+		tr := probe(f)
+		arm := armOf(tr, f)
+		// The prober must see both arms at every rung of this ladder and
+		// lock onto the canary one.
+		if !tr.Detected || tr.TargetArm != 2 {
+			t.Fatalf("prober at fraction %v: detected=%v target=v%d, want a detected v2 arm", f, tr.Detected, tr.TargetArm)
+		}
+		// Re-probing at the same fraction is a fixed point: an identical
+		// second campaign maps every signature to the same arm.
+		for sig, in := range armOf(probe(f), f) {
+			if arm[sig] != in {
+				t.Fatalf("signature %q changed arms on re-probe at fraction %v", sig, f)
+			}
+		}
+		// Monotonic across fractions: canary membership only grows.
+		if prev != nil {
+			grew := false
+			for sig, in := range prev {
+				if in && !arm[sig] {
+					t.Fatalf("signature %q left the canary when the fraction grew to %v", sig, f)
+				}
+				if !in && arm[sig] {
+					grew = true
+				}
+			}
+			if !grew {
+				t.Errorf("no signature joined the canary when the fraction grew to %v — pool too small to observe the move", f)
+			}
+		}
+		prev = arm
 	}
 }
 

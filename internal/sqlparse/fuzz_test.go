@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"deepsketch/internal/datagen"
+	"deepsketch/internal/workload"
 )
 
 // FuzzParseSQL: the parser must never panic on arbitrary input — it either
@@ -38,6 +39,57 @@ func FuzzParseSQL(f *testing.F) {
 		}
 		if _, err := Parse(d, res.Query.SQL(d)); err != nil {
 			t.Fatalf("rendered SQL fails to re-parse: %v (%q)", err, sql)
+		}
+	})
+}
+
+// FuzzWorkloadRoundTrip drives the full workload round trip the serving
+// path depends on: generate queries against a schema, render them to SQL,
+// parse the SQL back, and require the signature to be a fixed point. A
+// query whose signature shifts across the trip would park pending actuals
+// under one key and resolve them under another, silently breaking the
+// drift feedback loop (and the attack harness built on it).
+func FuzzWorkloadRoundTrip(f *testing.F) {
+	imdb := datagen.IMDb(datagen.IMDbConfig{Seed: 3, Titles: 200, Keywords: 20, Companies: 10, Persons: 40})
+	tpch := datagen.TPCH(datagen.TPCHConfig{Seed: 3})
+	f.Add(int64(1), byte(0), byte(8), byte(2), byte(3))
+	f.Add(int64(17), byte(1), byte(16), byte(0), byte(0))
+	f.Add(int64(-9000), byte(0), byte(32), byte(3), byte(4))
+	f.Add(int64(0), byte(1), byte(1), byte(1), byte(1))
+	f.Fuzz(func(t *testing.T, seed int64, dataset, count, maxJoins, maxPreds byte) {
+		d := imdb
+		if dataset%2 == 1 {
+			d = tpch
+		}
+		cfg := workload.GenConfig{
+			Seed:  seed,
+			Count: int(count%32) + 1,
+			// 0 falls back to the generator defaults — also worth fuzzing.
+			MaxJoins: int(maxJoins % 4),
+			MaxPreds: int(maxPreds % 5),
+			Dedup:    true,
+		}
+		gen, err := workload.NewGenerator(d, cfg)
+		if err != nil {
+			t.Fatalf("generator config %+v rejected: %v", cfg, err)
+		}
+		for _, q := range gen.Generate() {
+			sql := q.SQL(d)
+			res, err := Parse(d, sql)
+			if err != nil {
+				t.Fatalf("generated query does not parse: %v (%q)", err, sql)
+			}
+			if res.Placeholder != nil {
+				t.Fatalf("generated query parsed with a placeholder: %q", sql)
+			}
+			if got, want := res.Query.Signature(), q.Signature(); got != want {
+				t.Fatalf("signature not stable across gen→SQL→parse: %q vs %q (%q)", got, want, sql)
+			}
+			// The rendered SQL of the parsed query must itself be a fixed
+			// point — rendering is canonical, not merely re-parseable.
+			if again := res.Query.SQL(d); again != sql {
+				t.Fatalf("render not stable across the round trip: %q vs %q", again, sql)
+			}
 		}
 	})
 }

@@ -1,0 +1,188 @@
+package wal
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// Table-driven edge tests for the Admitter: exact token-bucket boundary
+// behavior, idle-refill clamping, sampling/cap interaction, clock skew, and
+// client-table eviction. The basic decision sequences live in wal_test.go;
+// these pin the corners an adversary would probe.
+
+func TestAdmitterEdgeTable(t *testing.T) {
+	type step struct {
+		client string
+		at     time.Duration // offset from base
+		want   Decision
+	}
+	base := time.Unix(1_000, 0)
+	cases := []struct {
+		name  string
+		cfg   AdmitConfig
+		steps []step
+	}{
+		{
+			// Cap 2 refills at one token per 30s. Draining the bucket and
+			// probing at +15s (half a token) must stay capped; the refill is
+			// fractional and accumulates, so +30s buys exactly one admit.
+			name: "boundary exhaustion and fractional refill",
+			cfg:  AdmitConfig{PerClientPerMin: 2},
+			steps: []step{
+				{"c", 0, Admitted},
+				{"c", 0, Admitted},
+				{"c", 0, Capped},
+				{"c", 15 * time.Second, Capped}, // 0.5 tokens
+				{"c", 30 * time.Second, Admitted},
+				{"c", 30 * time.Second, Capped},
+			},
+		},
+		{
+			// An idle client's bucket clamps at the cap: hours of refill
+			// never bank more than one minute's budget.
+			name: "idle refill clamps at the cap",
+			cfg:  AdmitConfig{PerClientPerMin: 2},
+			steps: []step{
+				{"c", 0, Admitted},
+				{"c", 0, Admitted},
+				{"c", 0, Capped},
+				{"c", 2 * time.Hour, Admitted},
+				{"c", 2 * time.Hour, Admitted},
+				{"c", 2 * time.Hour, Capped},
+			},
+		},
+		{
+			// Sampling applies before the cap: sampled-out attempts consume
+			// no tokens, so cap budget stretches over 3× the attempts.
+			name: "sampling does not consume cap budget",
+			cfg:  AdmitConfig{PerClientPerMin: 2, SampleEvery: 3},
+			steps: []step{
+				{"c", 0, Sampled}, {"c", 0, Sampled}, {"c", 0, Admitted},
+				{"c", 0, Sampled}, {"c", 0, Sampled}, {"c", 0, Admitted},
+				{"c", 0, Sampled}, {"c", 0, Sampled}, {"c", 0, Capped},
+				{"c", 0, Sampled}, {"c", 0, Sampled}, {"c", 0, Capped},
+			},
+		},
+		{
+			// A clock that goes backwards (or stands still) must not refill:
+			// dt <= 0 is ignored, never banked as negative tokens.
+			name: "backwards clock does not refill",
+			cfg:  AdmitConfig{PerClientPerMin: 1},
+			steps: []step{
+				{"c", 10 * time.Second, Admitted},
+				{"c", 10 * time.Second, Capped},
+				{"c", 5 * time.Second, Capped}, // backwards
+				{"c", 10 * time.Second, Capped},
+				{"c", 70 * time.Second, Admitted},
+			},
+		},
+		{
+			// PerClientPerMin 0 disables the cap entirely; SampleEvery <= 1
+			// disables sampling.
+			name: "zero config admits everything",
+			cfg:  AdmitConfig{SampleEvery: 1},
+			steps: []step{
+				{"c", 0, Admitted}, {"c", 0, Admitted}, {"c", 0, Admitted},
+				{"c", 0, Admitted}, {"c", 0, Admitted},
+			},
+		},
+		{
+			// The empty client ID is one budget, not a cap bypass for
+			// unattributed feedback.
+			name: "empty client shares one budget",
+			cfg:  AdmitConfig{PerClientPerMin: 1},
+			steps: []step{
+				{"", 0, Admitted},
+				{"", 0, Capped},
+				{"named", 0, Admitted}, // a real ID still has its own budget
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a := NewAdmitter(tc.cfg)
+			for i, s := range tc.steps {
+				if got := a.Admit(s.client, base.Add(s.at)); got != s.want {
+					t.Fatalf("step %d (client %q at +%v) = %v, want %v", i, s.client, s.at, got, s.want)
+				}
+			}
+		})
+	}
+}
+
+// TestAdmitterSamplingDistribution interleaves attempts from several
+// clients in a seeded-random order and checks the per-client sampling is
+// exact: each client admits precisely every SampleEvery-th of ITS attempts
+// no matter how the streams interleave (the counter is per client, so one
+// client's traffic cannot shift another's sampling phase).
+func TestAdmitterSamplingDistribution(t *testing.T) {
+	const sampleEvery = 4
+	rng := rand.New(rand.NewSource(99))
+	a := NewAdmitter(AdmitConfig{SampleEvery: sampleEvery})
+	now := time.Unix(1_000, 0)
+	clients := []string{"a", "b", "c", "d"}
+	seen := map[string]uint64{}
+	admitted := map[string]uint64{}
+	for i := 0; i < 4000; i++ {
+		c := clients[rng.Intn(len(clients))]
+		seen[c]++
+		if a.Admit(c, now) == Admitted {
+			admitted[c]++
+		}
+	}
+	for _, cs := range a.Stats() {
+		if cs.Seen != seen[cs.Client] {
+			t.Errorf("client %s seen = %d, want %d", cs.Client, cs.Seen, seen[cs.Client])
+		}
+		if want := seen[cs.Client] / sampleEvery; cs.Admitted != want || admitted[cs.Client] != want {
+			t.Errorf("client %s admitted = %d (stats %d), want exactly seen/%d = %d",
+				cs.Client, admitted[cs.Client], cs.Admitted, sampleEvery, want)
+		}
+		if cs.Capped != 0 {
+			t.Errorf("client %s capped = %d with no rate cap configured", cs.Client, cs.Capped)
+		}
+	}
+}
+
+// TestAdmitterEvictionPastMaxClients pushes far more distinct clients than
+// the table holds: the table must stay bounded, keep the most recently seen
+// clients, and — per the documented churn caveat — hand a returning evicted
+// client a fresh full bucket rather than carrying stale counters.
+func TestAdmitterEvictionPastMaxClients(t *testing.T) {
+	const maxClients = 8
+	a := NewAdmitter(AdmitConfig{PerClientPerMin: 1, MaxClients: maxClients})
+	base := time.Unix(1_000, 0)
+	// client-0 drains its budget first, then 19 more clients churn it out.
+	if d := a.Admit("client-0", base); d != Admitted {
+		t.Fatalf("client-0 first attempt = %v", d)
+	}
+	if d := a.Admit("client-0", base); d != Capped {
+		t.Fatalf("client-0 second attempt = %v, want capped", d)
+	}
+	for i := 1; i < 20; i++ {
+		a.Admit(fmt.Sprintf("client-%d", i), base.Add(time.Duration(i)*time.Second))
+		if n := len(a.Stats()); n > maxClients {
+			t.Fatalf("after client-%d the table holds %d clients, cap is %d", i, n, maxClients)
+		}
+	}
+	tracked := map[string]bool{}
+	for _, cs := range a.Stats() {
+		tracked[cs.Client] = true
+	}
+	if len(tracked) != maxClients {
+		t.Fatalf("table holds %d clients, want exactly %d", len(tracked), maxClients)
+	}
+	for i := 12; i < 20; i++ {
+		if name := fmt.Sprintf("client-%d", i); !tracked[name] {
+			t.Errorf("most recently seen %s was evicted; table = %v", name, tracked)
+		}
+	}
+	// client-0 was evicted with a drained bucket; returning under the same
+	// ID starts a fresh budget (the documented cost of LRU churn without
+	// authenticated identities).
+	if d := a.Admit("client-0", base.Add(30*time.Second)); d != Admitted {
+		t.Fatalf("returning evicted client = %v, want admitted with a fresh bucket", d)
+	}
+}
